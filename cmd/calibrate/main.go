@@ -1,0 +1,59 @@
+// Command calibrate estimates a machine's cache, memory and TLB miss
+// latencies with pointer-chase microbenchmarks — the repository's
+// equivalent of the paper's Calibrator tool.
+//
+// Usage:
+//
+//	calibrate [-machine pentium4|core2|corei7] [-sweep]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/calibrator"
+	"repro/internal/uarch"
+)
+
+func main() {
+	machine := flag.String("machine", "core2", "machine to calibrate (pentium4, core2, corei7)")
+	sweep := flag.Bool("sweep", false, "also print the raw footprint sweep")
+	flag.Parse()
+
+	if err := realMain(*machine, *sweep); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(name string, sweep bool) error {
+	m, err := uarch.ByName(name)
+	if err != nil {
+		return err
+	}
+	res, err := calibrator.Calibrate(m)
+	if err != nil {
+		return err
+	}
+	e := res.Estimates
+	fmt.Printf("calibration of %s:\n", m.Name)
+	fmt.Printf("  L1 load-to-use : %4d cycles (configured %d)\n", e.L1Lat, m.L1D.LatCycles)
+	fmt.Printf("  L2 latency     : %4d cycles (configured %d)\n", e.L2Lat, m.L2.LatCycles)
+	if m.HasL3() {
+		fmt.Printf("  L3 latency     : %4d cycles (configured %d)\n", e.L3Lat, m.L3.LatCycles)
+	}
+	fmt.Printf("  memory latency : %4d cycles (configured %d)\n", e.MemLat, m.MemLat)
+	fmt.Printf("  TLB miss walk  : %4d cycles (configured %d)\n", e.TLBLat, m.DTLB.MissLat)
+	if sweep {
+		fmt.Println("\nfootprint sweep (working set → median load-to-use latency):")
+		for _, p := range res.Sweep {
+			unit, v := "KB", p.FootprintBytes>>10
+			if p.FootprintBytes >= 1<<20 {
+				unit, v = "MB", p.FootprintBytes>>20
+			}
+			fmt.Printf("  %6d%s  %7.1f cycles\n", v, unit, p.MedianLat)
+		}
+	}
+	return nil
+}

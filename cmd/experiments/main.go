@@ -1,0 +1,109 @@
+// Command experiments regenerates the paper's tables and figures from
+// scratch: it simulates both benchmark suites on all three machines, fits
+// the mechanistic-empirical models, and prints each requested artifact.
+//
+// Usage:
+//
+//	experiments [-run all|table1|table2|fig2|fig3|fig4|fig5|fig6|ablation]
+//	            [-ops N] [-starts N]
+//
+// Everything is deterministic; re-running reproduces identical output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "which artifact to produce: all, table1, table2, fig2..fig6, ablation")
+	ops := flag.Int("ops", 1200000, "µops per workload (capacity effects — e.g. the i7's larger LLC removing misses — need ≥1M)")
+	starts := flag.Int("starts", 12, "regression multi-start count")
+	flag.Parse()
+
+	if err := realMain(*run, *ops, *starts); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(run string, ops, starts int) error {
+	lab := experiments.NewLab(experiments.Options{NumOps: ops, FitStarts: starts})
+	want := func(name string) bool { return run == "all" || run == name }
+
+	needsSim := run == "all" ||
+		strings.HasPrefix(run, "fig") || run == "ablation"
+	if needsSim {
+		fmt.Fprintf(os.Stderr, "simulating 103 workloads × 3 machines (%d µops each)...\n", ops)
+		t0 := time.Now()
+		if err := lab.Simulate(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "simulation done in %v\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+
+	if want("table1") {
+		fmt.Println(lab.Table1())
+	}
+	if want("table2") {
+		_, text, err := lab.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+	}
+	if want("fig2") {
+		_, text, err := lab.Fig2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+	}
+	if want("fig3") {
+		_, text, err := lab.Fig3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+	}
+	if want("fig4") {
+		_, text, err := lab.Fig4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+	}
+	if want("fig5") {
+		_, text, err := lab.Fig5("core2", "cpu2006")
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+	}
+	if want("fig6") {
+		_, text, err := lab.Fig6()
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+	}
+	if want("ablation") {
+		_, text, err := lab.Ablations("core2")
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+	}
+
+	switch run {
+	case "all", "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "ablation":
+		return nil
+	default:
+		return fmt.Errorf("unknown -run value %q", run)
+	}
+}

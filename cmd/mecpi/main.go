@@ -1,0 +1,133 @@
+// Command mecpi is the user-facing tool of the library: it fits a
+// mechanistic-empirical performance model for a machine from a benchmark
+// suite and prints CPI stacks — the paper's headline capability of
+// constructing CPI stacks "on real hardware" (here: on the simulated
+// machines, from performance counters only).
+//
+// Usage:
+//
+//	mecpi [-machine core2] [-suite cpu2006] [-workload mcf] [-ops N]
+//	      [-starts N] [-truth]
+//
+// Without -workload it prints the fitted model and the suite-wide
+// accuracy; with -workload it prints that workload's CPI stack, and with
+// -truth also the simulator's ground-truth stack next to it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stack"
+	"repro/internal/stats"
+	"repro/internal/suites"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+func main() {
+	machine := flag.String("machine", "core2", "target machine (pentium4, core2, corei7)")
+	suiteName := flag.String("suite", "cpu2006", "suite to infer the model from (cpu2000, cpu2006)")
+	workload := flag.String("workload", "", "workload whose CPI stack to print (default: suite summary)")
+	ops := flag.Int("ops", 300000, "µops per workload")
+	starts := flag.Int("starts", 12, "regression multi-start count")
+	truth := flag.Bool("truth", false, "also print the simulator's ground-truth stack")
+	characterize := flag.Bool("characterize", false, "classify every workload by its dominant CPI component")
+	flag.Parse()
+
+	if err := realMain(*machine, *suiteName, *workload, *ops, *starts, *truth, *characterize); err != nil {
+		fmt.Fprintln(os.Stderr, "mecpi:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(machineName, suiteName, workload string, ops, starts int, truth, characterize bool) error {
+	m, err := uarch.ByName(machineName)
+	if err != nil {
+		return err
+	}
+	suite, err := suites.ByName(suiteName, suites.Options{NumOps: ops})
+	if err != nil {
+		return err
+	}
+	s, err := sim.New(m)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "running %d workloads on %s...\n", len(suite.Workloads), m.Name)
+	obs := make([]core.Observation, 0, len(suite.Workloads))
+	runs := map[string]*sim.Result{}
+	for _, w := range suite.Workloads {
+		r, err := s.Run(trace.New(w))
+		if err != nil {
+			return err
+		}
+		o, err := core.ObservationFrom(w.Name, &r.Counters)
+		if err != nil {
+			return err
+		}
+		obs = append(obs, o)
+		runs[w.Name] = r
+	}
+
+	fmt.Fprintf(os.Stderr, "fitting the mechanistic-empirical model...\n")
+	model, err := core.Fit(m.Params(), obs, core.FitOptions{Starts: starts})
+	if err != nil {
+		return err
+	}
+
+	if characterize {
+		fmt.Print(core.RenderCharacterization(core.Characterize(model, obs)))
+		fmt.Println()
+		fmt.Print(stack.RenderCPIStack(
+			fmt.Sprintf("mean CPI stack of %s on %s", suite.Name, m.Name),
+			core.SuiteProfile(model, obs)))
+		return nil
+	}
+
+	if workload == "" {
+		fmt.Println(model)
+		pred := model.PredictAll(obs)
+		meas := make([]float64, len(obs))
+		for i := range obs {
+			meas[i] = obs[i].MeasuredCPI
+		}
+		errs := stats.RelErrs(pred, meas)
+		fmt.Printf("\nsuite accuracy on %s/%s: avg err %.1f%%, max %.1f%%, %.0f%% of benchmarks < 20%%\n",
+			m.Name, suite.Name, 100*stats.Mean(errs), 100*stats.Max(errs),
+			100*stats.FractionBelow(errs, 0.20))
+		fmt.Printf("\nper-workload CPI (measured → predicted):\n")
+		for i, o := range obs {
+			fmt.Printf("  %-14s %7.3f → %7.3f  (%+5.1f%%)\n",
+				o.Name, o.MeasuredCPI, pred[i], 100*(pred[i]-o.MeasuredCPI)/o.MeasuredCPI)
+		}
+		return nil
+	}
+
+	var target *core.Observation
+	for i := range obs {
+		if obs[i].Name == workload {
+			target = &obs[i]
+			break
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("workload %q not in suite %s", workload, suite.Name)
+	}
+	predStack := model.Stack(target.Feat)
+	if truth {
+		truthStack := runs[workload].Truth.CPIStack(runs[workload].Counters.Uops)
+		fmt.Print(stack.RenderComparison(
+			fmt.Sprintf("CPI stack for %s on %s (model vs ground truth):", workload, m.Name),
+			predStack, truthStack))
+		return nil
+	}
+	fmt.Print(stack.RenderCPIStack(
+		fmt.Sprintf("CPI stack for %s on %s", workload, m.Name), predStack))
+	fmt.Printf("measured CPI: %.4f\n", target.MeasuredCPI)
+	return nil
+}

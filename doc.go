@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of Eyerman, Hoste and
+// Eeckhout, "Mechanistic-Empirical Processor Performance Modeling for
+// Constructing CPI Stacks on Real Hardware" (ISPASS 2011).
+//
+// The paper's contribution — the gray-box CPI model of Equations (1)–(6),
+// its inference by non-linear regression on performance counters, and
+// CPI/CPI-delta stacks — lives in internal/core. Everything the paper
+// merely *uses* is built here too: a cycle-level out-of-order simulator
+// standing in for the three Intel machines (internal/sim + cache, branch,
+// uarch), synthetic SPEC-like workload suites (internal/suites +
+// internal/trace), a latency calibrator (internal/calibrator), the
+// regression and ANN machinery (internal/regress, internal/ann), and an
+// experiment harness regenerating every table and figure
+// (internal/experiments, cmd/experiments).
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
+// top-level bench_test.go regenerates each table/figure as a benchmark.
+package repro

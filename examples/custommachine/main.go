@@ -1,0 +1,104 @@
+// Custommachine: model a processor that does not exist.
+//
+// The library is not limited to the three paper machines. This example
+// defines a hypothetical "core2-deep" — a Core 2 with a doubled ROB, a
+// much deeper front end, and slower memory — then runs the full pipeline
+// against it: calibrate its latencies with microbenchmarks (never trust
+// the spec sheet), collect counters on a workload subset, fit a model,
+// and compare its CPI stack for a branchy workload against stock Core 2
+// to see the deeper pipeline's branch penalty appear in the stack.
+//
+// Run with: go run ./examples/custommachine
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/calibrator"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stack"
+	"repro/internal/suites"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// deepCore2 is the hypothetical machine.
+func deepCore2() *uarch.Machine {
+	m := uarch.CoreTwo()
+	m.Name = "core2-deep"
+	m.FrontEndDepth = 28 // much deeper pipeline
+	m.ROBSize = 192      // doubled window
+	m.IQSize = 64
+	m.MemLat = 240 // slower memory
+	return m
+}
+
+func fitFor(m *uarch.Machine, suite suites.Suite, params uarch.ModelParams) (*core.Model, []core.Observation) {
+	s, err := sim.New(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var obs []core.Observation
+	for _, w := range suite.Workloads {
+		res, err := s.Run(trace.New(w))
+		if err != nil {
+			log.Fatal(err)
+		}
+		o, err := core.ObservationFrom(w.Name, &res.Counters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		obs = append(obs, o)
+	}
+	model, err := core.Fit(params, obs, core.FitOptions{Starts: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return model, obs
+}
+
+func main() {
+	custom := deepCore2()
+	if err := custom.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Calibrate the custom machine the honest way: microbenchmarks.
+	fmt.Printf("calibrating %s…\n", custom.Name)
+	cal, err := calibrator.Calibrate(custom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := cal.Estimates.Params(custom)
+	fmt.Printf("  measured: L2=%d mem=%d TLB=%d cycles\n\n",
+		params.L2Lat, params.MemLat, params.TLBLat)
+
+	suite := suites.CPU2000Like(suites.Options{NumOps: 100000})
+	fmt.Printf("fitting models for core2 and %s…\n", custom.Name)
+	stockModel, stockObs := fitFor(uarch.CoreTwo(), suite, uarch.CoreTwo().Params())
+	customModel, customObs := fitFor(custom, suite, params)
+
+	// twolf is the branchiest CPU2000 workload in the suite tables;
+	// the deep pipeline should blow up its branch component.
+	pick := func(obs []core.Observation) core.Observation {
+		for _, o := range obs {
+			if o.Name == "twolf" {
+				return o
+			}
+		}
+		return obs[0]
+	}
+	so, co := pick(stockObs), pick(customObs)
+
+	fmt.Println()
+	fmt.Print(stack.RenderCPIStack("twolf on stock core2", stockModel.Stack(so.Feat)))
+	fmt.Println()
+	fmt.Print(stack.RenderCPIStack("twolf on core2-deep", customModel.Stack(co.Feat)))
+
+	sb := stockModel.Stack(so.Feat).Cycles[sim.CompBranch]
+	cb := customModel.Stack(co.Feat).Cycles[sim.CompBranch]
+	fmt.Printf("\nbranch component: %.3f → %.3f CPI (×%.1f from the deeper pipeline)\n",
+		sb, cb, cb/sb)
+}

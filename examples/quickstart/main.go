@@ -1,0 +1,67 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// It simulates a handful of CPU2006-like workloads on the Core 2-like
+// machine (collecting performance counters, exactly what you would get
+// from perfmon on real hardware), fits the mechanistic-empirical model
+// on those counters, and prints a CPI stack for one workload — the
+// paper's headline capability.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stack"
+	"repro/internal/suites"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+func main() {
+	// 1. Pick a machine and a workload suite.
+	machine := uarch.CoreTwo()
+	suite := suites.CPU2006Like(suites.Options{NumOps: 100000})
+
+	// 2. "Run the benchmarks on the target hardware and collect hardware
+	//    performance counter data" (paper, Figure 1). Sixteen workloads
+	//    keep the quickstart quick; use the whole suite for real fits.
+	s, err := sim.New(machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var obs []core.Observation
+	for _, w := range suite.Workloads[:16] {
+		res, err := s.Run(trace.New(w))
+		if err != nil {
+			log.Fatal(err)
+		}
+		o, err := core.ObservationFrom(w.Name, &res.Counters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		obs = append(obs, o)
+		fmt.Printf("ran %-14s CPI=%.3f  (%s)\n", w.Name, res.Counters.CPI(), &res.Counters)
+	}
+
+	// 3. Infer the model: non-linear regression fits the ten unknown
+	//    parameters (branch resolution time, MLP, resource stalls).
+	model, err := core.Fit(machine.Params(), obs, core.FitOptions{Starts: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(model)
+
+	// 4. The payoff: a CPI stack for any workload, from counters alone.
+	target := obs[0]
+	fmt.Println()
+	fmt.Print(stack.RenderCPIStack(
+		fmt.Sprintf("CPI stack for %s on %s", target.Name, machine.Name),
+		model.Stack(target.Feat)))
+	fmt.Printf("(measured CPI %.3f, predicted %.3f)\n",
+		target.MeasuredCPI, model.PredictCPI(target.Feat))
+}

@@ -1,0 +1,129 @@
+// Softwareopt: use CPI stacks to guide a software optimization.
+//
+// The scenario the paper's introduction motivates: a developer has a slow
+// application and performance counters, but raw counters don't say where
+// the cycles go on an out-of-order machine (overlap hides latencies). A
+// fitted mechanistic-empirical model turns the counters into a CPI stack
+// that does.
+//
+// Here the "application" is a pointer-chasing graph kernel. Its stack
+// pinpoints last-level-cache loads as the dominant component, with heavy
+// serialization (low MLP). We then apply the classic remedy — a
+// pointer-free, locality-friendly data layout (think linked lists →
+// index arrays + blocking) — re-measure, and let the stacks explain both
+// the speedup and where the next bottleneck moved.
+//
+// Run with: go run ./examples/softwareopt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stack"
+	"repro/internal/suites"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// application is the "before" program: a graph kernel chasing pointers
+// across a 200MB heap with poor locality.
+func application() trace.Spec {
+	return trace.Spec{
+		Name:             "graphkernel-v1",
+		Seed:             2024,
+		NumOps:           400000,
+		LoadFrac:         0.32,
+		StoreFrac:        0.08,
+		FPFrac:           0.02,
+		MulFrac:          0.02,
+		DivFrac:          0.002,
+		BranchHardFrac:   0.25,
+		CodeFootprint:    64 << 10,
+		CodeLocality:     0.8,
+		DataFootprint:    200 << 20,
+		DataLocality:     0.05,
+		PointerChaseFrac: 0.55, // linked structures: each load waits on the last
+		DepDistMean:      7,
+		LongChainFrac:    0.12,
+		FusibleFrac:      0.45,
+	}
+}
+
+// optimized is the "after" program: the same kernel after a data-layout
+// rewrite — indices instead of pointers (chasing gone), blocked traversal
+// (higher locality, small resident set).
+func optimized() trace.Spec {
+	s := application()
+	s.Name = "graphkernel-v2"
+	s.PointerChaseFrac = 0.05
+	s.DataLocality = 0.55
+	s.HotBytes = 2 << 20 // blocked working set
+	return s
+}
+
+func main() {
+	machine := uarch.CoreI7()
+	s, err := sim.New(machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fit the machine's model once, from the standard suite — exactly how
+	// a deployed model would be built (the application is NOT in the
+	// training set; the model generalizes, Section 5.2).
+	fmt.Println("fitting the corei7 model from the cpu2006-like suite…")
+	var obs []core.Observation
+	for _, w := range suites.CPU2006Like(suites.Options{NumOps: 150000}).Workloads {
+		res, err := s.Run(trace.New(w))
+		if err != nil {
+			log.Fatal(err)
+		}
+		o, err := core.ObservationFrom(w.Name, &res.Counters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		obs = append(obs, o)
+	}
+	model, err := core.Fit(machine.Params(), obs, core.FitOptions{Starts: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	measure := func(spec trace.Spec) (core.Observation, float64) {
+		res, err := s.Run(trace.New(spec))
+		if err != nil {
+			log.Fatal(err)
+		}
+		o, err := core.ObservationFrom(spec.Name, &res.Counters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return o, res.MeasuredMLP
+	}
+
+	before, mlpBefore := measure(application())
+	fmt.Println()
+	fmt.Print(stack.RenderCPIStack("BEFORE: "+before.Name, model.Stack(before.Feat)))
+	fmt.Printf("measured CPI %.3f; oracle MLP %.2f; model MLP %.2f\n",
+		before.MeasuredCPI, mlpBefore, model.MLP(before.Feat))
+
+	after, mlpAfter := measure(optimized())
+	fmt.Println()
+	fmt.Print(stack.RenderCPIStack("AFTER:  "+after.Name, model.Stack(after.Feat)))
+	fmt.Printf("measured CPI %.3f; oracle MLP %.2f; model MLP %.2f\n",
+		after.MeasuredCPI, mlpAfter, model.MLP(after.Feat))
+
+	fmt.Println()
+	speedup := before.MeasuredCPI / after.MeasuredCPI
+	fmt.Printf("speedup: %.2fx\n", speedup)
+	fmt.Println()
+	fmt.Println("reading guide: v1's stack is dominated by llc-load, and the oracle MLP")
+	fmt.Println("(~1.3) confirms the misses barely overlap — pointer chasing serializes")
+	fmt.Println("them. v2 removes the chase and blocks the traversal: fewer misses, more")
+	fmt.Println("overlap (MLP up), and a large net speedup. The stack also shows what is")
+	fmt.Println("left — llc-load still leads, so the next step is shrinking the tail of")
+	fmt.Println("out-of-block accesses, not (say) the branch predictor.")
+}

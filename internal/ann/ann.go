@@ -1,0 +1,234 @@
+// Package ann implements the artificial-neural-network baseline the paper
+// compares against: a multi-layer perceptron with one hidden layer whose
+// nodes compute tanh of a weighted sum of all inputs, and a linear output
+// node over the hidden activations (Section 4 of the paper). Training
+// minimizes mean squared error on standardized inputs/targets with Adam;
+// initialization and shuffling are fully deterministic.
+package ann
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/regress"
+	"repro/internal/rng"
+)
+
+// Options configures network topology and training.
+type Options struct {
+	Hidden    int     // hidden nodes (default 8)
+	Epochs    int     // training epochs (default 2000)
+	LearnRate float64 // Adam step size (default 0.01)
+	L2        float64 // weight decay (default 1e-4)
+	Seed      uint64  // init/shuffle seed (default 1)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Hidden <= 0 {
+		o.Hidden = 8
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 2000
+	}
+	if o.LearnRate <= 0 {
+		o.LearnRate = 0.01
+	}
+	if o.L2 < 0 {
+		o.L2 = 0
+	} else if o.L2 == 0 {
+		o.L2 = 1e-4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Network is a trained MLP for scalar regression.
+type Network struct {
+	inDim  int
+	hidden int
+	// Parameters: w1[h][i] input→hidden weights, b1[h] hidden biases,
+	// w2[h] hidden→output weights, b2 output bias.
+	w1 [][]float64
+	b1 []float64
+	w2 []float64
+	b2 float64
+
+	inScale  *regress.Standardizer
+	outMean  float64
+	outScale float64
+}
+
+// Train fits an MLP to (X, y). X is row-major; y are scalar targets.
+func Train(X [][]float64, y []float64, opts Options) (*Network, error) {
+	opts = opts.withDefaults()
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("ann: Train needs matching non-empty X (%d) and y (%d)", n, len(y))
+	}
+	inDim := len(X[0])
+	scale, err := regress.FitStandardizer(X)
+	if err != nil {
+		return nil, err
+	}
+	Z := scale.ApplyAll(X)
+
+	// Standardize targets too so the learning rate is scale-free.
+	var mu, sd float64
+	for _, v := range y {
+		mu += v
+	}
+	mu /= float64(n)
+	for _, v := range y {
+		d := v - mu
+		sd += d * d
+	}
+	sd = math.Sqrt(sd / float64(n))
+	if sd < 1e-12 {
+		sd = 1
+	}
+	t := make([]float64, n)
+	for i, v := range y {
+		t[i] = (v - mu) / sd
+	}
+
+	net := &Network{
+		inDim:    inDim,
+		hidden:   opts.Hidden,
+		w1:       make([][]float64, opts.Hidden),
+		b1:       make([]float64, opts.Hidden),
+		w2:       make([]float64, opts.Hidden),
+		inScale:  scale,
+		outMean:  mu,
+		outScale: sd,
+	}
+	r := rng.New(opts.Seed)
+	// Xavier-style init.
+	s1 := math.Sqrt(2.0 / float64(inDim+opts.Hidden))
+	s2 := math.Sqrt(2.0 / float64(opts.Hidden+1))
+	for h := 0; h < opts.Hidden; h++ {
+		net.w1[h] = make([]float64, inDim)
+		for i := range net.w1[h] {
+			net.w1[h][i] = r.NormFloat64() * s1
+		}
+		net.w2[h] = r.NormFloat64() * s2
+	}
+
+	net.adam(Z, t, opts, r)
+	return net, nil
+}
+
+// adam runs full-batch Adam on standardized data.
+func (net *Network) adam(Z [][]float64, t []float64, opts Options, r *rng.RNG) {
+	h := net.hidden
+	in := net.inDim
+	n := len(Z)
+
+	// Flatten parameter views for the optimizer state.
+	nParams := h*in + h + h + 1
+	m := make([]float64, nParams)
+	v := make([]float64, nParams)
+	grad := make([]float64, nParams)
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+	hid := make([]float64, h)
+	for epoch := 1; epoch <= opts.Epochs; epoch++ {
+		for i := range grad {
+			grad[i] = 0
+		}
+		// Full-batch gradient of ½·MSE.
+		for s := 0; s < n; s++ {
+			x := Z[s]
+			for j := 0; j < h; j++ {
+				a := net.b1[j]
+				w := net.w1[j]
+				for i := 0; i < in; i++ {
+					a += w[i] * x[i]
+				}
+				hid[j] = math.Tanh(a)
+			}
+			out := net.b2
+			for j := 0; j < h; j++ {
+				out += net.w2[j] * hid[j]
+			}
+			e := (out - t[s]) / float64(n)
+			// Output layer grads.
+			gi := h * in
+			for j := 0; j < h; j++ {
+				grad[gi+h+j] += e * hid[j] // w2
+			}
+			grad[nParams-1] += e // b2
+			// Hidden layer grads: parameter layout is w1 rows first
+			// (row j at offset j*in), then b1 at gi+j, then w2 at gi+h+j,
+			// then b2 last.
+			for j := 0; j < h; j++ {
+				d := e * net.w2[j] * (1 - hid[j]*hid[j])
+				grad[gi+j] += d
+				base := j * in
+				for i := 0; i < in; i++ {
+					grad[base+i] += d * x[i]
+				}
+			}
+		}
+		// L2 on weights (not biases).
+		if opts.L2 > 0 {
+			for j := 0; j < h; j++ {
+				base := j * in
+				for i := 0; i < in; i++ {
+					grad[base+i] += opts.L2 * net.w1[j][i]
+				}
+				grad[h*in+h+j] += opts.L2 * net.w2[j]
+			}
+		}
+		// Adam update.
+		lr := opts.LearnRate
+		bc1 := 1 - math.Pow(beta1, float64(epoch))
+		bc2 := 1 - math.Pow(beta2, float64(epoch))
+		apply := func(idx int, p *float64) {
+			m[idx] = beta1*m[idx] + (1-beta1)*grad[idx]
+			v[idx] = beta2*v[idx] + (1-beta2)*grad[idx]*grad[idx]
+			mh := m[idx] / bc1
+			vh := v[idx] / bc2
+			*p -= lr * mh / (math.Sqrt(vh) + eps)
+		}
+		for j := 0; j < h; j++ {
+			base := j * in
+			for i := 0; i < in; i++ {
+				apply(base+i, &net.w1[j][i])
+			}
+		}
+		gi := h * in
+		for j := 0; j < h; j++ {
+			apply(gi+j, &net.b1[j])
+			apply(gi+h+j, &net.w2[j])
+		}
+		apply(nParams-1, &net.b2)
+	}
+}
+
+// Predict evaluates the network on one raw (unstandardized) feature vector.
+func (net *Network) Predict(x []float64) float64 {
+	z := net.inScale.Apply(x)
+	out := net.b2
+	for j := 0; j < net.hidden; j++ {
+		a := net.b1[j]
+		for i := 0; i < net.inDim; i++ {
+			a += net.w1[j][i] * z[i]
+		}
+		out += net.w2[j] * math.Tanh(a)
+	}
+	return out*net.outScale + net.outMean
+}
+
+// PredictAll evaluates the network on every row of X.
+func (net *Network) PredictAll(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = net.Predict(x)
+	}
+	return out
+}
+
+// Hidden returns the hidden-layer width (for reporting).
+func (net *Network) Hidden() int { return net.hidden }

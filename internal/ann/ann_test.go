@@ -1,0 +1,140 @@
+package ann
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestTrainLinearFunction(t *testing.T) {
+	// An MLP should easily learn a linear map.
+	r := rng.New(3)
+	n := 200
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{r.Float64() * 4, r.Float64() * 4}
+		y[i] = 2*X[i][0] - X[i][1] + 3
+	}
+	net, err := Train(X, y, Options{Hidden: 6, Epochs: 3000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := net.PredictAll(X)
+	if mare := stats.MARE(pred, y); mare > 0.05 {
+		t.Errorf("linear-function MARE %.3f, want < 0.05", mare)
+	}
+}
+
+func TestTrainNonlinearFunction(t *testing.T) {
+	// y = x1² + sin(x2); needs the hidden layer.
+	r := rng.New(11)
+	n := 300
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{r.Float64()*2 - 1, r.Float64() * 3}
+		y[i] = X[i][0]*X[i][0] + math.Sin(X[i][1]) + 2
+	}
+	net, err := Train(X, y, Options{Hidden: 12, Epochs: 4000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := net.PredictAll(X)
+	if mare := stats.MARE(pred, y); mare > 0.08 {
+		t.Errorf("nonlinear MARE %.3f, want < 0.08", mare)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	X := [][]float64{{1, 2}, {2, 1}, {3, 3}, {0, 1}, {2, 2}}
+	y := []float64{1, 2, 3, 0.5, 2.5}
+	a, err := Train(X, y, Options{Hidden: 4, Epochs: 200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(X, y, Options{Hidden: 4, Epochs: 200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatalf("non-deterministic training at sample %d", i)
+		}
+	}
+}
+
+func TestTrainSeedsDiffer(t *testing.T) {
+	X := [][]float64{{1, 2}, {2, 1}, {3, 3}, {0, 1}}
+	y := []float64{1, 2, 3, 0.5}
+	a, _ := Train(X, y, Options{Hidden: 4, Epochs: 50, Seed: 1})
+	b, _ := Train(X, y, Options{Hidden: 4, Epochs: 50, Seed: 2})
+	same := true
+	for _, x := range X {
+		if a.Predict(x) != b.Predict(x) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical networks")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, Options{}); err == nil {
+		t.Error("expected error on empty input")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{1, 2}, Options{}); err == nil {
+		t.Error("expected error on length mismatch")
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	// Degenerate target: zero output variance must not blow up training.
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{5, 5, 5, 5}
+	net, err := Train(X, y, Options{Hidden: 3, Epochs: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		p := net.Predict(x)
+		if math.Abs(p-5) > 0.5 || math.IsNaN(p) {
+			t.Errorf("constant-target prediction %v, want ~5", p)
+		}
+	}
+}
+
+func TestOverfitsSmallSample(t *testing.T) {
+	// Documenting the behaviour the paper exploits in Figure 4: with few
+	// training points and enough capacity, the ANN interpolates training
+	// data nearly perfectly but generalizes poorly out of range.
+	X := [][]float64{{0.1}, {0.3}, {0.5}, {0.7}, {0.9}}
+	y := []float64{1.0, 1.8, 1.2, 2.5, 1.1}
+	net, err := Train(X, y, Options{Hidden: 16, Epochs: 6000, L2: 1e-9, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := net.PredictAll(X)
+	if mare := stats.MARE(pred, y); mare > 0.05 {
+		t.Errorf("training MARE %.3f, expected near-interpolation", mare)
+	}
+	// Out-of-range extrapolation should be visibly wrong for at least one
+	// probe (tanh saturation makes it flat, nothing like the oscillation).
+	probe := net.Predict([]float64{3.0})
+	if math.IsNaN(probe) || math.IsInf(probe, 0) {
+		t.Errorf("extrapolation produced %v", probe)
+	}
+}
+
+func TestHiddenAccessor(t *testing.T) {
+	net, err := Train([][]float64{{1}, {2}}, []float64{1, 2}, Options{Hidden: 5, Epochs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Hidden() != 5 {
+		t.Errorf("Hidden()=%d, want 5", net.Hidden())
+	}
+}

@@ -1,0 +1,221 @@
+// Package branch implements the direction predictors used by the
+// simulated cores: a bimodal (per-PC 2-bit counter) predictor, a gshare
+// predictor (global history XOR PC indexing a 2-bit counter table), and a
+// tournament predictor (a per-PC chooser selecting between bimodal and
+// gshare components), plus a direct-mapped branch target buffer.
+//
+// Predictors are deliberately simple and deterministic: the paper's model
+// only needs the *number* of mispredictions as a counter input, but the
+// simulator needs realistic per-workload variation in that number across
+// the three machine generations.
+package branch
+
+import (
+	"fmt"
+
+	"repro/internal/uarch"
+)
+
+// Predictor predicts conditional branch directions and learns outcomes.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the actual outcome.
+	Update(pc uint64, taken bool)
+	// Name identifies the predictor for reporting.
+	Name() string
+}
+
+// New constructs the predictor described by cfg.
+func New(cfg uarch.PredictorConfig) (Predictor, error) {
+	if cfg.TableBits <= 0 || cfg.TableBits > 24 {
+		return nil, fmt.Errorf("branch: table bits %d out of range (1..24)", cfg.TableBits)
+	}
+	switch cfg.Kind {
+	case uarch.PredBimodal:
+		return newBimodal(cfg.TableBits), nil
+	case uarch.PredGshare:
+		if cfg.HistoryBits <= 0 || cfg.HistoryBits > 32 {
+			return nil, fmt.Errorf("branch: history bits %d out of range (1..32)", cfg.HistoryBits)
+		}
+		return newGshare(cfg.TableBits, cfg.HistoryBits), nil
+	case uarch.PredTournament:
+		if cfg.HistoryBits <= 0 || cfg.HistoryBits > 32 {
+			return nil, fmt.Errorf("branch: history bits %d out of range (1..32)", cfg.HistoryBits)
+		}
+		return newTournament(cfg.TableBits, cfg.HistoryBits), nil
+	default:
+		return nil, fmt.Errorf("branch: unknown predictor kind %v", cfg.Kind)
+	}
+}
+
+// counter is a saturating 2-bit counter: 0,1 predict not-taken; 2,3 taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Bimodal is a per-PC 2-bit counter table.
+type Bimodal struct {
+	table []counter
+	mask  uint64
+}
+
+func newBimodal(bits int) *Bimodal {
+	n := 1 << bits
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 2 // weakly taken: most branches are taken
+	}
+	return &Bimodal{table: t, mask: uint64(n - 1)}
+}
+
+func (b *Bimodal) index(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.index(pc)].taken() }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := b.index(pc)
+	b.table[i] = b.table[i].update(taken)
+}
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return "bimodal" }
+
+// Gshare XORs global history with the PC to index a 2-bit counter table.
+type Gshare struct {
+	table    []counter
+	mask     uint64
+	history  uint64
+	histMask uint64
+}
+
+func newGshare(tableBits, histBits int) *Gshare {
+	n := 1 << tableBits
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Gshare{table: t, mask: uint64(n - 1), histMask: (1 << histBits) - 1}
+}
+
+func (g *Gshare) index(pc uint64) uint64 { return ((pc >> 2) ^ g.history) & g.mask }
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(pc uint64) bool { return g.table[g.index(pc)].taken() }
+
+// Update implements Predictor. The history is updated with the actual
+// outcome (idealized immediate update, as in trace-driven simulators).
+func (g *Gshare) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.history = ((g.history << 1) | boolBit(taken)) & g.histMask
+}
+
+// Name implements Predictor.
+func (g *Gshare) Name() string { return "gshare" }
+
+// Tournament combines a bimodal and a gshare component with a per-PC
+// 2-bit chooser (Alpha 21264 style).
+type Tournament struct {
+	bimodal *Bimodal
+	gshare  *Gshare
+	chooser []counter // 0,1 → use bimodal; 2,3 → use gshare
+	mask    uint64
+}
+
+func newTournament(tableBits, histBits int) *Tournament {
+	n := 1 << tableBits
+	ch := make([]counter, n)
+	for i := range ch {
+		ch[i] = 2 // slight initial preference for the history component
+	}
+	return &Tournament{
+		bimodal: newBimodal(tableBits),
+		gshare:  newGshare(tableBits, histBits),
+		chooser: ch,
+		mask:    uint64(n - 1),
+	}
+}
+
+// Predict implements Predictor.
+func (t *Tournament) Predict(pc uint64) bool {
+	if t.chooser[(pc>>2)&t.mask].taken() {
+		return t.gshare.Predict(pc)
+	}
+	return t.bimodal.Predict(pc)
+}
+
+// Update implements Predictor: the chooser is trained toward whichever
+// component was correct when they disagree.
+func (t *Tournament) Update(pc uint64, taken bool) {
+	pb := t.bimodal.Predict(pc)
+	pg := t.gshare.Predict(pc)
+	i := (pc >> 2) & t.mask
+	if pb != pg {
+		t.chooser[i] = t.chooser[i].update(pg == taken)
+	}
+	t.bimodal.Update(pc, taken)
+	t.gshare.Update(pc, taken)
+}
+
+// Name implements Predictor.
+func (t *Tournament) Name() string { return "tournament" }
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// BTB is a direct-mapped branch target buffer. A BTB miss on a taken
+// branch costs a front-end redirect even when the direction was right.
+type BTB struct {
+	tags    []uint64
+	targets []uint64
+	mask    uint64
+}
+
+// NewBTB creates a BTB with 2^bits entries.
+func NewBTB(bits int) *BTB {
+	if bits <= 0 || bits > 24 {
+		panic(fmt.Sprintf("branch: BTB bits %d out of range", bits))
+	}
+	n := 1 << bits
+	return &BTB{
+		tags:    make([]uint64, n),
+		targets: make([]uint64, n),
+		mask:    uint64(n - 1),
+	}
+}
+
+// Lookup returns the stored target for pc and whether it hit.
+func (b *BTB) Lookup(pc uint64) (uint64, bool) {
+	i := (pc >> 2) & b.mask
+	if b.tags[i] == pc {
+		return b.targets[i], true
+	}
+	return 0, false
+}
+
+// Insert records the target for pc.
+func (b *BTB) Insert(pc, target uint64) {
+	i := (pc >> 2) & b.mask
+	b.tags[i] = pc
+	b.targets[i] = target
+}

@@ -1,0 +1,429 @@
+// Package cache implements the memory-hierarchy substrate of the
+// simulated machines: set-associative write-allocate caches with true-LRU
+// replacement, fully-associative TLBs, and a multi-level Hierarchy that
+// composes L1I/L1D, a unified L2, an optional unified L3, and main
+// memory. The Hierarchy reports load-to-use latencies (Table 2 semantics:
+// each level's latency is the total latency when the access is satisfied
+// there, not an increment) and keeps the per-side hit/miss statistics the
+// performance-counter layer exposes.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/uarch"
+)
+
+// Level identifies where an access was satisfied.
+type Level int
+
+// Hierarchy levels.
+const (
+	LvlL1 Level = iota
+	LvlL2
+	LvlL3
+	LvlMem
+)
+
+func (l Level) String() string {
+	switch l {
+	case LvlL1:
+		return "L1"
+	case LvlL2:
+		return "L2"
+	case LvlL3:
+		return "L3"
+	case LvlMem:
+		return "mem"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Cache is one set-associative cache with true-LRU replacement.
+type Cache struct {
+	cfg       uarch.CacheConfig
+	tags      []uint64 // sets*assoc entries
+	valid     []bool
+	lru       []uint32 // per-line stamp; larger = more recent
+	stamp     uint32
+	setsMask  uint64
+	lineShift uint
+	assoc     int
+
+	hits, misses uint64
+}
+
+// NewCache builds a cache from the configuration.
+func NewCache(cfg uarch.CacheConfig) (*Cache, error) {
+	if err := cfg.Valid(); err != nil {
+		return nil, err
+	}
+	sets := cfg.Sets()
+	c := &Cache{
+		cfg:      cfg,
+		tags:     make([]uint64, sets*cfg.Assoc),
+		valid:    make([]bool, sets*cfg.Assoc),
+		lru:      make([]uint32, sets*cfg.Assoc),
+		setsMask: uint64(sets - 1),
+		assoc:    cfg.Assoc,
+	}
+	for c.cfg.LineBytes>>c.lineShift > 1 {
+		c.lineShift++
+	}
+	return c, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() uarch.CacheConfig { return c.cfg }
+
+// Access looks up addr, updates LRU state, allocates on miss, and reports
+// whether it hit. (Write-allocate: reads and writes behave identically
+// for tag-state purposes.)
+func (c *Cache) Access(addr uint64) bool {
+	lineAddr := addr >> c.lineShift
+	set := lineAddr & c.setsMask
+	base := int(set) * c.assoc
+	c.stamp++
+	if c.stamp == 0 { // wrapped: reset all stamps to preserve ordering roughly
+		for i := range c.lru {
+			c.lru[i] = 0
+		}
+		c.stamp = 1
+	}
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == lineAddr {
+			c.lru[i] = c.stamp
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	// Allocate: pick an invalid way, else the LRU way.
+	victim := base
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	c.tags[victim] = lineAddr
+	c.valid[victim] = true
+	c.lru[victim] = c.stamp
+	return false
+}
+
+// Probe reports whether addr is present without updating any state.
+func (c *Cache) Probe(addr uint64) bool {
+	lineAddr := addr >> c.lineShift
+	set := lineAddr & c.setsMask
+	base := int(set) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns cumulative hits and misses.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.lru[i] = 0
+	}
+	c.stamp = 0
+	c.hits = 0
+	c.misses = 0
+}
+
+// TLB is a fully-associative translation buffer with true-LRU
+// replacement. Lookups go through a page→slot map (plus a last-page fast
+// path) so the hot path is O(1); the linear LRU victim scan only runs on
+// misses.
+type TLB struct {
+	cfg       uarch.TLBConfig
+	pages     []uint64
+	valid     []bool
+	lru       []uint64
+	slot      map[uint64]int // page → slot index for valid entries
+	lastPage  uint64
+	lastSlot  int
+	lastValid bool
+	stamp     uint64
+	pageShift uint
+
+	hits, misses uint64
+}
+
+// NewTLB builds a TLB from the configuration.
+func NewTLB(cfg uarch.TLBConfig) (*TLB, error) {
+	if cfg.Entries <= 0 || cfg.PageBytes <= 0 {
+		return nil, fmt.Errorf("cache: invalid TLB config %+v", cfg)
+	}
+	if cfg.PageBytes&(cfg.PageBytes-1) != 0 {
+		return nil, fmt.Errorf("cache: TLB page size %d not a power of two", cfg.PageBytes)
+	}
+	t := &TLB{
+		cfg:   cfg,
+		pages: make([]uint64, cfg.Entries),
+		valid: make([]bool, cfg.Entries),
+		lru:   make([]uint64, cfg.Entries),
+		slot:  make(map[uint64]int, cfg.Entries),
+	}
+	for cfg.PageBytes>>t.pageShift > 1 {
+		t.pageShift++
+	}
+	return t, nil
+}
+
+// Access translates addr, allocating on miss; it reports whether the
+// translation hit.
+func (t *TLB) Access(addr uint64) bool {
+	page := addr >> t.pageShift
+	t.stamp++
+	// Fast path: repeated access to the most recent page. Its LRU stamp is
+	// refreshed lazily when a different page is next accessed; skipping
+	// intermediate updates cannot change LRU order because no other entry
+	// is touched in between.
+	if t.lastValid && page == t.lastPage {
+		t.hits++
+		return true
+	}
+	if t.lastValid {
+		t.lru[t.lastSlot] = t.stamp
+		t.stamp++
+	}
+	if i, ok := t.slot[page]; ok {
+		t.lru[i] = t.stamp
+		t.lastPage = page
+		t.lastSlot = i
+		t.lastValid = true
+		t.hits++
+		return true
+	}
+	t.misses++
+	// Victim: an invalid slot if any, else the least recently used.
+	victim := -1
+	for i := range t.pages {
+		if !t.valid[i] {
+			victim = i
+			break
+		}
+		if victim < 0 || t.lru[i] < t.lru[victim] {
+			victim = i
+		}
+	}
+	if t.valid[victim] {
+		delete(t.slot, t.pages[victim])
+	}
+	t.pages[victim] = page
+	t.valid[victim] = true
+	t.lru[victim] = t.stamp
+	t.slot[page] = victim
+	t.lastPage = page
+	t.lastSlot = victim
+	t.lastValid = true
+	return false
+}
+
+// Stats returns cumulative hits and misses.
+func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+// Reset invalidates all entries and clears statistics.
+func (t *TLB) Reset() {
+	for i := range t.valid {
+		t.valid[i] = false
+		t.lru[i] = 0
+	}
+	clear(t.slot)
+	t.lastValid = false
+	t.stamp = 0
+	t.hits = 0
+	t.misses = 0
+}
+
+// SideStats counts per-level misses for one side (instruction or data).
+type SideStats struct {
+	L1Misses  uint64 // L1 misses (any destination)
+	L2Misses  uint64 // L2 misses (only accesses that reached L2)
+	L3Misses  uint64 // L3 misses (only on 3-level machines)
+	LLCMisses uint64 // misses at the last level — trips to memory
+	TLBMisses uint64
+
+	// Load-only subsets (data side): the model's m_L2D$ counts *load*
+	// misses because store misses drain through the write buffer.
+	LLCLoadMisses uint64
+	L1LoadMisses  uint64
+	L1LoadL2Hits  uint64 // L1 load misses that hit in L2 (model's mpµ_DL1)
+}
+
+// Access classifies a hierarchy access.
+type Access struct {
+	Addr    uint64
+	IsWrite bool
+	IsInstr bool
+}
+
+// Result describes the outcome of a hierarchy access.
+type Result struct {
+	Lat     int   // load-to-use latency in cycles, including TLB penalty
+	Level   Level // level that satisfied the access
+	TLBMiss bool
+	MemTrip bool // access went to main memory (consumes an MSHR)
+}
+
+// Hierarchy composes the full memory system of one machine.
+type Hierarchy struct {
+	machine *uarch.Machine
+	l1i     *Cache
+	l1d     *Cache
+	l2      *Cache
+	l3      *Cache // nil when absent
+	itlb    *TLB
+	dtlb    *TLB
+	pf      *Prefetcher // optional L2 stride prefetcher (nil when disabled)
+
+	IStats SideStats
+	DStats SideStats
+}
+
+// NewHierarchy builds the memory system for m.
+func NewHierarchy(m *uarch.Machine) (*Hierarchy, error) {
+	h := &Hierarchy{machine: m}
+	var err error
+	if h.l1i, err = NewCache(m.L1I); err != nil {
+		return nil, fmt.Errorf("L1I: %w", err)
+	}
+	if h.l1d, err = NewCache(m.L1D); err != nil {
+		return nil, fmt.Errorf("L1D: %w", err)
+	}
+	if h.l2, err = NewCache(m.L2); err != nil {
+		return nil, fmt.Errorf("L2: %w", err)
+	}
+	if m.HasL3() {
+		if h.l3, err = NewCache(m.L3); err != nil {
+			return nil, fmt.Errorf("L3: %w", err)
+		}
+	}
+	if h.itlb, err = NewTLB(m.ITLB); err != nil {
+		return nil, fmt.Errorf("ITLB: %w", err)
+	}
+	if h.dtlb, err = NewTLB(m.DTLB); err != nil {
+		return nil, fmt.Errorf("DTLB: %w", err)
+	}
+	if m.Prefetch.Enabled {
+		if h.pf, err = NewPrefetcher(m.Prefetch, h.l2); err != nil {
+			return nil, fmt.Errorf("prefetcher: %w", err)
+		}
+	}
+	return h, nil
+}
+
+// Prefetcher returns the L2 prefetcher, or nil when disabled.
+func (h *Hierarchy) Prefetcher() *Prefetcher { return h.pf }
+
+// Machine returns the owning machine configuration.
+func (h *Hierarchy) Machine() *uarch.Machine { return h.machine }
+
+// L1I, L1D, L2, L3, ITLB, DTLB expose the components (L3 may be nil).
+func (h *Hierarchy) L1I() *Cache { return h.l1i }
+func (h *Hierarchy) L1D() *Cache { return h.l1d }
+func (h *Hierarchy) L2() *Cache  { return h.l2 }
+func (h *Hierarchy) L3() *Cache  { return h.l3 }
+func (h *Hierarchy) ITLB() *TLB  { return h.itlb }
+func (h *Hierarchy) DTLB() *TLB  { return h.dtlb }
+
+// Do performs one access through the hierarchy and returns its outcome.
+func (h *Hierarchy) Do(a Access) Result {
+	m := h.machine
+	var res Result
+	var l1 *Cache
+	var tlb *TLB
+	var side *SideStats
+	if a.IsInstr {
+		l1, tlb, side = h.l1i, h.itlb, &h.IStats
+	} else {
+		l1, tlb, side = h.l1d, h.dtlb, &h.DStats
+	}
+
+	if !tlb.Access(a.Addr) {
+		res.TLBMiss = true
+		side.TLBMisses++
+	}
+
+	isLoad := !a.IsWrite && !a.IsInstr
+	if l1.Access(a.Addr) {
+		res.Level = LvlL1
+		res.Lat = l1.cfg.LatCycles
+	} else {
+		side.L1Misses++
+		if isLoad {
+			side.L1LoadMisses++
+		}
+		if h.pf != nil && !a.IsInstr {
+			// The streamer watches the L2's demand stream (L1D misses) and
+			// pre-populates the L2 before the demand lookup below.
+			h.pf.OnDemand(a.Addr, h.l2.Probe(a.Addr))
+		}
+		if h.l2.Access(a.Addr) {
+			res.Level = LvlL2
+			res.Lat = m.L2.LatCycles
+			if isLoad {
+				side.L1LoadL2Hits++
+			}
+		} else {
+			side.L2Misses++
+			if h.l3 != nil {
+				if h.l3.Access(a.Addr) {
+					res.Level = LvlL3
+					res.Lat = m.L3.LatCycles
+				} else {
+					side.L3Misses++
+					side.LLCMisses++
+					if isLoad {
+						side.LLCLoadMisses++
+					}
+					res.Level = LvlMem
+					res.Lat = m.MemLat
+					res.MemTrip = true
+				}
+			} else {
+				side.LLCMisses++
+				if isLoad {
+					side.LLCLoadMisses++
+				}
+				res.Level = LvlMem
+				res.Lat = m.MemLat
+				res.MemTrip = true
+			}
+		}
+	}
+	if res.TLBMiss {
+		res.Lat += tlb.cfg.MissLat
+	}
+	return res
+}
+
+// Reset clears all cache/TLB state and statistics.
+func (h *Hierarchy) Reset() {
+	h.l1i.Reset()
+	h.l1d.Reset()
+	h.l2.Reset()
+	if h.l3 != nil {
+		h.l3.Reset()
+	}
+	h.itlb.Reset()
+	h.dtlb.Reset()
+	h.IStats = SideStats{}
+	h.DStats = SideStats{}
+}

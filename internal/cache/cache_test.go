@@ -1,0 +1,326 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/uarch"
+)
+
+func smallCache(t *testing.T, size, line, assoc, lat int) *Cache {
+	t.Helper()
+	c, err := NewCache(uarch.CacheConfig{SizeBytes: size, LineBytes: line, Assoc: assoc, LatCycles: lat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCacheColdMissThenHit(t *testing.T) {
+	c := smallCache(t, 1024, 64, 2, 3)
+	if c.Access(0x1000) {
+		t.Error("cold access should miss")
+	}
+	if !c.Access(0x1000) {
+		t.Error("second access should hit")
+	}
+	if !c.Access(0x1008) {
+		t.Error("same-line access should hit")
+	}
+	if c.Access(0x1040) {
+		t.Error("next line should miss")
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 2 {
+		t.Errorf("stats hits=%d misses=%d, want 2/2", hits, misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way cache, 8 sets of 64B lines (1KB). Three lines mapping to the
+	// same set: the least recently used one must be evicted.
+	c := smallCache(t, 1024, 64, 2, 3)
+	a := uint64(0x0000) // set 0
+	b := uint64(0x0200) // set 0 (+8 lines)
+	d := uint64(0x0400) // set 0 (+16 lines)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a more recent than b
+	c.Access(d) // evicts b
+	if !c.Probe(a) {
+		t.Error("a should survive")
+	}
+	if c.Probe(b) {
+		t.Error("b should be evicted (LRU)")
+	}
+	if !c.Probe(d) {
+		t.Error("d should be present")
+	}
+}
+
+func TestCacheProbeDoesNotAllocate(t *testing.T) {
+	c := smallCache(t, 1024, 64, 2, 3)
+	if c.Probe(0x1000) {
+		t.Error("probe of absent line should be false")
+	}
+	if c.Access(0x1000) {
+		t.Error("probe must not have allocated")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := smallCache(t, 1024, 64, 2, 3)
+	c.Access(0x1000)
+	c.Reset()
+	if c.Probe(0x1000) {
+		t.Error("reset should invalidate")
+	}
+	h, m := c.Stats()
+	if h != 0 || m != 0 {
+		t.Error("reset should clear stats")
+	}
+}
+
+func TestCacheWorkingSetCapacity(t *testing.T) {
+	// A working set that fits sees ~100% hits after warmup; twice the
+	// capacity with LRU cycling sees ~0%.
+	c := smallCache(t, 4096, 64, 4, 3)
+	lines := 4096 / 64
+	// Fits exactly.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < lines; i++ {
+			c.Access(uint64(i * 64))
+		}
+	}
+	h, m := c.Stats()
+	if h < uint64(2*lines) {
+		t.Errorf("fitting working set: hits=%d misses=%d", h, m)
+	}
+	// Twice capacity, sequential cycling defeats LRU entirely.
+	c.Reset()
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 2*lines; i++ {
+			c.Access(uint64(i * 64))
+		}
+	}
+	h, m = c.Stats()
+	if h != 0 {
+		t.Errorf("thrashing working set should never hit, got hits=%d", h)
+	}
+}
+
+func TestNewCacheRejectsBadConfig(t *testing.T) {
+	if _, err := NewCache(uarch.CacheConfig{}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestTLBBasic(t *testing.T) {
+	tlb, err := NewTLB(uarch.TLBConfig{Entries: 4, PageBytes: 4096, MissLat: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tlb.Access(0x1000) {
+		t.Error("cold TLB access should miss")
+	}
+	if !tlb.Access(0x1fff) {
+		t.Error("same page should hit")
+	}
+	if tlb.Access(0x2000) {
+		t.Error("different page should miss")
+	}
+}
+
+func TestTLBLRU(t *testing.T) {
+	tlb, err := NewTLB(uarch.TLBConfig{Entries: 2, PageBytes: 4096, MissLat: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlb.Access(0x0000) // page 0
+	tlb.Access(0x1000) // page 1
+	tlb.Access(0x0000) // page 0 again (page 1 now LRU)
+	tlb.Access(0x2000) // page 2, evicts page 1
+	if !tlb.Access(0x0000) {
+		t.Error("page 0 should survive")
+	}
+	if tlb.Access(0x1000) {
+		t.Error("page 1 should have been evicted")
+	}
+}
+
+func TestTLBErrorsAndReset(t *testing.T) {
+	if _, err := NewTLB(uarch.TLBConfig{Entries: 0, PageBytes: 4096}); err == nil {
+		t.Error("expected error for zero entries")
+	}
+	if _, err := NewTLB(uarch.TLBConfig{Entries: 4, PageBytes: 3000}); err == nil {
+		t.Error("expected error for non-power-of-two page")
+	}
+	tlb, _ := NewTLB(uarch.TLBConfig{Entries: 4, PageBytes: 4096, MissLat: 30})
+	tlb.Access(0x1000)
+	tlb.Reset()
+	if tlb.Access(0x1000) {
+		t.Error("reset should invalidate")
+	}
+	h, m := tlb.Stats()
+	if h != 0 || m != 1 {
+		t.Errorf("stats after reset+access: %d/%d", h, m)
+	}
+}
+
+func newTestHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(uarch.CoreI7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := newTestHierarchy(t)
+	m := h.Machine()
+	addr := uint64(0x1000_0000)
+	// Cold: miss everywhere → memory latency + TLB walk.
+	r := h.Do(Access{Addr: addr})
+	if r.Level != LvlMem || !r.MemTrip {
+		t.Errorf("cold access level %v", r.Level)
+	}
+	if !r.TLBMiss {
+		t.Error("cold access should miss TLB")
+	}
+	if r.Lat != m.MemLat+m.DTLB.MissLat {
+		t.Errorf("cold latency %d, want %d", r.Lat, m.MemLat+m.DTLB.MissLat)
+	}
+	// Warm: L1 hit at L1 latency.
+	r = h.Do(Access{Addr: addr})
+	if r.Level != LvlL1 || r.Lat != m.L1D.LatCycles {
+		t.Errorf("warm access level %v lat %d", r.Level, r.Lat)
+	}
+}
+
+func TestHierarchyL2AndL3Levels(t *testing.T) {
+	h := newTestHierarchy(t)
+	m := h.Machine()
+	// Fill L1D far beyond capacity so early lines fall out of L1 but stay
+	// in L2 (256KB) — then re-access one.
+	lines := (m.L1D.SizeBytes / 64) * 4
+	for i := 0; i < lines; i++ {
+		h.Do(Access{Addr: uint64(0x1000_0000 + i*64)})
+	}
+	r := h.Do(Access{Addr: 0x1000_0000})
+	if r.Level != LvlL2 {
+		t.Fatalf("expected L2 hit, got %v", r.Level)
+	}
+	if r.Lat < m.L2.LatCycles {
+		t.Errorf("L2 latency %d below %d", r.Lat, m.L2.LatCycles)
+	}
+	// Now blow out L2 (256KB) but stay within L3 (8MB).
+	lines = (m.L2.SizeBytes / 64) * 4
+	for i := 0; i < lines; i++ {
+		h.Do(Access{Addr: uint64(0x2000_0000 + i*64)})
+	}
+	r = h.Do(Access{Addr: 0x2000_0000})
+	if r.Level != LvlL3 {
+		t.Fatalf("expected L3 hit, got %v", r.Level)
+	}
+}
+
+func TestHierarchyTwoLevelMachine(t *testing.T) {
+	h, err := NewHierarchy(uarch.CoreTwo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.L3() != nil {
+		t.Error("Core 2 should have no L3")
+	}
+	r := h.Do(Access{Addr: 0x1234_5678})
+	if r.Level != LvlMem {
+		t.Errorf("cold miss should reach memory, got %v", r.Level)
+	}
+}
+
+func TestHierarchySideStats(t *testing.T) {
+	h := newTestHierarchy(t)
+	// One cold data load and one cold instruction fetch.
+	h.Do(Access{Addr: 0x1000_0000})
+	h.Do(Access{Addr: 0x0040_0000, IsInstr: true})
+	if h.DStats.L1Misses != 1 || h.DStats.LLCMisses != 1 || h.DStats.LLCLoadMisses != 1 {
+		t.Errorf("DStats: %+v", h.DStats)
+	}
+	if h.IStats.L1Misses != 1 || h.IStats.LLCMisses != 1 {
+		t.Errorf("IStats: %+v", h.IStats)
+	}
+	if h.IStats.LLCLoadMisses != 0 {
+		t.Error("instruction misses must not count as load misses")
+	}
+	// A store miss counts as an LLC miss but not an LLC *load* miss.
+	h.Do(Access{Addr: 0x3000_0000, IsWrite: true})
+	if h.DStats.LLCMisses != 2 || h.DStats.LLCLoadMisses != 1 {
+		t.Errorf("store miss accounting wrong: %+v", h.DStats)
+	}
+}
+
+func TestHierarchyL1LoadL2Hits(t *testing.T) {
+	h := newTestHierarchy(t)
+	m := h.Machine()
+	// Load a line, evict it from L1 (stays in L2), reload → L1LoadL2Hit.
+	h.Do(Access{Addr: 0x1000_0000})
+	lines := (m.L1D.SizeBytes / 64) * 2
+	for i := 1; i <= lines; i++ {
+		h.Do(Access{Addr: uint64(0x1000_0000 + i*64)})
+	}
+	before := h.DStats.L1LoadL2Hits
+	r := h.Do(Access{Addr: 0x1000_0000})
+	if r.Level != LvlL2 {
+		t.Skipf("expected L2 hit for this geometry, got %v", r.Level)
+	}
+	if h.DStats.L1LoadL2Hits != before+1 {
+		t.Errorf("L1LoadL2Hits not incremented")
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := newTestHierarchy(t)
+	h.Do(Access{Addr: 0x1000_0000})
+	h.Reset()
+	if h.DStats.L1Misses != 0 {
+		t.Error("reset should clear stats")
+	}
+	r := h.Do(Access{Addr: 0x1000_0000})
+	if r.Level != LvlMem {
+		t.Error("reset should clear cache contents")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for l, want := range map[Level]string{LvlL1: "L1", LvlL2: "L2", LvlL3: "L3", LvlMem: "mem"} {
+		if l.String() != want {
+			t.Errorf("Level %d string %q, want %q", l, l.String(), want)
+		}
+	}
+	if Level(9).String() == "" {
+		t.Error("unknown level should render")
+	}
+}
+
+// Property: hits+misses equals total accesses, and a line just accessed
+// always probes true.
+func TestCacheInvariantProperty(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c, err := NewCache(uarch.CacheConfig{SizeBytes: 2048, LineBytes: 64, Assoc: 2, LatCycles: 1})
+		if err != nil {
+			return false
+		}
+		for _, a := range addrs {
+			c.Access(uint64(a))
+			if !c.Probe(uint64(a)) {
+				return false
+			}
+		}
+		h, m := c.Stats()
+		return h+m == uint64(len(addrs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/uarch"
+)
+
+func pfTarget(t *testing.T) *Cache {
+	t.Helper()
+	c, err := NewCache(uarch.CacheConfig{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 8, LatCycles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func newPF(t *testing.T, target *Cache) *Prefetcher {
+	t.Helper()
+	p, err := NewPrefetcher(uarch.PrefetchConfig{Enabled: true, Streams: 64, Degree: 2}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPrefetcherErrors(t *testing.T) {
+	target := pfTarget(t)
+	cases := []uarch.PrefetchConfig{
+		{Streams: 0, Degree: 2},
+		{Streams: 3, Degree: 2}, // not a power of two
+		{Streams: 64, Degree: 0},
+		{Streams: 64, Degree: 99},
+	}
+	for i, cfg := range cases {
+		if _, err := NewPrefetcher(cfg, target); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+	if _, err := NewPrefetcher(uarch.PrefetchConfig{Streams: 64, Degree: 2}, nil); err == nil {
+		t.Error("expected error for nil target")
+	}
+}
+
+func TestStrideDetectionPrefetchesAhead(t *testing.T) {
+	target := pfTarget(t)
+	pf := newPF(t, target)
+	// Sequential line stride within one 4KB region: after two strides the
+	// prefetcher becomes confident and runs ahead.
+	base := uint64(0x10000)
+	for i := 0; i < 4; i++ {
+		addr := base + uint64(i*64)
+		pf.OnDemand(addr, target.Probe(addr))
+		target.Access(addr)
+	}
+	// Lines 4 and 5 (degree 2 ahead of line 3) should now be resident.
+	if !target.Probe(base + 4*64) {
+		t.Error("line +4 should be prefetched")
+	}
+	if !target.Probe(base + 5*64) {
+		t.Error("line +5 should be prefetched")
+	}
+	issued, _ := pf.Stats()
+	if issued == 0 {
+		t.Error("no prefetches issued")
+	}
+}
+
+func TestNonUnitStride(t *testing.T) {
+	target := pfTarget(t)
+	pf := newPF(t, target)
+	base := uint64(0x20000)
+	stride := uint64(192) // 3 lines
+	for i := 0; i < 5; i++ {
+		addr := base + uint64(i)*stride
+		pf.OnDemand(addr, target.Probe(addr))
+		target.Access(addr)
+	}
+	next := base + 5*stride
+	if !target.Probe(next) {
+		t.Errorf("stride-3 stream: line %#x should be prefetched", next)
+	}
+}
+
+func TestUsefulnessAccounting(t *testing.T) {
+	target := pfTarget(t)
+	pf := newPF(t, target)
+	base := uint64(0x30000)
+	for i := 0; i < 8; i++ {
+		addr := base + uint64(i*64)
+		pf.OnDemand(addr, target.Probe(addr))
+		target.Access(addr)
+	}
+	_, useful := pf.Stats()
+	if useful == 0 {
+		t.Error("sequential stream should produce useful prefetches")
+	}
+	if pf.Accuracy() <= 0 || pf.Accuracy() > 1 {
+		t.Errorf("accuracy %v out of range", pf.Accuracy())
+	}
+}
+
+func TestRandomStreamIssuesFewPrefetches(t *testing.T) {
+	target := pfTarget(t)
+	pf := newPF(t, target)
+	// Addresses bouncing across regions with no consistent stride.
+	addrs := []uint64{0x10000, 0x91040, 0x23480, 0x77000, 0x410c0, 0x88fc0, 0x15080, 0x62000}
+	for _, a := range addrs {
+		pf.OnDemand(a, target.Probe(a))
+		target.Access(a)
+	}
+	issued, _ := pf.Stats()
+	if issued > 4 {
+		t.Errorf("random stream issued %d prefetches, want few", issued)
+	}
+}
+
+func TestPrefetcherReset(t *testing.T) {
+	target := pfTarget(t)
+	pf := newPF(t, target)
+	for i := 0; i < 6; i++ {
+		addr := uint64(0x40000 + i*64)
+		pf.OnDemand(addr, target.Probe(addr))
+		target.Access(addr)
+	}
+	pf.Reset()
+	issued, useful := pf.Stats()
+	if issued != 0 || useful != 0 {
+		t.Error("reset should clear stats")
+	}
+	if pf.Accuracy() != 0 {
+		t.Error("reset accuracy should be 0")
+	}
+}
+
+func TestHierarchyWithPrefetcher(t *testing.T) {
+	m := uarch.CoreTwo()
+	m.Prefetch = uarch.PrefetchConfig{Enabled: true, Streams: 64, Degree: 4}
+	h, err := NewHierarchy(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Prefetcher() == nil {
+		t.Fatal("prefetcher should be attached")
+	}
+	// A long sequential scan over a working set larger than L1: without
+	// prefetch every line misses to memory; with the streamer, L2 misses
+	// collapse after the stream trains.
+	for i := 0; i < 4096; i++ {
+		h.Do(Access{Addr: uint64(0x1000_0000 + i*64)})
+	}
+	withPF := h.DStats.L2Misses
+
+	m2 := uarch.CoreTwo()
+	h2, err := NewHierarchy(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		h2.Do(Access{Addr: uint64(0x1000_0000 + i*64)})
+	}
+	withoutPF := h2.DStats.L2Misses
+	if withPF*2 > withoutPF {
+		t.Errorf("streamer should cut sequential L2 misses: %d with vs %d without", withPF, withoutPF)
+	}
+	// Disabled machines get no prefetcher.
+	if h2.Prefetcher() != nil {
+		t.Error("stock machine must not have a prefetcher")
+	}
+}
+
+func TestHierarchyPrefetcherIgnoresInstructionSide(t *testing.T) {
+	m := uarch.CoreTwo()
+	m.Prefetch = uarch.PrefetchConfig{Enabled: true, Streams: 64, Degree: 4}
+	h, err := NewHierarchy(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		h.Do(Access{Addr: uint64(0x0040_0000 + i*64), IsInstr: true})
+	}
+	if issued, _ := h.Prefetcher().Stats(); issued != 0 {
+		t.Errorf("I-side fetches must not train the data streamer (issued %d)", issued)
+	}
+}

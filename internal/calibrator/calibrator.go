@@ -1,0 +1,205 @@
+// Package calibrator estimates the memory-system latencies of a machine
+// by running microbenchmarks against it — the role the Calibrator tool
+// plays in the paper (Section 4): cache and TLB miss latencies "are not
+// as easily obtained" from spec sheets, so they are measured with
+// parameterized pointer-chase kernels on the target.
+//
+// Two experiments run against the machine's memory hierarchy:
+//
+//  1. A footprint sweep with line-stride dependent accesses. When the
+//     working set exceeds a cache level, every access misses that level
+//     and the median access latency jumps to the next level's latency.
+//     Clustering the per-footprint medians yields one plateau per level:
+//     L1, L2, (L3,) memory.
+//
+//  2. A TLB experiment: a fixed number of cache lines is spread first
+//     densely (TLB-resident) and then sparsely across pages (TLB
+//     thrashing) while staying L1-resident; the median latency difference
+//     is the TLB miss (page walk) latency.
+//
+// The estimates feed uarch.ModelParams, exactly as the paper feeds
+// Calibrator output into the model instead of trusting documentation.
+package calibrator
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/uarch"
+)
+
+// Estimates holds measured latencies in cycles.
+type Estimates struct {
+	L1Lat  int // L1 load-to-use (not a model input, but reported)
+	L2Lat  int // model's c_L2
+	L3Lat  int // model's c_L3 (0 when the machine has two levels)
+	MemLat int // model's c_mem
+	TLBLat int // model's c_TLB
+}
+
+// SweepPoint is one footprint-sweep observation (for reporting).
+type SweepPoint struct {
+	FootprintBytes int64
+	MedianLat      float64
+}
+
+// Result bundles estimates with the raw sweep for inspection.
+type Result struct {
+	Estimates Estimates
+	Sweep     []SweepPoint
+}
+
+// Params converts estimates into the machine-side model parameters,
+// taking dispatch width and front-end depth from the specification (those
+// two are documented, as the paper notes: "easy to determine from reading
+// the processor specifications").
+func (e Estimates) Params(m *uarch.Machine) uarch.ModelParams {
+	return uarch.ModelParams{
+		DispatchWidth: m.DispatchWidth,
+		FrontEndDepth: m.FrontEndDepth,
+		L2Lat:         e.L2Lat,
+		L3Lat:         e.L3Lat,
+		MemLat:        e.MemLat,
+		TLBLat:        e.TLBLat,
+	}
+}
+
+// chase performs passes of dependent accesses over the given address
+// sequence and returns the median access latency of the final pass.
+// Earlier passes warm the hierarchy.
+func chase(h *cache.Hierarchy, addrs []uint64, passes int) float64 {
+	if passes < 2 {
+		passes = 2
+	}
+	var lats []int
+	for p := 0; p < passes; p++ {
+		record := p == passes-1
+		if record {
+			lats = make([]int, 0, len(addrs))
+		}
+		for _, a := range addrs {
+			r := h.Do(cache.Access{Addr: a})
+			if record {
+				lats = append(lats, r.Lat)
+			}
+		}
+	}
+	sort.Ints(lats)
+	return float64(lats[len(lats)/2])
+}
+
+// sweepAddrs builds a line-stride footprint walk. Consecutive lines cycle
+// through the footprint; with true LRU a footprint exceeding a level's
+// capacity misses that level on every access.
+func sweepAddrs(base uint64, footprint int64, line int64) []uint64 {
+	n := footprint / line
+	addrs := make([]uint64, n)
+	for i := int64(0); i < n; i++ {
+		addrs[i] = base + uint64(i*line)
+	}
+	return addrs
+}
+
+// Calibrate measures the machine's latencies. It builds a fresh memory
+// hierarchy for the machine, so it never disturbs a simulator's state.
+func Calibrate(m *uarch.Machine) (*Result, error) {
+	h, err := cache.NewHierarchy(m)
+	if err != nil {
+		return nil, err
+	}
+	const base = uint64(0x4000_0000)
+	line := int64(m.L1D.LineBytes)
+
+	// --- Footprint sweep: 4KB … 4× the largest cache (or 64MB minimum
+	// ceiling) in ×2 steps.
+	maxCache := int64(m.L2.SizeBytes)
+	if m.HasL3() && int64(m.L3.SizeBytes) > maxCache {
+		maxCache = int64(m.L3.SizeBytes)
+	}
+	limit := maxCache * 4
+	if limit < 64<<20 {
+		limit = 64 << 20
+	}
+	var sweep []SweepPoint
+	for fp := int64(4 << 10); fp <= limit; fp *= 2 {
+		h.Reset()
+		med := chase(h, sweepAddrs(base, fp, line), 3)
+		sweep = append(sweep, SweepPoint{FootprintBytes: fp, MedianLat: med})
+	}
+
+	// Cluster the plateau values: collect distinct medians (within a
+	// ±1-cycle tolerance) in ascending footprint order.
+	var plateaus []float64
+	for _, p := range sweep {
+		if len(plateaus) == 0 || p.MedianLat > plateaus[len(plateaus)-1]+1 {
+			plateaus = append(plateaus, p.MedianLat)
+		}
+	}
+	wantLevels := 3
+	if m.HasL3() {
+		wantLevels = 4
+	}
+	if len(plateaus) < wantLevels {
+		return nil, fmt.Errorf("calibrator: found %d latency plateaus on %s, want %d (sweep: %v)",
+			len(plateaus), m.Name, wantLevels, sweep)
+	}
+	// More plateaus than levels means a transition point produced an
+	// intermediate median; keep the first (L1), last (memory), and the
+	// best-separated interior values.
+	est := Estimates{L1Lat: int(plateaus[0] + 0.5)}
+	if m.HasL3() {
+		est.L2Lat = int(plateaus[1] + 0.5)
+		est.L3Lat = int(plateaus[2] + 0.5)
+	} else {
+		est.L2Lat = int(plateaus[1] + 0.5)
+	}
+	est.MemLat = int(plateaus[len(plateaus)-1] + 0.5)
+
+	// --- TLB experiment: the same set of cache lines laid out densely
+	// (few pages — TLB-resident) and sparsely (one line per page, 4× the
+	// TLB reach — every access walks the page table). Keeping the line
+	// count identical keeps both walks at the same cache level, so the
+	// median latency difference isolates the page-walk cost. Line offsets
+	// are staggered within each sparse page so cache sets are used
+	// uniformly (page-aligned addresses would all collide in one set).
+	page := int64(m.DTLB.PageBytes)
+	nLines := int64(m.DTLB.Entries) * 4
+	linesPerPage := page / line
+	if linesPerPage < 1 {
+		linesPerPage = 1
+	}
+	// The sparse walk's page-aligned component only varies the high set
+	// bits, so the in-page offset must supply the remaining set bits of
+	// the cache level the walk lives in. With sets = S = linesPerPage·M,
+	// offset (i/M) mod linesPerPage makes line(i) → set a bijection over
+	// each window of S consecutive i, i.e. perfectly uniform set usage.
+	target := m.L1D
+	for _, c := range []uarch.CacheConfig{m.L2, m.L3} {
+		if int64(target.SizeBytes) < nLines*line && c.SizeBytes > 0 {
+			target = c
+		}
+	}
+	mBits := int64(target.Sets()) / linesPerPage
+	if mBits < 1 {
+		mBits = 1
+	}
+	dense := make([]uint64, nLines)
+	sparse := make([]uint64, nLines)
+	for i := int64(0); i < nLines; i++ {
+		off := uint64(((i / mBits) % linesPerPage) * line)
+		dense[i] = base + uint64(i*line)
+		sparse[i] = base + uint64(i)*uint64(page) + off
+	}
+	h.Reset()
+	denseLat := chase(h, dense, 3)
+	h.Reset()
+	sparseLat := chase(h, sparse, 3)
+	tlb := int(sparseLat - denseLat + 0.5)
+	if tlb < 0 {
+		tlb = 0
+	}
+	est.TLBLat = tlb
+
+	return &Result{Estimates: est, Sweep: sweep}, nil
+}

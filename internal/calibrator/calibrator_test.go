@@ -1,0 +1,116 @@
+package calibrator
+
+import (
+	"testing"
+
+	"repro/internal/uarch"
+)
+
+func TestCalibrateRecoversTableTwo(t *testing.T) {
+	// The calibrator must recover the configured latencies (Table 2)
+	// within a small tolerance — this is the whole point of the tool.
+	cases := []struct {
+		m *uarch.Machine
+	}{
+		{uarch.PentiumFour()},
+		{uarch.CoreTwo()},
+		{uarch.CoreI7()},
+	}
+	for _, c := range cases {
+		res, err := Calibrate(c.m)
+		if err != nil {
+			t.Fatalf("%s: %v", c.m.Name, err)
+		}
+		e := res.Estimates
+		within := func(got, want, tol int, what string) {
+			if got < want-tol || got > want+tol {
+				t.Errorf("%s %s: measured %d, configured %d", c.m.Name, what, got, want)
+			}
+		}
+		within(e.L1Lat, c.m.L1D.LatCycles, 1, "L1 latency")
+		within(e.L2Lat, c.m.L2.LatCycles, 2, "L2 latency")
+		if c.m.HasL3() {
+			within(e.L3Lat, c.m.L3.LatCycles, 2, "L3 latency")
+		} else if e.L3Lat != 0 {
+			t.Errorf("%s: spurious L3 latency %d on 2-level machine", c.m.Name, e.L3Lat)
+		}
+		within(e.MemLat, c.m.MemLat, 3, "memory latency")
+		within(e.TLBLat, c.m.DTLB.MissLat, 3, "TLB miss latency")
+	}
+}
+
+func TestSweepMonotone(t *testing.T) {
+	res, err := Calibrate(uarch.CoreTwo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sweep) < 6 {
+		t.Fatalf("sweep too short: %d points", len(res.Sweep))
+	}
+	prev := 0.0
+	for _, p := range res.Sweep {
+		if p.MedianLat < prev-0.5 {
+			t.Errorf("sweep median decreased at %dKB: %.1f after %.1f",
+				p.FootprintBytes/1024, p.MedianLat, prev)
+		}
+		if p.MedianLat > prev {
+			prev = p.MedianLat
+		}
+	}
+	// First point is L1-resident; last is memory-bound.
+	first := res.Sweep[0].MedianLat
+	last := res.Sweep[len(res.Sweep)-1].MedianLat
+	if first >= float64(uarch.CoreTwo().L2.LatCycles) {
+		t.Errorf("smallest footprint median %.1f should be L1-like", first)
+	}
+	if last < float64(uarch.CoreTwo().MemLat) {
+		t.Errorf("largest footprint median %.1f should be memory-like", last)
+	}
+}
+
+func TestParamsMergesSpecAndMeasurement(t *testing.T) {
+	m := uarch.CoreI7()
+	res, err := Calibrate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Estimates.Params(m)
+	if p.DispatchWidth != m.DispatchWidth || p.FrontEndDepth != m.FrontEndDepth {
+		t.Error("width/depth must come from the spec")
+	}
+	if p.L2Lat != res.Estimates.L2Lat || p.MemLat != res.Estimates.MemLat ||
+		p.TLBLat != res.Estimates.TLBLat || p.L3Lat != res.Estimates.L3Lat {
+		t.Error("latencies must come from the measurement")
+	}
+}
+
+func TestCalibrateCustomMachine(t *testing.T) {
+	// A made-up machine with unusual latencies must also be recovered —
+	// the calibrator must not hard-code the stock configs.
+	m := uarch.CoreTwo()
+	m.Name = "custom"
+	m.L2.LatCycles = 25
+	m.MemLat = 220
+	m.DTLB.MissLat = 55
+	res, err := Calibrate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimates.L2Lat < 23 || res.Estimates.L2Lat > 27 {
+		t.Errorf("custom L2: %d", res.Estimates.L2Lat)
+	}
+	if res.Estimates.MemLat < 215 || res.Estimates.MemLat > 225 {
+		t.Errorf("custom mem: %d", res.Estimates.MemLat)
+	}
+	if res.Estimates.TLBLat < 50 || res.Estimates.TLBLat > 60 {
+		t.Errorf("custom TLB: %d", res.Estimates.TLBLat)
+	}
+}
+
+func TestCalibrateInvalidMachine(t *testing.T) {
+	m := uarch.CoreTwo()
+	m.L1D.Assoc = 0
+	if _, err := Calibrate(m); err == nil {
+		t.Error("expected error for invalid machine")
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Workload characterization (Section 6 lists it among the CPI stack's
+// applications): classify each workload by the component that dominates
+// its non-base CPI, and summarize a whole suite as a mean CPI stack.
+
+// Characterization classifies one workload by its model CPI stack.
+type Characterization struct {
+	Name          string
+	Stack         sim.Stack     // per-µop model stack
+	PredictedCPI  float64       // stack total
+	Dominant      sim.Component // largest non-base component
+	DominantShare float64       // its share of total CPI
+}
+
+// Characterize builds a per-workload classification from a fitted model,
+// sorted by descending dominant-component share (most bottlenecked
+// first).
+func Characterize(m *Model, obs []Observation) []Characterization {
+	out := make([]Characterization, 0, len(obs))
+	for _, o := range obs {
+		st := m.Stack(o.Feat)
+		c := Characterization{
+			Name:         o.Name,
+			Stack:        st,
+			PredictedCPI: st.Total(),
+		}
+		best := sim.CompBase
+		var bestVal float64
+		for _, comp := range sim.Components() {
+			if comp == sim.CompBase {
+				continue
+			}
+			if st.Cycles[comp] > bestVal {
+				bestVal = st.Cycles[comp]
+				best = comp
+			}
+		}
+		c.Dominant = best
+		if t := st.Total(); t > 0 {
+			c.DominantShare = bestVal / t
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DominantShare != out[j].DominantShare {
+			return out[i].DominantShare > out[j].DominantShare
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// SuiteProfile returns the mean per-µop CPI stack over the observations —
+// the suite's aggregate bottleneck profile.
+func SuiteProfile(m *Model, obs []Observation) sim.Stack {
+	var mean sim.Stack
+	if len(obs) == 0 {
+		return mean
+	}
+	for _, o := range obs {
+		st := m.Stack(o.Feat)
+		for i := range mean.Cycles {
+			mean.Cycles[i] += st.Cycles[i]
+		}
+	}
+	for i := range mean.Cycles {
+		mean.Cycles[i] /= float64(len(obs))
+	}
+	return mean
+}
+
+// RenderCharacterization formats the classification as a table grouped by
+// dominant component.
+func RenderCharacterization(chars []Characterization) string {
+	var b strings.Builder
+	byComp := map[sim.Component][]Characterization{}
+	for _, c := range chars {
+		byComp[c.Dominant] = append(byComp[c.Dominant], c)
+	}
+	fmt.Fprintf(&b, "workload characterization (%d workloads, by dominant CPI component):\n", len(chars))
+	for _, comp := range sim.Components() {
+		group := byComp[comp]
+		if len(group) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%s-bound (%d):\n", comp, len(group))
+		for _, c := range group {
+			fmt.Fprintf(&b, "  %-14s CPI %6.3f  %4.1f%% %s\n",
+				c.Name, c.PredictedCPI, 100*c.DominantShare, c.Dominant)
+		}
+	}
+	return b.String()
+}

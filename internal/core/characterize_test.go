@@ -1,0 +1,76 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func charObs() []Observation {
+	memBound := Observation{Name: "membound", Feat: Features{
+		MpuLLCD: 0.01, MpuDTLB: 0.001, MpuBr: 0.0005, FP: 0.2}, MeasuredCPI: 1.5}
+	brBound := Observation{Name: "branchy", Feat: Features{
+		MpuBr: 0.01, MpuDL1: 0.005, FP: 0.0}, MeasuredCPI: 0.8}
+	quiet := Observation{Name: "quiet", Feat: Features{FP: 0.05}, MeasuredCPI: 0.3}
+	return []Observation{memBound, brBound, quiet}
+}
+
+func TestCharacterize(t *testing.T) {
+	m := &Model{Machine: testMachineParams(), P: testParams()}
+	chars := Characterize(m, charObs())
+	if len(chars) != 3 {
+		t.Fatalf("want 3 characterizations, got %d", len(chars))
+	}
+	byName := map[string]Characterization{}
+	for _, c := range chars {
+		byName[c.Name] = c
+	}
+	if byName["membound"].Dominant != sim.CompLLCLoad {
+		t.Errorf("membound classified as %v", byName["membound"].Dominant)
+	}
+	if byName["branchy"].Dominant != sim.CompBranch {
+		t.Errorf("branchy classified as %v", byName["branchy"].Dominant)
+	}
+	// Sorted by descending dominant share.
+	for i := 1; i < len(chars); i++ {
+		if chars[i].DominantShare > chars[i-1].DominantShare {
+			t.Error("characterizations not sorted by dominant share")
+		}
+	}
+	// Shares in [0,1].
+	for _, c := range chars {
+		if c.DominantShare < 0 || c.DominantShare > 1 {
+			t.Errorf("%s share %v out of range", c.Name, c.DominantShare)
+		}
+	}
+}
+
+func TestSuiteProfile(t *testing.T) {
+	m := &Model{Machine: testMachineParams(), P: testParams()}
+	obs := charObs()
+	mean := SuiteProfile(m, obs)
+	// Mean of stacks equals stack of means component-wise: verify total.
+	var want float64
+	for _, o := range obs {
+		want += m.PredictCPI(o.Feat)
+	}
+	want /= float64(len(obs))
+	if diff := mean.Total() - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("suite profile total %v, want %v", mean.Total(), want)
+	}
+	var empty sim.Stack
+	if SuiteProfile(m, nil) != empty {
+		t.Error("empty observations should give a zero profile")
+	}
+}
+
+func TestRenderCharacterization(t *testing.T) {
+	m := &Model{Machine: testMachineParams(), P: testParams()}
+	out := RenderCharacterization(Characterize(m, charObs()))
+	for _, want := range []string{"membound", "branchy", "llc-load-bound", "branch-bound"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("characterization output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/perfctr"
+	"repro/internal/sim"
+)
+
+// CPI-delta stacks (Section 6 / Figure 6): given two machine generations
+// that ran the same workloads, the fitted models break the per-instruction
+// CPI difference into component deltas, and each component into the
+// factors the model computes it from. Deltas are new − old, normalized
+// per macro-instruction (not per µop, so that µop fusion is visible);
+// negative values are improvements.
+
+// MachineRun is one workload's measurement on one machine.
+type MachineRun struct {
+	Name string // workload name (must match across machines)
+	Ctr  perfctr.Counters
+}
+
+// OverallDelta is the top-row decomposition: per-instruction CPI delta by
+// source. Width and Fusion together are the base-component delta; ICache
+// includes the I-TLB; Memory is D-side (LLC loads + D-TLB); Other is the
+// resource-stall component.
+type OverallDelta struct {
+	Width  float64 // dispatch-width change applied to the old µop count
+	Fusion float64 // µop-count change (micro-/macro-fusion) at the new width
+	ICache float64
+	Memory float64
+	Branch float64
+	Other  float64
+}
+
+// Total sums the overall components.
+func (d OverallDelta) Total() float64 {
+	return d.Width + d.Fusion + d.ICache + d.Memory + d.Branch + d.Other
+}
+
+// BranchDelta is the middle-row decomposition of the branch component:
+// mispredictions-per-instruction, resolution time, and front-end depth,
+// attributed by sequential substitution old→new (in that order).
+type BranchDelta struct {
+	Mispredictions float64
+	Resolution     float64
+	FrontEnd       float64
+}
+
+// Total sums the branch factors.
+func (d BranchDelta) Total() float64 { return d.Mispredictions + d.Resolution + d.FrontEnd }
+
+// LLCDelta is the bottom-row decomposition of the last-level-cache load
+// component: miss count, memory latency, and MLP, attributed by
+// sequential substitution old→new (in that order).
+type LLCDelta struct {
+	Misses  float64
+	Latency float64
+	MLP     float64
+}
+
+// Total sums the LLC factors.
+func (d LLCDelta) Total() float64 { return d.Misses + d.Latency + d.MLP }
+
+// DeltaStacks bundles all three decompositions for one machine pair,
+// averaged over a workload set.
+type DeltaStacks struct {
+	OldName, NewName string
+	Workloads        int
+	Overall          OverallDelta
+	Branch           BranchDelta
+	LLC              LLCDelta
+	// OldCPI and NewCPI are the mean per-instruction CPIs (for context).
+	OldCPI, NewCPI float64
+}
+
+// ComputeDelta builds CPI-delta stacks from two fitted models and the
+// matching per-workload runs. Runs are matched by workload name; both
+// slices must cover the same workload set.
+func ComputeDelta(oldName string, oldModel *Model, oldRuns []MachineRun,
+	newName string, newModel *Model, newRuns []MachineRun) (*DeltaStacks, error) {
+
+	if len(oldRuns) == 0 || len(oldRuns) != len(newRuns) {
+		return nil, fmt.Errorf("core: delta needs matching run sets (%d vs %d)", len(oldRuns), len(newRuns))
+	}
+	newByName := make(map[string]*MachineRun, len(newRuns))
+	for i := range newRuns {
+		newByName[newRuns[i].Name] = &newRuns[i]
+	}
+
+	out := &DeltaStacks{OldName: oldName, NewName: newName, Workloads: len(oldRuns)}
+	for i := range oldRuns {
+		or := &oldRuns[i]
+		nr, ok := newByName[or.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: workload %q missing from %s runs", or.Name, newName)
+		}
+		if err := accumulateDelta(out, oldModel, or, newModel, nr); err != nil {
+			return nil, fmt.Errorf("core: workload %q: %w", or.Name, err)
+		}
+	}
+	n := float64(len(oldRuns))
+	out.Overall.Width /= n
+	out.Overall.Fusion /= n
+	out.Overall.ICache /= n
+	out.Overall.Memory /= n
+	out.Overall.Branch /= n
+	out.Overall.Other /= n
+	out.Branch.Mispredictions /= n
+	out.Branch.Resolution /= n
+	out.Branch.FrontEnd /= n
+	out.LLC.Misses /= n
+	out.LLC.Latency /= n
+	out.LLC.MLP /= n
+	out.OldCPI /= n
+	out.NewCPI /= n
+	return out, nil
+}
+
+func accumulateDelta(out *DeltaStacks, oldModel *Model, or *MachineRun,
+	newModel *Model, nr *MachineRun) error {
+
+	of, err := FeaturesFrom(&or.Ctr)
+	if err != nil {
+		return err
+	}
+	nf, err := FeaturesFrom(&nr.Ctr)
+	if err != nil {
+		return err
+	}
+	// µops per instruction on each machine (fusion shrinks this).
+	oUPI := float64(or.Ctr.Uops) / float64(or.Ctr.Instructions)
+	nUPI := float64(nr.Ctr.Uops) / float64(nr.Ctr.Instructions)
+	oD := float64(oldModel.Machine.DispatchWidth)
+	nD := float64(newModel.Machine.DispatchWidth)
+
+	// Per-µop model stacks, converted to per-instruction.
+	oStack := oldModel.Stack(of)
+	nStack := newModel.Stack(nf)
+	perInstr := func(s sim.Stack, upi float64, comps ...sim.Component) float64 {
+		var v float64
+		for _, c := range comps {
+			v += s.Cycles[c]
+		}
+		return v * upi
+	}
+
+	// Base split: width effect first (at the old µop count), then fusion.
+	out.Overall.Width += oUPI*(1/nD) - oUPI*(1/oD)
+	out.Overall.Fusion += (nUPI - oUPI) * (1 / nD)
+	out.Overall.ICache += perInstr(nStack, nUPI, sim.CompICacheL2, sim.CompICacheL3, sim.CompICacheMem, sim.CompITLB) -
+		perInstr(oStack, oUPI, sim.CompICacheL2, sim.CompICacheL3, sim.CompICacheMem, sim.CompITLB)
+	out.Overall.Memory += perInstr(nStack, nUPI, sim.CompLLCLoad, sim.CompDTLB) -
+		perInstr(oStack, oUPI, sim.CompLLCLoad, sim.CompDTLB)
+	out.Overall.Branch += perInstr(nStack, nUPI, sim.CompBranch) -
+		perInstr(oStack, oUPI, sim.CompBranch)
+	out.Overall.Other += perInstr(nStack, nUPI, sim.CompResource) -
+		perInstr(oStack, oUPI, sim.CompResource)
+
+	// Branch factor decomposition, per instruction:
+	// branchCPI = mpi · (c_br + c_fe).
+	oMPI := float64(or.Ctr.BranchMispredicts) / float64(or.Ctr.Instructions)
+	nMPI := float64(nr.Ctr.BranchMispredicts) / float64(nr.Ctr.Instructions)
+	oCbr := oldModel.BranchResolution(of)
+	nCbr := newModel.BranchResolution(nf)
+	oCfe := float64(oldModel.Machine.FrontEndDepth)
+	nCfe := float64(newModel.Machine.FrontEndDepth)
+	out.Branch.Mispredictions += (nMPI - oMPI) * (oCbr + oCfe)
+	out.Branch.Resolution += nMPI * (nCbr - oCbr)
+	out.Branch.FrontEnd += nMPI * (nCfe - oCfe)
+
+	// LLC factor decomposition, per instruction:
+	// llcCPI = mpi_llc · c_mem / MLP.
+	oMiss := float64(or.Ctr.LLCDLoadMisses) / float64(or.Ctr.Instructions)
+	nMiss := float64(nr.Ctr.LLCDLoadMisses) / float64(nr.Ctr.Instructions)
+	oLat := float64(oldModel.Machine.MemLat)
+	nLat := float64(newModel.Machine.MemLat)
+	oMLP := oldModel.MLP(of)
+	nMLP := newModel.MLP(nf)
+	out.LLC.Misses += (nMiss - oMiss) * oLat / oMLP
+	out.LLC.Latency += nMiss * (nLat - oLat) / oMLP
+	out.LLC.MLP += nMiss * nLat * (1/nMLP - 1/oMLP)
+
+	out.OldCPI += or.Ctr.CPIPerInstr()
+	out.NewCPI += nr.Ctr.CPIPerInstr()
+	return nil
+}

@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/uarch"
+)
+
+// demoModel returns a model with hand-set parameters so the examples are
+// deterministic without running a fit.
+func demoModel() *core.Model {
+	return &core.Model{
+		Machine: uarch.CoreTwo().Params(),
+		P: core.Params{
+			B1: 1.2, B2: 0.5, B3: 1.0, B4: 20,
+			B5: 6, B6: 0.25, B7: 0.05,
+			B8: 0.08, B9: 1.5, B10: 30,
+		},
+	}
+}
+
+// ExampleModel_PredictCPI evaluates Equation 1 on a counter-derived
+// feature vector.
+func ExampleModel_PredictCPI() {
+	m := demoModel()
+	f := core.Features{
+		MpuL1I: 0.002, MpuLLCI: 0.0001, MpuITLB: 0.00005,
+		MpuBr: 0.004, MpuDL1: 0.01, MpuLLCD: 0.001, MpuDTLB: 0.0002,
+		FP: 0.1,
+	}
+	fmt.Printf("CPI = %.4f\n", m.PredictCPI(f))
+	// Output:
+	// CPI = 0.6125
+}
+
+// ExampleModel_Stack shows the paper's headline deliverable: a CPI stack
+// built from counters alone. Components sum to the predicted CPI.
+func ExampleModel_Stack() {
+	m := demoModel()
+	f := core.Features{MpuBr: 0.004, MpuLLCD: 0.001, MpuDL1: 0.01, MpuDTLB: 0.0002, FP: 0.1}
+	st := m.Stack(f)
+	fmt.Printf("base   %.4f\n", st.Cycles[sim.CompBase])
+	fmt.Printf("branch %.4f\n", st.Cycles[sim.CompBranch])
+	fmt.Printf("memory %.4f\n", st.Cycles[sim.CompLLCLoad])
+	fmt.Printf("total  %.4f (= PredictCPI %.4f)\n", st.Total(), m.PredictCPI(f))
+	// Output:
+	// base   0.2500
+	// branch 0.1277
+	// memory 0.1690
+	// total  0.5743 (= PredictCPI 0.5743)
+}
+
+// ExampleModel_BranchResolution evaluates Equation 2: the inferred
+// branch resolution time, capped at the instruction-window scale.
+func ExampleModel_BranchResolution() {
+	m := demoModel()
+	frequent := core.Features{MpuBr: 0.02} // interval 50 < window
+	rare := core.Features{MpuBr: 0.001}    // interval capped at 128
+	fmt.Printf("frequent mispredictions: %.2f cycles\n", m.BranchResolution(frequent))
+	fmt.Printf("rare mispredictions:     %.2f cycles\n", m.BranchResolution(rare))
+	// Output:
+	// frequent mispredictions: 8.49 cycles
+	// rare mispredictions:     13.58 cycles
+}
+
+// ExampleModel_MLP evaluates Equation 3: more outstanding misses mean
+// more memory-level parallelism, so a lower effective penalty per miss.
+func ExampleModel_MLP() {
+	m := demoModel()
+	few := core.Features{MpuLLCD: 0.0001, MpuDTLB: 0.0005}
+	many := core.Features{MpuLLCD: 0.01, MpuDTLB: 0.0005}
+	fmt.Printf("few misses:  MLP %.2f\n", m.MLP(few))
+	fmt.Printf("many misses: MLP %.2f\n", m.MLP(many))
+	// Output:
+	// few misses:  MLP 1.00
+	// many misses: MLP 1.30
+}

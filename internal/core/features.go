@@ -1,0 +1,123 @@
+// Package core implements the paper's primary contribution: the
+// mechanistic-empirical processor performance model of Equations (1)–(6),
+// its inference by non-linear regression on hardware performance
+// counters, CPI-stack construction, and CPI-delta stacks for comparing
+// machine generations.
+//
+// The model predicts per-µop CPI as
+//
+//	CPI = 1/D + mpµ_L1I·c_L2 [+ mpµ_L2I·c_L3] + mpµ_LLCI·c_mem
+//	    + mpµ_ITLB·c_TLB
+//	    + mpµ_br·(c_br + c_fe)
+//	    + mpµ_LLCD·c_mem/MLP + mpµ_DTLB·c_TLB/MLP
+//	    + cpi_stall                                  (Eq. 1, per µop)
+//
+// where c_br (Eq. 2), MLP (Eq. 3) and cpi_stall (Eqs. 4–6) are structured
+// sub-models with ten free parameters b1..b10 fitted by minimizing the
+// sum of relative squared errors of predicted vs. measured CPI.
+//
+// Note on Eq. 2: the paper prints max(128, 1/mpµ_br), but its own prose
+// ("we cap this factor … the dependence path to the branch is limited by
+// the size of the instruction window") requires a ceiling, so this
+// implementation uses min(128, 1/mpµ_br). With the printed max the factor
+// would grow without bound exactly in the case the text says it must not.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/perfctr"
+)
+
+// Features are the per-workload model inputs: per-µop miss-event rates
+// and the floating-point fraction, all derived from hardware performance
+// counters (Figure 1 of the paper). The same vector feeds the
+// mechanistic-empirical model, the linear-regression baseline, and the
+// ANN baseline ("the exact same input", Section 4).
+type Features struct {
+	MpuL1I  float64 // L1 I-cache misses per µop (satisfied in L2)
+	MpuL2I  float64 // L2 I-side misses per µop (satisfied in L3; 3-level machines)
+	MpuLLCI float64 // I-side trips to memory per µop
+	MpuITLB float64 // I-TLB misses per µop
+
+	MpuBr float64 // branch mispredictions per µop
+
+	MpuDL1  float64 // L1D load misses that hit in L2, per µop (Eq. 2/5 input)
+	MpuLLCD float64 // last-level-cache load misses per µop (Eq. 1/3 input)
+	MpuDTLB float64 // D-TLB misses per µop
+
+	FP float64 // floating-point fraction of committed µops
+}
+
+// FeaturesFrom derives the model inputs from a counter readout.
+//
+// The I-side per-level rates are exclusive: an instruction fetch that
+// misses all the way to memory is charged to MpuLLCI only, matching the
+// simulator's (and real hardware's) non-additive latencies.
+func FeaturesFrom(c *perfctr.Counters) (Features, error) {
+	if err := c.Validate(); err != nil {
+		return Features{}, err
+	}
+	n := float64(c.Uops)
+	l1iToL2 := float64(c.L1IMisses) - float64(c.L2IMisses)
+	if l1iToL2 < 0 {
+		return Features{}, fmt.Errorf("core: inconsistent I-side counters (L1I=%d < L2I=%d)",
+			c.L1IMisses, c.L2IMisses)
+	}
+	l2iToL3 := float64(c.L2IMisses) - float64(c.L3IMisses) - func() float64 {
+		// On 2-level machines L3IMisses is 0 and every L2 I-miss goes to
+		// memory; the exclusive L3 tier is then empty.
+		if c.L3IMisses == 0 && c.LLCIMisses == c.L2IMisses {
+			return float64(c.L2IMisses)
+		}
+		return 0
+	}()
+	if l2iToL3 < 0 {
+		l2iToL3 = 0
+	}
+	return Features{
+		MpuL1I:  l1iToL2 / n,
+		MpuL2I:  l2iToL3 / n,
+		MpuLLCI: float64(c.LLCIMisses) / n,
+		MpuITLB: float64(c.ITLBMisses) / n,
+		MpuBr:   float64(c.BranchMispredicts) / n,
+		MpuDL1:  float64(c.L1DLoadL2Hits) / n,
+		MpuLLCD: float64(c.LLCDLoadMisses) / n,
+		MpuDTLB: float64(c.DTLBMisses) / n,
+		FP:      float64(c.FPOps) / n,
+	}, nil
+}
+
+// Vector flattens the features for the empirical baselines (linear
+// regression and the ANN), in a fixed documented order.
+func (f Features) Vector() []float64 {
+	return []float64{
+		f.MpuL1I, f.MpuL2I, f.MpuLLCI, f.MpuITLB,
+		f.MpuBr, f.MpuDL1, f.MpuLLCD, f.MpuDTLB, f.FP,
+	}
+}
+
+// FeatureNames labels Vector's columns.
+func FeatureNames() []string {
+	return []string{
+		"mpu_l1i", "mpu_l2i", "mpu_llci", "mpu_itlb",
+		"mpu_br", "mpu_dl1", "mpu_llcd", "mpu_dtlb", "fp",
+	}
+}
+
+// Observation pairs a workload's features with its measured CPI — one
+// training/evaluation sample.
+type Observation struct {
+	Name        string
+	Feat        Features
+	MeasuredCPI float64
+}
+
+// ObservationFrom builds an Observation directly from counters.
+func ObservationFrom(name string, c *perfctr.Counters) (Observation, error) {
+	f, err := FeaturesFrom(c)
+	if err != nil {
+		return Observation{}, err
+	}
+	return Observation{Name: name, Feat: f, MeasuredCPI: c.CPI()}, nil
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/perfctr"
+	"repro/internal/sim"
+	"repro/internal/uarch"
+)
+
+func testMachineParams() uarch.ModelParams {
+	return uarch.CoreTwo().Params()
+}
+
+func testParams() Params {
+	return Params{
+		B1: 1.2, B2: 0.5, B3: 1.0, B4: 20,
+		B5: 6, B6: 0.25, B7: 0.05,
+		B8: 0.08, B9: 1.5, B10: 30,
+	}
+}
+
+func testFeatures() Features {
+	return Features{
+		MpuL1I: 0.002, MpuLLCI: 0.0001, MpuITLB: 0.00005,
+		MpuBr: 0.004, MpuDL1: 0.01, MpuLLCD: 0.001, MpuDTLB: 0.0002,
+		FP: 0.1,
+	}
+}
+
+func TestBranchResolutionEquationTwo(t *testing.T) {
+	m := &Model{Machine: testMachineParams(), P: testParams()}
+	f := testFeatures()
+	// interval = min(128, 1/0.004=250) = 128 → capped.
+	want := 1.2 * math.Pow(128, 0.5) * (1 + 1.0*0.1) * (1 + 20*0.01)
+	if got := m.BranchResolution(f); math.Abs(got-want) > 1e-9 {
+		t.Errorf("cbr = %v, want %v", got, want)
+	}
+	// Uncapped region: mpuBr = 0.02 → interval 50.
+	f.MpuBr = 0.02
+	want = 1.2 * math.Pow(50, 0.5) * 1.1 * 1.2
+	if got := m.BranchResolution(f); math.Abs(got-want) > 1e-9 {
+		t.Errorf("uncapped cbr = %v, want %v", got, want)
+	}
+}
+
+func TestWindowCapMonotone(t *testing.T) {
+	// Resolution time must not grow as mispredictions become rarer than
+	// one per window (the cap region).
+	m := &Model{Machine: testMachineParams(), P: testParams()}
+	f := testFeatures()
+	f.MpuBr = 1.0 / 200
+	rare := m.BranchResolution(f)
+	f.MpuBr = 1.0 / 128
+	atCap := m.BranchResolution(f)
+	if math.Abs(rare-atCap) > 1e-9 {
+		t.Errorf("cap should freeze the interval factor: %v vs %v", rare, atCap)
+	}
+}
+
+func TestMLPEquationThree(t *testing.T) {
+	m := &Model{Machine: testMachineParams(), P: testParams()}
+	f := testFeatures()
+	want := 6 * math.Pow(0.001+epsRate, 0.25) * math.Pow(0.0002+epsRate, 0.05)
+	if want < 1 {
+		want = 1
+	}
+	if got := m.MLP(f); math.Abs(got-want) > 1e-9 {
+		t.Errorf("MLP = %v, want %v", got, want)
+	}
+	// More misses → more MLP (power law with positive exponent).
+	f2 := f
+	f2.MpuLLCD = 0.01
+	if m.MLP(f2) <= m.MLP(f) {
+		t.Error("MLP should grow with the miss rate")
+	}
+	// Clamped at 1 from below.
+	f3 := f
+	f3.MpuLLCD = 0
+	f3.MpuDTLB = 0
+	if m.MLP(f3) < 1 {
+		t.Error("MLP must never drop below 1")
+	}
+}
+
+func TestResourceStallScaling(t *testing.T) {
+	m := &Model{Machine: testMachineParams(), P: testParams()}
+	// No miss events: the full c'stall applies.
+	quiet := Features{FP: 0.1, MpuDL1: 0.01}
+	full := m.P.B8 * (1 + m.P.B9*0.1) * (1 + m.P.B10*0.01)
+	if got := m.ResourceStall(quiet); math.Abs(got-full) > 1e-9 {
+		t.Errorf("quiet stall %v, want full %v", got, full)
+	}
+	// Heavy miss traffic shrinks the stall component (Eq. 4).
+	busy := testFeatures()
+	busy.MpuLLCD = 0.02
+	busy.MpuBr = 0.02
+	if m.ResourceStall(busy) >= full {
+		t.Error("miss-heavy workload should see a reduced stall component")
+	}
+	if m.ResourceStall(busy) < 0 {
+		t.Error("stall component must be non-negative")
+	}
+}
+
+func TestStackSumsToPrediction(t *testing.T) {
+	m := &Model{Machine: testMachineParams(), P: testParams()}
+	for _, f := range []Features{testFeatures(), {}, {MpuBr: 0.05, FP: 0.3}} {
+		s := m.Stack(f)
+		if d := math.Abs(s.Total() - m.PredictCPI(f)); d > 1e-9 {
+			t.Errorf("stack total %v vs prediction %v", s.Total(), m.PredictCPI(f))
+		}
+		if s.Cycles[sim.CompBase] != 0.25 {
+			t.Errorf("base %v, want 1/4", s.Cycles[sim.CompBase])
+		}
+	}
+}
+
+func TestThreeLevelMachineUsesL3Term(t *testing.T) {
+	m := &Model{Machine: uarch.CoreI7().Params(), P: testParams()}
+	f := testFeatures()
+	f.MpuL2I = 0.001
+	s := m.Stack(f)
+	if s.Cycles[sim.CompICacheL3] <= 0 {
+		t.Error("i7 model should have an L3 I-cache term")
+	}
+	m2 := &Model{Machine: testMachineParams(), P: testParams()}
+	if s2 := m2.Stack(f); s2.Cycles[sim.CompICacheL3] != 0 {
+		t.Error("2-level machine must have no L3 term")
+	}
+}
+
+func TestFeaturesFrom(t *testing.T) {
+	c := perfctr.Counters{
+		Cycles: 1000, Uops: 1000, Instructions: 700,
+		Branches: 120, BranchMispredicts: 4,
+		L1IMisses: 10, L2IMisses: 2, LLCIMisses: 2, ITLBMisses: 1,
+		L1DLoadMisses: 30, L1DLoadL2Hits: 25, LLCDLoadMisses: 3, DTLBMisses: 2,
+		FPOps: 100,
+	}
+	f, err := FeaturesFrom(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.MpuL1I-0.008) > 1e-12 { // (10-2)/1000 exclusive
+		t.Errorf("MpuL1I %v", f.MpuL1I)
+	}
+	// 2-level machine: L2I misses all go to memory → exclusive L3 tier 0.
+	if f.MpuL2I != 0 {
+		t.Errorf("MpuL2I %v, want 0 on 2-level counters", f.MpuL2I)
+	}
+	if math.Abs(f.MpuLLCI-0.002) > 1e-12 {
+		t.Errorf("MpuLLCI %v", f.MpuLLCI)
+	}
+	if math.Abs(f.MpuBr-0.004) > 1e-12 || math.Abs(f.FP-0.1) > 1e-12 {
+		t.Errorf("MpuBr %v FP %v", f.MpuBr, f.FP)
+	}
+	if math.Abs(f.MpuDL1-0.025) > 1e-12 {
+		t.Errorf("MpuDL1 %v", f.MpuDL1)
+	}
+	// Three-level counters keep an exclusive L3 tier.
+	c3 := c
+	c3.L2IMisses = 5
+	c3.L3IMisses = 2
+	c3.LLCIMisses = 2
+	f3, err := FeaturesFrom(&c3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f3.MpuL2I-0.003) > 1e-12 { // (5-2)/1000
+		t.Errorf("3-level MpuL2I %v", f3.MpuL2I)
+	}
+}
+
+func TestFeaturesFromErrors(t *testing.T) {
+	bad := perfctr.Counters{}
+	if _, err := FeaturesFrom(&bad); err == nil {
+		t.Error("expected error on empty counters")
+	}
+	inconsistent := perfctr.Counters{
+		Cycles: 10, Uops: 10, Instructions: 5,
+		L1IMisses: 1, L2IMisses: 5,
+	}
+	if _, err := FeaturesFrom(&inconsistent); err == nil {
+		t.Error("expected error on L2I > L1I")
+	}
+}
+
+func TestVectorAndNames(t *testing.T) {
+	f := testFeatures()
+	v := f.Vector()
+	if len(v) != len(FeatureNames()) {
+		t.Fatalf("vector len %d vs names %d", len(v), len(FeatureNames()))
+	}
+	if v[4] != f.MpuBr || v[8] != f.FP {
+		t.Error("vector order broken")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := &Model{Machine: testMachineParams(), P: testParams()}
+	s := m.String()
+	if !strings.Contains(s, "b1=") || !strings.Contains(s, "b10=") {
+		t.Errorf("model string missing parameters: %s", s)
+	}
+}
+
+func TestAblationsChangeBehaviour(t *testing.T) {
+	base := &Model{Machine: testMachineParams(), P: testParams()}
+	f := testFeatures()
+	f.MpuBr = 0.0001 // rare mispredictions: cap matters
+
+	noCap := *base
+	noCap.ablation.noWindowCap = true
+	if noCap.BranchResolution(f) <= base.BranchResolution(f) {
+		t.Error("removing the window cap should inflate resolution time for rare branches")
+	}
+
+	add := *base
+	add.ablation.additiveBranch = true
+	if add.BranchResolution(f) == base.BranchResolution(f) {
+		t.Error("additive branch model should differ")
+	}
+
+	constMLP := *base
+	constMLP.ablation.constantMLP = true
+	if constMLP.MLP(f) != 6 {
+		t.Errorf("constant MLP should be b5, got %v", constMLP.MLP(f))
+	}
+
+	unscaled := *base
+	unscaled.ablation.unscaledStall = true
+	busy := testFeatures()
+	busy.MpuLLCD = 0.05
+	if unscaled.ResourceStall(busy) <= base.ResourceStall(busy) {
+		t.Error("unscaled stall should exceed the miss-scaled one on busy workloads")
+	}
+}

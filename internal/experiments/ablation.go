@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+// AblationResult quantifies one structural choice of the model: the
+// cross-validated accuracy with the choice intact vs. removed. The
+// paper's Section 3 argues for each of these choices qualitatively; the
+// ablations measure them.
+type AblationResult struct {
+	Name         string
+	Machine      string
+	FullCVErr    float64 // cross-validated MARE, full model
+	AblatedCVErr float64 // cross-validated MARE, ablated model
+}
+
+// Ablations fits ablated model variants on cpu2000 and evaluates on
+// cpu2006 (the harder transfer direction) for the given machine.
+func (l *Lab) Ablations(machine string) ([]AblationResult, string, error) {
+	trainObs, err := l.Observations(machine, "cpu2000")
+	if err != nil {
+		return nil, "", err
+	}
+	evalObs, err := l.Observations(machine, "cpu2006")
+	if err != nil {
+		return nil, "", err
+	}
+	mc, err := uarch.ByName(machine)
+	if err != nil {
+		return nil, "", err
+	}
+	meas := make([]float64, len(evalObs))
+	for i, o := range evalObs {
+		meas[i] = o.MeasuredCPI
+	}
+
+	cvErr := func(opts core.FitOptions) (float64, error) {
+		opts.Starts = l.opts.FitStarts
+		opts.Seed = l.opts.Seed
+		m, err := core.Fit(mc.Params(), trainObs, opts)
+		if err != nil {
+			return 0, err
+		}
+		return stats.MARE(m.PredictAll(evalObs), meas), nil
+	}
+
+	full, err := cvErr(core.FitOptions{})
+	if err != nil {
+		return nil, "", err
+	}
+	variants := []struct {
+		name string
+		opts core.FitOptions
+	}{
+		{"additive-branch (Eq.2 multiplicative→additive)", core.FitOptions{AdditiveBranch: true}},
+		{"constant-MLP (Eq.3 power law→constant)", core.FitOptions{ConstantMLP: true}},
+		{"unscaled-stall (Eq.4 without miss scaling)", core.FitOptions{UnscaledStall: true}},
+		{"no-window-cap (Eq.2 without min(128,·))", core.FitOptions{NoWindowCap: true}},
+	}
+	var out []AblationResult
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablations on %s (train cpu2000, evaluate cpu2006):\n", machine)
+	fmt.Fprintf(&b, "  %-48s %10s %10s\n", "variant", "full", "ablated")
+	for _, v := range variants {
+		e, err := cvErr(v.opts)
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, AblationResult{Name: v.name, Machine: machine, FullCVErr: full, AblatedCVErr: e})
+		fmt.Fprintf(&b, "  %-48s %9.1f%% %9.1f%%\n", v.name, 100*full, 100*e)
+	}
+	return out, b.String(), nil
+}

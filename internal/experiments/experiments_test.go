@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// sharedLab is simulated once and reused across tests (read-mostly; the
+// model cache is filled on demand but deterministic).
+var sharedLab *Lab
+
+func lab(t *testing.T) *Lab {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	if sharedLab == nil {
+		l := NewLab(Options{NumOps: 60000, FitStarts: 6})
+		if err := l.Simulate(); err != nil {
+			t.Fatal(err)
+		}
+		sharedLab = l
+	}
+	return sharedLab
+}
+
+func TestSimulatePopulatesAllRuns(t *testing.T) {
+	l := lab(t)
+	for _, m := range l.Machines() {
+		for _, sname := range l.SuiteNames() {
+			s, _ := l.Suite(sname)
+			for _, w := range s.Workloads {
+				r, err := l.Run(m.Name, sname, w.Name)
+				if err != nil {
+					t.Fatalf("%s/%s on %s: %v", sname, w.Name, m.Name, err)
+				}
+				if r.Counters.Uops == 0 {
+					t.Fatalf("empty run for %s on %s", w.Name, m.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestRunBeforeSimulateErrors(t *testing.T) {
+	l := NewLab(Options{NumOps: 1000})
+	if _, err := l.Run("core2", "cpu2000", "gzip.1"); err == nil {
+		t.Error("expected error before Simulate")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	l := NewLab(Options{})
+	out := l.Table1()
+	for _, want := range []string{"pentium4", "core2", "corei7", "8MB", "4MB", "tournament"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	l := NewLab(Options{})
+	rows, text, err := l.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 machines, got %d", len(rows))
+	}
+	for _, r := range rows {
+		// Calibrated values should be close to configured (Table 2).
+		if d := r.Measured.MemLat - r.Configured.MemLat; d < -5 || d > 5 {
+			t.Errorf("%s: calibrated mem %d vs configured %d", r.Machine,
+				r.Measured.MemLat, r.Configured.MemLat)
+		}
+	}
+	if !strings.Contains(text, "313") {
+		t.Error("Table 2 text missing P4 memory latency")
+	}
+}
+
+func TestFig2AccuracyMatchesPaperShape(t *testing.T) {
+	l := lab(t)
+	panels, text, err := l.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 6 {
+		t.Fatalf("want 6 panels (2 suites × 3 machines), got %d", len(panels))
+	}
+	for _, p := range panels {
+		// Paper: ~10% average error; allow headroom for the short runs.
+		if p.MARE > 0.20 {
+			t.Errorf("%s/%s: avg error %.1f%%, want < 20%%", p.Suite, p.Machine, 100*p.MARE)
+		}
+		// Paper: 90% of benchmarks below 20% error; require most below.
+		if p.FracBelow20 < 0.70 {
+			t.Errorf("%s/%s: only %.0f%% of benchmarks below 20%% error",
+				p.Suite, p.Machine, 100*p.FracBelow20)
+		}
+		if len(p.Points) < 48 {
+			t.Errorf("%s/%s: %d points", p.Suite, p.Machine, len(p.Points))
+		}
+	}
+	if !strings.Contains(text, "bisector") {
+		t.Error("Fig2 text missing scatter plots")
+	}
+}
+
+func TestFig3TransferStaysClose(t *testing.T) {
+	l := lab(t)
+	results, text, err := l.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("want 3 machines, got %d", len(results))
+	}
+	for _, r := range results {
+		// The paper's robustness claim: the transferred model is only
+		// slightly worse. Allow up to 2× + 6 points of degradation.
+		if r.TransferMARE > 2*r.InSuiteMARE+0.06 {
+			t.Errorf("%s: transfer MARE %.1f%% vs in-suite %.1f%% — model not robust",
+				r.Machine, 100*r.TransferMARE, 100*r.InSuiteMARE)
+		}
+	}
+	if !strings.Contains(text, "cpu2000 model") {
+		t.Error("Fig3 text missing curves")
+	}
+}
+
+func TestFig4CrossValidationFavorsMechanistic(t *testing.T) {
+	l := lab(t)
+	cells, text, err := l.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12 {
+		t.Fatalf("want 12 cells, got %d", len(cells))
+	}
+	var cvME, cvEmp []float64
+	for _, c := range cells {
+		if c.TrainSuite != c.EvalSuite {
+			cvME = append(cvME, c.Mechanistic)
+			worstEmp := c.Linear
+			if c.ANN > worstEmp {
+				worstEmp = c.ANN
+			}
+			cvEmp = append(cvEmp, worstEmp)
+		}
+	}
+	// Paper: under cross-validation the ME model clearly beats the
+	// empirical ones on average (they overfit).
+	var meSum, empSum float64
+	for i := range cvME {
+		meSum += cvME[i]
+		empSum += cvEmp[i]
+	}
+	if meSum >= empSum {
+		t.Errorf("cross-validated ME error sum %.3f should beat worst-empirical %.3f",
+			meSum, empSum)
+	}
+	if !strings.Contains(text, "cross-validation") {
+		t.Error("Fig4 text missing panels")
+	}
+}
+
+func TestFig5ComponentErrors(t *testing.T) {
+	l := lab(t)
+	res, text, err := l.Fig5("core2", "cpu2006")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples[sim.CompBase] == 0 {
+		t.Fatal("base component should always be significant")
+	}
+	// Base is exact by construction (both are 1/D).
+	if res.MAREByComp[sim.CompBase] > 0.01 {
+		t.Errorf("base component error %.2f%%, want ~0", 100*res.MAREByComp[sim.CompBase])
+	}
+	if res.Samples[sim.CompLLCLoad] == 0 {
+		t.Error("expected significant LLC-load components in cpu2006")
+	}
+	if !strings.Contains(text, "component") {
+		t.Error("Fig5 text missing table")
+	}
+}
+
+func TestFig6DeltaStacksShape(t *testing.T) {
+	l := lab(t)
+	deltas, text, err := l.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 4 {
+		t.Fatalf("want 4 delta sets, got %d", len(deltas))
+	}
+	for key, d := range deltas {
+		// The newer machine should win overall on both steps (the paper's
+		// top-row deltas are net negative).
+		if d.NewCPI >= d.OldCPI && strings.Contains(key, "pentium4") {
+			t.Errorf("%s: new CPI %.3f not better than old %.3f", key, d.NewCPI, d.OldCPI)
+		}
+	}
+	// Core2-over-P4: wider dispatch and fusion must contribute
+	// improvements (negative deltas) on both suites.
+	for _, suite := range []string{"cpu2000", "cpu2006"} {
+		d := deltas[suite+":pentium4->core2"]
+		if d == nil {
+			t.Fatalf("missing pentium4->core2 delta for %s", suite)
+		}
+		if d.Overall.Width >= 0 {
+			t.Errorf("%s: width delta %.4f should be negative (3→4 wide)", suite, d.Overall.Width)
+		}
+		if d.Overall.Fusion >= 0 {
+			t.Errorf("%s: fusion delta %.4f should be negative (fusion added)", suite, d.Overall.Fusion)
+		}
+		if d.Overall.Branch >= 0 {
+			t.Errorf("%s: branch delta %.4f should be negative (14 vs 31 deep)", suite, d.Overall.Branch)
+		}
+	}
+	if !strings.Contains(text, "µop fusion") {
+		t.Error("Fig6 text missing decomposition")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	l := lab(t)
+	res, text, err := l.Ablations("core2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("want 4 ablations, got %d", len(res))
+	}
+	for _, r := range res {
+		if r.FullCVErr <= 0 || r.AblatedCVErr <= 0 {
+			t.Errorf("%s: degenerate errors %v/%v", r.Name, r.FullCVErr, r.AblatedCVErr)
+		}
+	}
+	if !strings.Contains(text, "variant") {
+		t.Error("ablation text missing table")
+	}
+}
+
+func TestSuiteTagRoundTrip(t *testing.T) {
+	s, _ := NewLab(Options{}).Suite("cpu2000")
+	w := s.Workloads[0]
+	tagged := withSuiteTag(w, "cpu2000")
+	if tagged.Name != w.Name+"@cpu2000" {
+		t.Errorf("tag: %s", tagged.Name)
+	}
+	if got := stripSuiteTag(tagged); got.Name != w.Name {
+		t.Errorf("strip: %s", got.Name)
+	}
+}

@@ -1,0 +1,263 @@
+// Package experiments orchestrates the paper's full evaluation: it runs
+// the two benchmark suites on the three simulated machines, fits
+// mechanistic-empirical models (plus the linear-regression and ANN
+// baselines), and regenerates every table and figure of the paper as
+// structured data with ASCII renderings. cmd/experiments and the
+// top-level benchmarks are thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/suites"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// Options configures a Lab.
+type Options struct {
+	// NumOps per workload (default 300000; benchmarks shrink this).
+	NumOps int
+	// FitStarts is the multi-start count for model fitting (default 12).
+	FitStarts int
+	// Seed drives fitting restarts (default 1).
+	Seed uint64
+	// Workers bounds simulation parallelism (default NumCPU).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumOps <= 0 {
+		o.NumOps = 300000
+	}
+	if o.FitStarts <= 0 {
+		o.FitStarts = 12
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	return o
+}
+
+// runKey identifies one (machine, workload) simulation.
+type runKey struct {
+	machine  string
+	workload string
+}
+
+// Lab owns the machines, suites, simulation results, and fitted models.
+// Construct with NewLab, populate with Simulate, then call the Table*/
+// Fig* methods in any order. Not safe for concurrent method calls.
+type Lab struct {
+	opts     Options
+	machines []*uarch.Machine
+	suiteSet map[string]suites.Suite
+	runs     map[runKey]*sim.Result
+	models   map[string]*core.Model // key: machine + "/" + suite
+}
+
+// NewLab builds a lab with the paper's three machines and two suites.
+func NewLab(opts Options) *Lab {
+	opts = opts.withDefaults()
+	return &Lab{
+		opts:     opts,
+		machines: uarch.StockMachines(),
+		suiteSet: map[string]suites.Suite{
+			"cpu2000": suites.CPU2000Like(suites.Options{NumOps: opts.NumOps}),
+			"cpu2006": suites.CPU2006Like(suites.Options{NumOps: opts.NumOps}),
+		},
+		runs:   map[runKey]*sim.Result{},
+		models: map[string]*core.Model{},
+	}
+}
+
+// Machines returns the lab's machines in generation order.
+func (l *Lab) Machines() []*uarch.Machine { return l.machines }
+
+// SuiteNames returns the suite names in a fixed order.
+func (l *Lab) SuiteNames() []string { return []string{"cpu2000", "cpu2006"} }
+
+// Suite returns a suite by name.
+func (l *Lab) Suite(name string) (suites.Suite, bool) {
+	s, ok := l.suiteSet[name]
+	return s, ok
+}
+
+// Simulate runs every workload of both suites on every machine. It is
+// idempotent: already-computed runs are kept. Simulations are spread
+// across a worker pool; results are deterministic regardless of
+// scheduling because every run is independent and seeded.
+func (l *Lab) Simulate() error {
+	type job struct {
+		m *uarch.Machine
+		w trace.Spec
+	}
+	var jobs []job
+	for _, m := range l.machines {
+		for _, sname := range l.SuiteNames() {
+			for _, w := range l.suiteSet[sname].Workloads {
+				if _, done := l.runs[runKey{m.Name, w.Name + "@" + sname}]; !done {
+					jobs = append(jobs, job{m, withSuiteTag(w, sname)})
+				}
+			}
+		}
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	ch := make(chan job)
+	for i := 0; i < l.opts.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One simulator per machine per worker, lazily built.
+			sims := map[string]*sim.Simulator{}
+			for j := range ch {
+				s, ok := sims[j.m.Name]
+				if !ok {
+					var err error
+					s, err = sim.New(j.m)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						continue
+					}
+					sims[j.m.Name] = s
+				}
+				res, err := s.Run(trace.New(stripSuiteTag(j.w)))
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("experiments: %s on %s: %w", j.w.Name, j.m.Name, err)
+					}
+				} else {
+					l.runs[runKey{j.m.Name, j.w.Name}] = res
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}
+
+// withSuiteTag/stripSuiteTag disambiguate workloads that exist in both
+// suites (e.g. bzip2 variants) without altering the generated stream.
+func withSuiteTag(w trace.Spec, suite string) trace.Spec {
+	w.Name = w.Name + "@" + suite
+	return w
+}
+
+func stripSuiteTag(w trace.Spec) trace.Spec {
+	for i := len(w.Name) - 1; i >= 0; i-- {
+		if w.Name[i] == '@' {
+			w.Name = w.Name[:i]
+			break
+		}
+	}
+	return w
+}
+
+// Run returns the cached simulation of workload w (of the named suite)
+// on machine m.
+func (l *Lab) Run(machine, suite, workload string) (*sim.Result, error) {
+	r, ok := l.runs[runKey{machine, workload + "@" + suite}]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no run for %s/%s on %s (call Simulate first)",
+			suite, workload, machine)
+	}
+	return r, nil
+}
+
+// Observations converts a (machine, suite) run set into model
+// observations, sorted by workload name for determinism.
+func (l *Lab) Observations(machine, suite string) ([]core.Observation, error) {
+	s, ok := l.suiteSet[suite]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown suite %q", suite)
+	}
+	obs := make([]core.Observation, 0, len(s.Workloads))
+	for _, w := range s.Workloads {
+		r, err := l.Run(machine, suite, w.Name)
+		if err != nil {
+			return nil, err
+		}
+		o, err := core.ObservationFrom(w.Name, &r.Counters)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s/%s on %s: %w", suite, w.Name, machine, err)
+		}
+		obs = append(obs, o)
+	}
+	sort.Slice(obs, func(i, j int) bool { return obs[i].Name < obs[j].Name })
+	return obs, nil
+}
+
+// MachineRuns packages a (machine, suite) run set for delta stacks.
+func (l *Lab) MachineRuns(machine, suite string) ([]core.MachineRun, error) {
+	s, ok := l.suiteSet[suite]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown suite %q", suite)
+	}
+	runs := make([]core.MachineRun, 0, len(s.Workloads))
+	for _, w := range s.Workloads {
+		r, err := l.Run(machine, suite, w.Name)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, core.MachineRun{Name: w.Name, Ctr: r.Counters})
+	}
+	return runs, nil
+}
+
+// ResetModels drops all cached fitted models (simulation results are
+// kept). Benchmarks use this so every iteration re-runs the regression.
+func (l *Lab) ResetModels() {
+	l.models = map[string]*core.Model{}
+}
+
+// Model fits (or returns the cached) mechanistic-empirical model for the
+// (machine, suite) pair — e.g. the paper's "CPU2006 model" for Core i7.
+func (l *Lab) Model(machine, suite string) (*core.Model, error) {
+	key := machine + "/" + suite
+	if m, ok := l.models[key]; ok {
+		return m, nil
+	}
+	obs, err := l.Observations(machine, suite)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := uarch.ByName(machine)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.Fit(mc.Params(), obs, core.FitOptions{
+		Starts: l.opts.FitStarts,
+		Seed:   l.opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	l.models[key] = m
+	return m, nil
+}

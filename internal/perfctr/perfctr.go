@@ -1,0 +1,120 @@
+// Package perfctr defines the hardware-performance-counter interface of
+// the simulated machines — the exact counter list Section 4 of the paper
+// collects with perfex/perfmon on real hardware: cycles, committed µops
+// and macro-instructions, branch mispredictions, cache misses per level
+// and side, TLB misses, and floating-point operation counts.
+//
+// The mechanistic-empirical model consumes only these counters plus the
+// Table 2 machine parameters; it never sees simulator internals. That
+// boundary is what makes the reproduction faithful: the model must infer
+// branch resolution time, MLP and resource stalls from the same limited
+// information it would have on real silicon.
+package perfctr
+
+import "fmt"
+
+// Counters is one workload's counter readout on one machine.
+type Counters struct {
+	Cycles       uint64 // total execution cycles
+	Uops         uint64 // committed micro-operations (after fusion) — the model's N
+	Instructions uint64 // committed macro-instructions
+
+	BranchMispredicts uint64
+	Branches          uint64 // committed conditional branches
+
+	L1IMisses      uint64 // L1 I-cache misses (satisfied anywhere below)
+	L2IMisses      uint64 // I-side misses at L2 (go to L3 or memory)
+	L3IMisses      uint64 // I-side misses at L3 (3-level machines only)
+	LLCIMisses     uint64 // I-side trips to main memory
+	ITLBMisses     uint64
+	L1DLoadMisses  uint64 // load misses in L1D
+	L1DLoadL2Hits  uint64 // load misses in L1D that hit in L2 (model's mpµ_DL1)
+	LLCDLoadMisses uint64 // D-side load trips to main memory (model's m_L2D$)
+	DTLBMisses     uint64
+
+	FPOps uint64 // committed floating-point µops
+}
+
+// Validate sanity-checks counter consistency.
+func (c *Counters) Validate() error {
+	if c.Cycles == 0 || c.Uops == 0 {
+		return fmt.Errorf("perfctr: empty measurement (cycles=%d uops=%d)", c.Cycles, c.Uops)
+	}
+	if c.Instructions == 0 {
+		return fmt.Errorf("perfctr: no instructions committed")
+	}
+	if c.BranchMispredicts > c.Branches {
+		return fmt.Errorf("perfctr: more mispredictions (%d) than branches (%d)",
+			c.BranchMispredicts, c.Branches)
+	}
+	if c.L1DLoadL2Hits > c.L1DLoadMisses {
+		return fmt.Errorf("perfctr: more L2 load hits (%d) than L1 load misses (%d)",
+			c.L1DLoadL2Hits, c.L1DLoadMisses)
+	}
+	if c.LLCDLoadMisses > c.L1DLoadMisses {
+		return fmt.Errorf("perfctr: more LLC load misses (%d) than L1 load misses (%d)",
+			c.LLCDLoadMisses, c.L1DLoadMisses)
+	}
+	return nil
+}
+
+// CPI returns measured cycles per µop — the model's target value.
+func (c *Counters) CPI() float64 {
+	if c.Uops == 0 {
+		return 0
+	}
+	return float64(c.Cycles) / float64(c.Uops)
+}
+
+// CPIPerInstr returns cycles per macro-instruction (used by the
+// cross-machine delta stacks, where µop counts differ due to fusion).
+func (c *Counters) CPIPerInstr() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.Cycles) / float64(c.Instructions)
+}
+
+// PerUop returns v normalized per committed µop (the model's "per
+// micro-operation" rates such as mpµ_br).
+func (c *Counters) PerUop(v uint64) float64 {
+	if c.Uops == 0 {
+		return 0
+	}
+	return float64(v) / float64(c.Uops)
+}
+
+// MPKI returns v per thousand macro-instructions (the unit the paper uses
+// when discussing branch predictor quality across machines).
+func (c *Counters) MPKI(v uint64) float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(v) / float64(c.Instructions)
+}
+
+// Add accumulates other into c (for aggregating suite totals).
+func (c *Counters) Add(other *Counters) {
+	c.Cycles += other.Cycles
+	c.Uops += other.Uops
+	c.Instructions += other.Instructions
+	c.BranchMispredicts += other.BranchMispredicts
+	c.Branches += other.Branches
+	c.L1IMisses += other.L1IMisses
+	c.L2IMisses += other.L2IMisses
+	c.L3IMisses += other.L3IMisses
+	c.LLCIMisses += other.LLCIMisses
+	c.ITLBMisses += other.ITLBMisses
+	c.L1DLoadMisses += other.L1DLoadMisses
+	c.L1DLoadL2Hits += other.L1DLoadL2Hits
+	c.LLCDLoadMisses += other.LLCDLoadMisses
+	c.DTLBMisses += other.DTLBMisses
+	c.FPOps += other.FPOps
+}
+
+// String renders the counters on one line for logs.
+func (c *Counters) String() string {
+	return fmt.Sprintf("cycles=%d uops=%d instr=%d CPI=%.3f brMiss=%d L1I=%d LLCI=%d ITLB=%d L1DLd=%d LLCDLd=%d DTLB=%d fp=%d",
+		c.Cycles, c.Uops, c.Instructions, c.CPI(), c.BranchMispredicts, c.L1IMisses,
+		c.LLCIMisses, c.ITLBMisses, c.L1DLoadMisses, c.LLCDLoadMisses, c.DTLBMisses, c.FPOps)
+}

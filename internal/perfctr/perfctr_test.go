@@ -1,0 +1,85 @@
+package perfctr
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() Counters {
+	return Counters{
+		Cycles: 2000, Uops: 1000, Instructions: 800,
+		Branches: 100, BranchMispredicts: 5,
+		L1IMisses: 20, L2IMisses: 4, L3IMisses: 1, LLCIMisses: 1, ITLBMisses: 2,
+		L1DLoadMisses: 50, L1DLoadL2Hits: 40, LLCDLoadMisses: 6, DTLBMisses: 3,
+		FPOps: 150,
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	c := sample()
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesInconsistencies(t *testing.T) {
+	breakers := []func(*Counters){
+		func(c *Counters) { c.Cycles = 0 },
+		func(c *Counters) { c.Uops = 0 },
+		func(c *Counters) { c.Instructions = 0 },
+		func(c *Counters) { c.BranchMispredicts = c.Branches + 1 },
+		func(c *Counters) { c.L1DLoadL2Hits = c.L1DLoadMisses + 1 },
+		func(c *Counters) { c.LLCDLoadMisses = c.L1DLoadMisses + 1 },
+	}
+	for i, b := range breakers {
+		c := sample()
+		b(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("breaker %d: expected validation error", i)
+		}
+	}
+}
+
+func TestRatios(t *testing.T) {
+	c := sample()
+	if got := c.CPI(); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("CPI %v", got)
+	}
+	if got := c.CPIPerInstr(); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("CPI/instr %v", got)
+	}
+	if got := c.PerUop(c.BranchMispredicts); math.Abs(got-0.005) > 1e-12 {
+		t.Errorf("PerUop %v", got)
+	}
+	if got := c.MPKI(c.BranchMispredicts); math.Abs(got-6.25) > 1e-12 {
+		t.Errorf("MPKI %v", got)
+	}
+	var zero Counters
+	if zero.CPI() != 0 || zero.CPIPerInstr() != 0 || zero.PerUop(5) != 0 || zero.MPKI(5) != 0 {
+		t.Error("zero counters should yield zero ratios, not NaN")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := sample()
+	b := sample()
+	a.Add(&b)
+	if a.Cycles != 4000 || a.Uops != 2000 || a.FPOps != 300 || a.DTLBMisses != 6 {
+		t.Errorf("Add result wrong: %+v", a)
+	}
+	// Original b untouched.
+	if b.Cycles != 2000 {
+		t.Error("Add modified its argument")
+	}
+}
+
+func TestString(t *testing.T) {
+	c := sample()
+	s := c.String()
+	for _, want := range []string{"cycles=2000", "CPI=2.000", "brMiss=5", "fp=150"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q: %s", want, s)
+		}
+	}
+}

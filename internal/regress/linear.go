@@ -1,0 +1,277 @@
+// Package regress implements the regression machinery the paper delegates
+// to SPSS: non-linear least-squares minimization of the sum of relative
+// squared errors (Nelder–Mead simplex with deterministic multi-start,
+// optionally polished with Levenberg–Marquardt), plus an ordinary
+// least-squares linear regression baseline built on a Householder QR
+// decomposition. Everything is dependency-free and deterministic.
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system is (numerically) singular.
+var ErrSingular = errors.New("regress: singular system")
+
+// Linear is a fitted linear model y = w·x + b.
+type Linear struct {
+	Weights   []float64 // one per feature
+	Intercept float64
+}
+
+// Predict evaluates the linear model on a feature vector.
+func (l *Linear) Predict(x []float64) float64 {
+	if len(x) != len(l.Weights) {
+		panic(fmt.Sprintf("regress: Linear.Predict got %d features, model has %d", len(x), len(l.Weights)))
+	}
+	y := l.Intercept
+	for i, w := range l.Weights {
+		y += w * x[i]
+	}
+	return y
+}
+
+// PredictAll evaluates the model on each row of X.
+func (l *Linear) PredictAll(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = l.Predict(x)
+	}
+	return out
+}
+
+// FitLinear fits y ≈ Xw + b by ordinary least squares using a Householder
+// QR decomposition of the design matrix augmented with an intercept
+// column. X is row-major: X[i] is the feature vector of sample i.
+//
+// When the system is rank deficient (e.g., collinear features or fewer
+// samples than features), a small ridge term is applied to keep the fit
+// well-defined; this mirrors what statistical packages do silently.
+func FitLinear(X [][]float64, y []float64) (*Linear, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("regress: FitLinear needs matching non-empty X (%d) and y (%d)", n, len(y))
+	}
+	p := len(X[0])
+	for i, row := range X {
+		if len(row) != p {
+			return nil, fmt.Errorf("regress: FitLinear row %d has %d features, want %d", i, len(row), p)
+		}
+	}
+	cols := p + 1 // + intercept
+	// Build augmented design matrix A (n×cols), column cols-1 is all ones.
+	A := make([][]float64, n)
+	for i := range A {
+		A[i] = make([]float64, cols)
+		copy(A[i], X[i])
+		A[i][cols-1] = 1
+	}
+	b := append([]float64(nil), y...)
+	w, err := SolveQR(A, b)
+	if errors.Is(err, ErrSingular) {
+		w, err = solveRidge(X, y, 1e-8)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Linear{Weights: w[:p], Intercept: w[p]}, nil
+}
+
+// FitLinearRelative fits y ≈ Xw + b minimizing the sum of *relative*
+// squared errors Σ(ŷ−y)²/y — the same Tofallis objective the paper uses
+// for the mechanistic-empirical fit, so the linear baseline competes on
+// equal terms. Targets must be positive. Implemented as weighted least
+// squares: each row is scaled by 1/√yᵢ.
+func FitLinearRelative(X [][]float64, y []float64) (*Linear, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("regress: FitLinearRelative needs matching non-empty X (%d) and y (%d)", n, len(y))
+	}
+	p := len(X[0])
+	A := make([][]float64, n)
+	b := make([]float64, n)
+	for i, row := range X {
+		if len(row) != p {
+			return nil, fmt.Errorf("regress: FitLinearRelative ragged matrix at row %d", i)
+		}
+		if y[i] <= 0 {
+			return nil, fmt.Errorf("regress: FitLinearRelative needs positive targets (row %d has %v)", i, y[i])
+		}
+		w := 1 / math.Sqrt(y[i])
+		A[i] = make([]float64, p+1)
+		for j, v := range row {
+			A[i][j] = v * w
+		}
+		A[i][p] = w // intercept column, scaled
+		b[i] = y[i] * w
+	}
+	coef, err := SolveQR(A, b)
+	if errors.Is(err, ErrSingular) {
+		// Rank-deficient: fall back to the unweighted ridge solution.
+		return FitLinear(X, y)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Linear{Weights: coef[:p], Intercept: coef[p]}, nil
+}
+
+// SolveQR solves the least-squares problem min ||Ax - b||₂ via Householder
+// QR. A is row-major n×m with n >= m. A and b are modified in place.
+func SolveQR(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	if n == 0 {
+		return nil, errors.New("regress: SolveQR on empty matrix")
+	}
+	m := len(A[0])
+	if n < m {
+		return nil, fmt.Errorf("regress: SolveQR underdetermined system %dx%d", n, m)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("regress: SolveQR rhs length %d, want %d", len(b), n)
+	}
+	// Householder triangularization, applying reflectors to b as we go.
+	v := make([]float64, n)
+	for k := 0; k < m; k++ {
+		// Compute the norm of column k below the diagonal.
+		var norm float64
+		for i := k; i < n; i++ {
+			norm += A[i][k] * A[i][k]
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-13 {
+			return nil, ErrSingular
+		}
+		alpha := -norm
+		if A[k][k] < 0 {
+			alpha = norm
+		}
+		// v = x - alpha*e1
+		var vnorm2 float64
+		for i := k; i < n; i++ {
+			v[i] = A[i][k]
+			if i == k {
+				v[i] -= alpha
+			}
+			vnorm2 += v[i] * v[i]
+		}
+		if vnorm2 < 1e-300 {
+			continue // column already triangular
+		}
+		// Apply H = I - 2vvᵀ/(vᵀv) to remaining columns of A and to b.
+		for j := k; j < m; j++ {
+			var dot float64
+			for i := k; i < n; i++ {
+				dot += v[i] * A[i][j]
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < n; i++ {
+				A[i][j] -= f * v[i]
+			}
+		}
+		var dot float64
+		for i := k; i < n; i++ {
+			dot += v[i] * b[i]
+		}
+		f := 2 * dot / vnorm2
+		for i := k; i < n; i++ {
+			b[i] -= f * v[i]
+		}
+	}
+	// Back substitution on the upper-triangular R (stored in A[:m][:m]).
+	x := make([]float64, m)
+	for i := m - 1; i >= 0; i-- {
+		if math.Abs(A[i][i]) < 1e-13 {
+			return nil, ErrSingular
+		}
+		s := b[i]
+		for j := i + 1; j < m; j++ {
+			s -= A[i][j] * x[j]
+		}
+		x[i] = s / A[i][i]
+	}
+	return x, nil
+}
+
+// solveRidge solves (XᵀX + λI)w = Xᵀy with an intercept column, used as a
+// fallback for rank-deficient systems. Returns p+1 coefficients with the
+// intercept last.
+func solveRidge(X [][]float64, y []float64, lambda float64) ([]float64, error) {
+	n := len(X)
+	p := len(X[0])
+	cols := p + 1
+	// Normal equations with augmented intercept column.
+	ata := make([][]float64, cols)
+	for i := range ata {
+		ata[i] = make([]float64, cols)
+	}
+	aty := make([]float64, cols)
+	col := func(row []float64, j int) float64 {
+		if j == p {
+			return 1
+		}
+		return row[j]
+	}
+	for r := 0; r < n; r++ {
+		for i := 0; i < cols; i++ {
+			ci := col(X[r], i)
+			aty[i] += ci * y[r]
+			for j := i; j < cols; j++ {
+				ata[i][j] += ci * col(X[r], j)
+			}
+		}
+	}
+	for i := 0; i < cols; i++ {
+		ata[i][i] += lambda
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+	}
+	return SolveCholesky(ata, aty)
+}
+
+// SolveCholesky solves the symmetric positive-definite system Ax = b via
+// Cholesky decomposition. A is modified in place.
+func SolveCholesky(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("regress: SolveCholesky dimension mismatch")
+	}
+	// Decompose A = LLᵀ in place (lower triangle).
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := A[i][j]
+			for k := 0; k < j; k++ {
+				s -= A[i][k] * A[j][k]
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrSingular
+				}
+				A[i][i] = math.Sqrt(s)
+			} else {
+				A[i][j] = s / A[j][j]
+			}
+		}
+	}
+	// Forward substitution Ly = b.
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= A[i][k] * x[k]
+		}
+		x[i] = s / A[i][i]
+	}
+	// Back substitution Lᵀx = y.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= A[k][i] * x[k]
+		}
+		x[i] = s / A[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,294 @@
+package regress
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	// y = 2x1 - 3x2 + 5, noiseless.
+	X := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 3}, {4, 1}, {-1, 2}}
+	y := make([]float64, len(X))
+	for i, x := range X {
+		y[i] = 2*x[0] - 3*x[1] + 5
+	}
+	m, err := FitLinear(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-2) > 1e-9 || math.Abs(m.Weights[1]+3) > 1e-9 || math.Abs(m.Intercept-5) > 1e-9 {
+		t.Errorf("got w=%v b=%v", m.Weights, m.Intercept)
+	}
+	for i, x := range X {
+		if math.Abs(m.Predict(x)-y[i]) > 1e-9 {
+			t.Errorf("predict sample %d: got %v want %v", i, m.Predict(x), y[i])
+		}
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	r := rng.New(5)
+	n := 400
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		X[i] = []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		y[i] = 1.5*X[i][0] - 0.5*X[i][1] + 2*X[i][2] + 10 + 0.01*r.NormFloat64()
+	}
+	m, err := FitLinear(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, -0.5, 2}
+	for j := range want {
+		if math.Abs(m.Weights[j]-want[j]) > 0.01 {
+			t.Errorf("weight %d: got %v want %v", j, m.Weights[j], want[j])
+		}
+	}
+	if math.Abs(m.Intercept-10) > 0.01 {
+		t.Errorf("intercept: got %v want 10", m.Intercept)
+	}
+}
+
+func TestFitLinearCollinearFallsBackToRidge(t *testing.T) {
+	// Second feature is an exact copy of the first: QR must detect
+	// singularity and the ridge fallback must still produce a usable fit.
+	X := [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	y := []float64{2, 4, 6, 8}
+	m, err := FitLinear(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		if math.Abs(m.Predict(x)-y[i]) > 1e-3 {
+			t.Errorf("collinear predict %d: got %v want %v", i, m.Predict(x), y[i])
+		}
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear(nil, nil); err == nil {
+		t.Error("expected error on empty input")
+	}
+	if _, err := FitLinear([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("expected error on length mismatch")
+	}
+	if _, err := FitLinear([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("expected error on ragged matrix")
+	}
+}
+
+func TestPredictPanicsOnWrongDims(t *testing.T) {
+	m := &Linear{Weights: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.Predict([]float64{1})
+}
+
+func TestSolveQRSquare(t *testing.T) {
+	A := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := SolveQR(A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=5, x+3y=10 → x=1, y=3
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Errorf("got %v", x)
+	}
+}
+
+func TestSolveQRSingular(t *testing.T) {
+	A := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	b := []float64{1, 2, 3}
+	if _, err := SolveQR(A, b); !errors.Is(err, ErrSingular) {
+		t.Errorf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveQRUnderdetermined(t *testing.T) {
+	A := [][]float64{{1, 2, 3}}
+	if _, err := SolveQR(A, []float64{1}); err == nil {
+		t.Error("expected error for underdetermined system")
+	}
+}
+
+func TestSolveCholesky(t *testing.T) {
+	A := [][]float64{{4, 2}, {2, 3}}
+	b := []float64{10, 9}
+	x, err := SolveCholesky(A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x+2y=10, 2x+3y=9 → x=1.5, y=2
+	if math.Abs(x[0]-1.5) > 1e-9 || math.Abs(x[1]-2) > 1e-9 {
+		t.Errorf("got %v", x)
+	}
+}
+
+func TestSolveCholeskyNotPD(t *testing.T) {
+	A := [][]float64{{0, 0}, {0, 0}}
+	if _, err := SolveCholesky(A, []float64{1, 1}); !errors.Is(err, ErrSingular) {
+		t.Errorf("expected ErrSingular, got %v", err)
+	}
+}
+
+// Property: for random well-conditioned systems, QR reproduces the known
+// solution of A·x = b.
+func TestSolveQRRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 4
+		// Diagonally dominant → well-conditioned.
+		A := make([][]float64, n)
+		xTrue := make([]float64, n)
+		for i := range A {
+			A[i] = make([]float64, n)
+			for j := range A[i] {
+				A[i][j] = r.NormFloat64()
+			}
+			A[i][i] += 10
+			xTrue[i] = r.NormFloat64()
+		}
+		b := make([]float64, n)
+		for i := range b {
+			for j := range xTrue {
+				b[i] += A[i][j] * xTrue[j]
+			}
+		}
+		x, err := SolveQR(A, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	X := [][]float64{{1, 10}, {3, 20}, {5, 30}}
+	s, err := FitStandardizer(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Z := s.ApplyAll(X)
+	for j := 0; j < 2; j++ {
+		var mean, varr float64
+		for i := range Z {
+			mean += Z[i][j]
+		}
+		mean /= float64(len(Z))
+		for i := range Z {
+			d := Z[i][j] - mean
+			varr += d * d
+		}
+		varr /= float64(len(Z))
+		if math.Abs(mean) > 1e-9 || math.Abs(varr-1) > 1e-9 {
+			t.Errorf("feature %d: standardized mean %v var %v", j, mean, varr)
+		}
+	}
+}
+
+func TestStandardizerConstantFeature(t *testing.T) {
+	X := [][]float64{{7, 1}, {7, 2}, {7, 3}}
+	s, err := FitStandardizer(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := s.Apply([]float64{7, 2})
+	if z[0] != 0 {
+		t.Errorf("constant feature should standardize to 0, got %v", z[0])
+	}
+}
+
+func TestStandardizerErrors(t *testing.T) {
+	if _, err := FitStandardizer(nil); err == nil {
+		t.Error("expected error on empty input")
+	}
+	if _, err := FitStandardizer([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("expected error on ragged input")
+	}
+}
+
+func TestFitLinearRelative(t *testing.T) {
+	// Exact linear data: relative fit recovers the same coefficients.
+	X := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 3}, {4, 1}, {0.5, 2}}
+	y := make([]float64, len(X))
+	for i, x := range X {
+		y[i] = 2*x[0] + 3*x[1] + 5
+	}
+	m, err := FitLinearRelative(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-2) > 1e-9 || math.Abs(m.Weights[1]-3) > 1e-9 || math.Abs(m.Intercept-5) > 1e-9 {
+		t.Errorf("got w=%v b=%v", m.Weights, m.Intercept)
+	}
+}
+
+func TestFitLinearRelativeWeighting(t *testing.T) {
+	// Targets spanning two decades with a non-linear kink: no line fits
+	// everything, so the two objectives must trade off differently. The
+	// relative fit should win on mean *relative* error.
+	X := [][]float64{{1}, {2}, {3}, {100}, {150}, {200}}
+	y := []float64{1, 2.6, 3.1, 90, 180, 230}
+	abs, err := FitLinear(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := FitLinearRelative(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mare := func(m *Linear) float64 {
+		var s float64
+		for i, x := range X {
+			s += math.Abs(m.Predict(x)-y[i]) / y[i]
+		}
+		return s / float64(len(X))
+	}
+	if mare(rel) > mare(abs)+1e-9 {
+		t.Errorf("relative fit should win on relative error: rel %.4f abs %.4f",
+			mare(rel), mare(abs))
+	}
+}
+
+func TestFitLinearRelativeErrors(t *testing.T) {
+	if _, err := FitLinearRelative(nil, nil); err == nil {
+		t.Error("expected error on empty input")
+	}
+	if _, err := FitLinearRelative([][]float64{{1}}, []float64{0}); err == nil {
+		t.Error("expected error on non-positive target")
+	}
+	if _, err := FitLinearRelative([][]float64{{1, 2}, {1}}, []float64{1, 1}); err == nil {
+		t.Error("expected error on ragged matrix")
+	}
+}
+
+func TestFitLinearRelativeCollinearFallback(t *testing.T) {
+	X := [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	y := []float64{2, 4, 6, 8}
+	m, err := FitLinearRelative(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		if math.Abs(m.Predict(x)-y[i]) > 1e-3 {
+			t.Errorf("collinear relative predict %d: got %v want %v", i, m.Predict(x), y[i])
+		}
+	}
+}

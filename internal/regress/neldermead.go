@@ -1,0 +1,258 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Objective is a scalar function of a parameter vector to be minimized.
+type Objective func(params []float64) float64
+
+// Bounds restricts each parameter to [Lo[i], Hi[i]]. Parameters are
+// clamped into the box before the objective is evaluated, which keeps the
+// simplex well-behaved on power-law exponents.
+type Bounds struct {
+	Lo, Hi []float64
+}
+
+// Clamp returns a copy of p with every coordinate clamped into the box.
+func (b Bounds) Clamp(p []float64) []float64 {
+	out := append([]float64(nil), p...)
+	for i := range out {
+		if i < len(b.Lo) && out[i] < b.Lo[i] {
+			out[i] = b.Lo[i]
+		}
+		if i < len(b.Hi) && out[i] > b.Hi[i] {
+			out[i] = b.Hi[i]
+		}
+	}
+	return out
+}
+
+// Contains reports whether p lies inside the box.
+func (b Bounds) Contains(p []float64) bool {
+	for i := range p {
+		if i < len(b.Lo) && p[i] < b.Lo[i] {
+			return false
+		}
+		if i < len(b.Hi) && p[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NMOptions configures the Nelder–Mead minimizer.
+type NMOptions struct {
+	MaxIter int     // maximum simplex iterations (default 2000)
+	Tol     float64 // convergence tolerance on objective spread (default 1e-10)
+	Scale   float64 // initial simplex edge scale relative to |x0| (default 0.1)
+}
+
+func (o NMOptions) withDefaults() NMOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 2000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.Scale <= 0 {
+		o.Scale = 0.1
+	}
+	return o
+}
+
+// Result holds the outcome of a minimization.
+type Result struct {
+	Params []float64
+	Value  float64
+	Iters  int
+}
+
+// NelderMead minimizes f starting from x0 inside bounds using the standard
+// simplex method (reflection/expansion/contraction/shrink with the usual
+// coefficients 1, 2, 0.5, 0.5).
+func NelderMead(f Objective, x0 []float64, bounds Bounds, opts NMOptions) Result {
+	opts = opts.withDefaults()
+	n := len(x0)
+	if n == 0 {
+		panic("regress: NelderMead needs at least one parameter")
+	}
+	eval := func(p []float64) float64 {
+		v := f(bounds.Clamp(p))
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+
+	// Build the initial simplex: x0 plus n perturbed vertices.
+	simplex := make([][]float64, n+1)
+	vals := make([]float64, n+1)
+	simplex[0] = bounds.Clamp(x0)
+	vals[0] = eval(simplex[0])
+	for i := 0; i < n; i++ {
+		v := append([]float64(nil), simplex[0]...)
+		step := opts.Scale * math.Abs(v[i])
+		if step == 0 {
+			step = opts.Scale
+		}
+		v[i] += step
+		simplex[i+1] = bounds.Clamp(v)
+		vals[i+1] = eval(simplex[i+1])
+	}
+
+	order := make([]int, n+1)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
+		best, worst, second := order[0], order[n], order[n-1]
+
+		if vals[worst]-vals[best] < opts.Tol*(math.Abs(vals[best])+opts.Tol) {
+			// Values have converged; make sure the simplex itself has too.
+			// Two vertices symmetric around a minimum can tie in value while
+			// straddling it (common in low dimensions), so shrink instead of
+			// returning while the simplex is still wide.
+			var diam float64
+			for _, v := range simplex[1:] {
+				for j := range v {
+					d := math.Abs(v[j] - simplex[0][j])
+					if d > diam {
+						diam = d
+					}
+				}
+			}
+			scale := 1.0
+			for j := range simplex[best] {
+				scale = math.Max(scale, math.Abs(simplex[best][j]))
+			}
+			if diam < 1e-8*scale {
+				return Result{Params: simplex[best], Value: vals[best], Iters: iter}
+			}
+			for _, idx := range order[1:] {
+				for j := range simplex[idx] {
+					simplex[idx][j] = simplex[best][j] + 0.5*(simplex[idx][j]-simplex[best][j])
+				}
+				simplex[idx] = bounds.Clamp(simplex[idx])
+				vals[idx] = eval(simplex[idx])
+			}
+			continue
+		}
+
+		// Centroid of all vertices except the worst.
+		centroid := make([]float64, n)
+		for _, idx := range order[:n] {
+			for j := range centroid {
+				centroid[j] += simplex[idx][j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(n)
+		}
+
+		combine := func(alpha float64) ([]float64, float64) {
+			p := make([]float64, n)
+			for j := range p {
+				p[j] = centroid[j] + alpha*(centroid[j]-simplex[worst][j])
+			}
+			p = bounds.Clamp(p)
+			return p, eval(p)
+		}
+
+		refl, fRefl := combine(1)
+		switch {
+		case fRefl < vals[best]:
+			// Try expanding further in the same direction.
+			exp, fExp := combine(2)
+			if fExp < fRefl {
+				simplex[worst], vals[worst] = exp, fExp
+			} else {
+				simplex[worst], vals[worst] = refl, fRefl
+			}
+		case fRefl < vals[second]:
+			simplex[worst], vals[worst] = refl, fRefl
+		default:
+			// Contract toward the centroid.
+			var con []float64
+			var fCon float64
+			if fRefl < vals[worst] {
+				con, fCon = combine(0.5) // outside contraction
+			} else {
+				con, fCon = combine(-0.5) // inside contraction
+			}
+			if fCon < math.Min(fRefl, vals[worst]) {
+				simplex[worst], vals[worst] = con, fCon
+			} else {
+				// Shrink everything toward the best vertex.
+				for _, idx := range order[1:] {
+					for j := range simplex[idx] {
+						simplex[idx][j] = simplex[best][j] + 0.5*(simplex[idx][j]-simplex[best][j])
+					}
+					simplex[idx] = bounds.Clamp(simplex[idx])
+					vals[idx] = eval(simplex[idx])
+				}
+			}
+		}
+	}
+
+	bestIdx := 0
+	for i := range vals {
+		if vals[i] < vals[bestIdx] {
+			bestIdx = i
+		}
+	}
+	return Result{Params: simplex[bestIdx], Value: vals[bestIdx], Iters: opts.MaxIter}
+}
+
+// MultiStartOptions configures the multi-start driver.
+type MultiStartOptions struct {
+	Starts int    // number of random restarts in addition to x0 (default 8)
+	Seed   uint64 // RNG seed for the random starts (default 1)
+	NM     NMOptions
+}
+
+func (o MultiStartOptions) withDefaults() MultiStartOptions {
+	if o.Starts <= 0 {
+		o.Starts = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// MultiStartNelderMead runs Nelder–Mead from x0 and from opts.Starts
+// additional points sampled log-uniformly (when Lo>0) or uniformly inside
+// the bounds, returning the best result. This is how the non-convex
+// 10-parameter fit of the paper's model avoids poor local minima.
+func MultiStartNelderMead(f Objective, x0 []float64, bounds Bounds, opts MultiStartOptions) Result {
+	opts = opts.withDefaults()
+	if len(bounds.Lo) != len(x0) || len(bounds.Hi) != len(x0) {
+		panic(fmt.Sprintf("regress: MultiStartNelderMead bounds dims (%d,%d) do not match x0 (%d)",
+			len(bounds.Lo), len(bounds.Hi), len(x0)))
+	}
+	best := NelderMead(f, x0, bounds, opts.NM)
+	r := rng.New(opts.Seed)
+	for s := 0; s < opts.Starts; s++ {
+		start := make([]float64, len(x0))
+		for i := range start {
+			lo, hi := bounds.Lo[i], bounds.Hi[i]
+			if lo > 0 && hi > lo {
+				// Sample log-uniformly across the positive range.
+				start[i] = math.Exp(math.Log(lo) + r.Float64()*(math.Log(hi)-math.Log(lo)))
+			} else {
+				start[i] = lo + r.Float64()*(hi-lo)
+			}
+		}
+		res := NelderMead(f, start, bounds, opts.NM)
+		if res.Value < best.Value {
+			best = res
+		}
+	}
+	return best
+}

@@ -1,0 +1,72 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+)
+
+// Standardizer rescales features to zero mean and unit variance, which
+// both the linear-regression and ANN baselines need for stable training.
+// A Standardizer fitted on a training suite is reused unchanged on the
+// evaluation suite (as in the paper's cross-validation setup).
+type Standardizer struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitStandardizer computes per-feature mean and standard deviation over
+// the rows of X. Features with zero variance get Std 1 so they pass
+// through unchanged (minus the mean).
+func FitStandardizer(X [][]float64) (*Standardizer, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("regress: FitStandardizer on empty matrix")
+	}
+	p := len(X[0])
+	s := &Standardizer{Mean: make([]float64, p), Std: make([]float64, p)}
+	for _, row := range X {
+		if len(row) != p {
+			return nil, fmt.Errorf("regress: FitStandardizer ragged matrix")
+		}
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1
+		}
+	}
+	return s, nil
+}
+
+// Apply returns a standardized copy of x.
+func (s *Standardizer) Apply(x []float64) []float64 {
+	if len(x) != len(s.Mean) {
+		panic(fmt.Sprintf("regress: Standardizer.Apply got %d features, want %d", len(x), len(s.Mean)))
+	}
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// ApplyAll standardizes every row of X into a new matrix.
+func (s *Standardizer) ApplyAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.Apply(row)
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("seeds 1 and 2 collide on %d/100 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64MeanVariance(t *testing.T) {
+	r := New(9)
+	n := 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		sum += f
+		sq += f * f
+	}
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean %v, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.01 {
+		t.Errorf("uniform variance %v, want ~1/12", variance)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := New(3)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for v, c := range counts {
+		if c < 8500 || c > 11500 {
+			t.Errorf("Intn(10) value %d has count %d, expected ~10000", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) should panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestNormFloat64(t *testing.T) {
+	r := New(11)
+	n := 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64(t *testing.T) {
+	r := New(13)
+	n := 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatal("negative exponential variate")
+		}
+		sum += v
+	}
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean %v, want ~1", mean)
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	r := New(17)
+	p := 0.25
+	n := 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Geometric(p)
+		if v < 0 {
+			t.Fatal("negative geometric variate")
+		}
+		sum += float64(v)
+	}
+	want := (1 - p) / p // mean of failures-before-success geometric
+	if mean := sum / float64(n); math.Abs(mean-want) > 0.1 {
+		t.Errorf("geometric mean %v, want ~%v", mean, want)
+	}
+	if New(1).Geometric(1) != 0 {
+		t.Error("Geometric(1) should always be 0")
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Geometric(0) should panic")
+		}
+	}()
+	New(1).Geometric(0)
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	r := New(19)
+	n := 1000
+	countsLow := 0
+	total := 100000
+	for i := 0; i < total; i++ {
+		k := r.Zipf(n, 1.2)
+		if k < 0 || k >= n {
+			t.Fatalf("Zipf out of range: %d", k)
+		}
+		if k < 10 {
+			countsLow++
+		}
+	}
+	// With skew 1.2 the first 1% of the support should receive far more
+	// than 1% of the mass.
+	if frac := float64(countsLow) / float64(total); frac < 0.3 {
+		t.Errorf("Zipf(1.2) low-index mass %v, expected heavily skewed (>0.3)", frac)
+	}
+	// Skew 0 is uniform.
+	r2 := New(23)
+	countsLow = 0
+	for i := 0; i < total; i++ {
+		if r2.Zipf(n, 0) < 10 {
+			countsLow++
+		}
+	}
+	if frac := float64(countsLow) / float64(total); frac > 0.02 {
+		t.Errorf("Zipf(0) low-index mass %v, expected ~0.01", frac)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Zipf(0, 1) should panic")
+		}
+	}()
+	New(1).Zipf(0, 1)
+}
+
+func TestPerm(t *testing.T) {
+	r := New(29)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(31)
+	n := 100000
+	c := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			c++
+		}
+	}
+	if frac := float64(c) / float64(n); math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency %v", frac)
+	}
+}
+
+// Property: Perm always returns a valid permutation.
+func TestPermProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Zipf values always stay in range for any seed/skew.
+func TestZipfRangeProperty(t *testing.T) {
+	f := func(seed uint64, skewRaw uint8) bool {
+		s := float64(skewRaw) / 64.0 // 0..~4
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			k := r.Zipf(100, s)
+			if k < 0 || k >= 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,543 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/perfctr"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// Result is the outcome of running one workload on one machine.
+type Result struct {
+	// Counters is everything a performance-counter tool could read — the
+	// model's only per-workload input.
+	Counters perfctr.Counters
+	// Truth is the ground-truth cycle accounting (simulator oracle, not
+	// available on real hardware) used to validate CPI stacks (Fig. 5).
+	Truth Stack
+	// MeasuredMLP is the oracle average number of outstanding memory
+	// accesses while at least one is outstanding (Chou et al.'s MLP
+	// definition). Not measurable with counters; used for validation.
+	MeasuredMLP float64
+}
+
+// Simulator executes µop streams on one machine configuration. It is
+// reusable across runs (state is reset per Run) but not safe for
+// concurrent use.
+type Simulator struct {
+	m    *uarch.Machine
+	hier *cache.Hierarchy
+	pred branch.Predictor
+
+	// Issue-bandwidth ring: counts issues per future cycle.
+	issueTag []uint64
+	issueCnt []uint8
+}
+
+// Ring geometry for the issue-bandwidth tracker. The horizon must exceed
+// the largest lead of any op's issue time over the dispatch cycle, which
+// is bounded by the window draining serially through worst-case latencies
+// (ROB × (memLat + TLB walk) ≈ 60K cycles on the Pentium 4 config).
+const (
+	issueRingBits = 18
+	issueRingSize = 1 << issueRingBits
+	issueRingMask = issueRingSize - 1
+)
+
+// Completion ring: maps recent canonical sequence numbers to completion
+// times. Dependences reach at most 256 µops back (the generator clamps
+// them), far less than the ring size.
+const (
+	seqRingBits = 10
+	seqRingSize = 1 << seqRingBits
+	seqRingMask = seqRingSize - 1
+)
+
+// New builds a simulator for machine m.
+func New(m *uarch.Machine) (*Simulator, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	hier, err := cache.NewHierarchy(m)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := branch.New(m.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		m:        m,
+		hier:     hier,
+		pred:     pred,
+		issueTag: make([]uint64, issueRingSize),
+		issueCnt: make([]uint8, issueRingSize),
+	}, nil
+}
+
+// Machine returns the simulated machine.
+func (s *Simulator) Machine() *uarch.Machine { return s.m }
+
+// fuseHash decides micro-fusion per static PC, deterministically: the
+// same pair fuses on every execution, as in a real decoder.
+func fuseHash(pc uint64) float64 {
+	x := pc
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return float64(x&0xffff) / 65536
+}
+
+// robMeta is the per-ROB-entry metadata the accounting needs.
+type robMeta struct {
+	commit   uint64
+	complete uint64
+	isLoad   bool
+	memTrip  bool
+	dtlbMiss bool
+}
+
+// Run executes the workload stream g to completion and returns counters
+// and ground-truth accounting. The generator is reset first, so the same
+// Generator can be run on several machines.
+func (s *Simulator) Run(g *trace.Generator) (*Result, error) {
+	g.Reset()
+	s.hier.Reset()
+	// A fresh predictor per run: runs must be independent.
+	pred, err := branch.New(s.m.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	s.pred = pred
+	for i := range s.issueTag {
+		s.issueTag[i] = ^uint64(0)
+		s.issueCnt[i] = 0
+	}
+
+	m := s.m
+	D := m.DispatchWidth
+	res := &Result{}
+	ctr := &res.Counters
+
+	lineShift := uint(0)
+	for m.L1I.LineBytes>>lineShift > 1 {
+		lineShift++
+	}
+
+	// Window state.
+	rob := make([]robMeta, m.ROBSize)
+	iq := newMinHeap(m.IQSize + 1)
+	mshr := make([]uint64, m.MSHRs)
+
+	var (
+		cycle      uint64 // current dispatch cycle
+		slots      int    // dispatch slots used this cycle
+		nextFetch  uint64 // front end unavailable before this cycle
+		feReason   = CompBranch
+		lastLine   = ^uint64(0)
+		entryCount uint64 // dispatched entries (committed µops)
+		headIdx    uint64 // oldest possibly-uncommitted entry
+		lastCommit uint64
+		commitCnt  int
+	)
+
+	// Completion-time ring by canonical sequence number.
+	var completeAt [seqRingSize]uint64
+	var completeTag [seqRingSize]uint64 // seq+1; 0 = empty
+
+	lookupComplete := func(seq uint64) uint64 {
+		i := seq & seqRingMask
+		if completeTag[i] == seq+1 {
+			return completeAt[i]
+		}
+		return 0 // long-retired producer: completed in the distant past
+	}
+	storeComplete := func(seq, t uint64) {
+		i := seq & seqRingMask
+		completeTag[i] = seq + 1
+		completeAt[i] = t
+	}
+
+	// Slot-level accounting: empty dispatch slots are charged to a
+	// component; filled slots are base. The invariant is that the sum of
+	// Truth.Cycles always equals cycle + slots/D.
+	stall := func(target uint64, comp Component) {
+		if target <= cycle {
+			return
+		}
+		res.Truth.Cycles[comp] += float64(D-slots)/float64(D) + float64(target-cycle-1)
+		cycle = target
+		slots = 0
+	}
+
+	// classify attributes a window (ROB/IQ) stall at the current cycle to
+	// the oldest uncompleted in-flight op, ASPLOS'06-style: a pending
+	// last-level load miss → memory component; a pending D-TLB walk →
+	// D-TLB; anything else (dependence chains, FU latency, commit width)
+	// → resource stall.
+	classify := func() Component {
+		for headIdx < entryCount && rob[headIdx%uint64(m.ROBSize)].commit <= cycle {
+			headIdx++
+		}
+		for j := headIdx; j < entryCount; j++ {
+			mm := &rob[j%uint64(m.ROBSize)]
+			if mm.complete > cycle {
+				switch {
+				case mm.memTrip:
+					return CompLLCLoad
+				case mm.dtlbMiss:
+					return CompDTLB
+				default:
+					return CompResource
+				}
+			}
+		}
+		return CompResource
+	}
+
+	findIssueSlot := func(t uint64) uint64 {
+		if t > cycle+issueRingSize-4096 {
+			// Beyond the tracked horizon; bandwidth contention there is
+			// immaterial because the window has long since drained.
+			return t
+		}
+		for {
+			i := t & issueRingMask
+			if s.issueTag[i] != t {
+				s.issueTag[i] = t
+				s.issueCnt[i] = 0
+			}
+			if int(s.issueCnt[i]) < m.IssueWidth {
+				s.issueCnt[i]++
+				return t
+			}
+			t++
+		}
+	}
+
+	// MLP oracle accumulators (union-of-busy-intervals watermark).
+	var memBusySum, memUnion, coveredUntil uint64
+
+	fuLat := func(k trace.Kind) uint64 {
+		switch k {
+		case trace.KindMul:
+			return uint64(m.MulLat)
+		case trace.KindFP:
+			return uint64(m.FPLat)
+		case trace.KindDiv:
+			return uint64(m.DivLat)
+		default:
+			return uint64(m.IntLat)
+		}
+	}
+
+	// Stream with one-op lookahead for fusion.
+	var cur, nxt trace.MicroOp
+	haveNxt := g.Next(&nxt)
+	if !haveNxt {
+		return nil, fmt.Errorf("sim: empty µop stream for %q", g.Spec().Name)
+	}
+
+	for haveNxt {
+		cur = nxt
+		haveNxt = g.Next(&nxt)
+		var tail trace.MicroOp
+		fused := false
+		if cur.FuseHead && haveNxt && fuseHash(cur.PC) < m.FusionRate {
+			tail = nxt
+			fused = true
+			haveNxt = g.Next(&nxt)
+		}
+
+		// --- Dispatch-width boundary.
+		if slots == D {
+			cycle++
+			slots = 0
+		}
+
+		// --- Front-end availability (branch redirects, earlier I-misses).
+		if nextFetch > cycle {
+			stall(nextFetch, feReason)
+		}
+
+		// --- Instruction-side cache/TLB on fetch-line change.
+		line := cur.PC >> lineShift
+		if line != lastLine {
+			lastLine = line
+			r := s.hier.Do(cache.Access{Addr: cur.PC, IsInstr: true})
+			if r.TLBMiss {
+				stall(cycle+uint64(m.ITLB.MissLat), CompITLB)
+			}
+			switch r.Level {
+			case cache.LvlL2:
+				stall(cycle+uint64(m.L2.LatCycles), CompICacheL2)
+			case cache.LvlL3:
+				stall(cycle+uint64(m.L3.LatCycles), CompICacheL3)
+			case cache.LvlMem:
+				stall(cycle+uint64(m.MemLat), CompICacheMem)
+			}
+		}
+
+		// --- ROB occupancy.
+		if entryCount >= uint64(m.ROBSize) {
+			free := rob[(entryCount-uint64(m.ROBSize))%uint64(m.ROBSize)].commit
+			if free > cycle {
+				stall(free, classify())
+			}
+		}
+
+		// --- Issue-queue occupancy.
+		iq.popUpTo(cycle)
+		for iq.len() >= m.IQSize {
+			tmin := iq.min()
+			comp := classify()
+			if tmin <= cycle {
+				tmin = cycle + 1
+			}
+			stall(tmin, comp)
+			iq.popUpTo(cycle)
+		}
+
+		// --- Dispatch at the current cycle.
+		slots++
+		dispatchCycle := cycle
+
+		// Operand readiness across both halves of a fused pair.
+		ready := dispatchCycle + 1
+		consider := func(op *trace.MicroOp) {
+			if op.Dep1 != 0 {
+				if t := lookupComplete(op.Seq - uint64(op.Dep1)); t > ready {
+					ready = t
+				}
+			}
+			if op.Dep2 != 0 {
+				if t := lookupComplete(op.Seq - uint64(op.Dep2)); t > ready {
+					ready = t
+				}
+			}
+		}
+		consider(&cur)
+		if fused {
+			consider(&tail)
+		}
+
+		execStart := findIssueSlot(ready)
+
+		// Execute: take the max latency across halves; loads access the
+		// data hierarchy, possibly acquiring an MSHR for memory trips.
+		var lat uint64
+		meta := robMeta{}
+		doHalf := func(op *trace.MicroOp) {
+			var l uint64
+			switch op.Kind {
+			case trace.KindLoad:
+				r := s.hier.Do(cache.Access{Addr: op.Addr})
+				meta.isLoad = true
+				if r.TLBMiss {
+					meta.dtlbMiss = true
+				}
+				if r.MemTrip {
+					meta.memTrip = true
+					// Acquire the least-soon-free MSHR; stall issue if none.
+					best := 0
+					for i := 1; i < len(mshr); i++ {
+						if mshr[i] < mshr[best] {
+							best = i
+						}
+					}
+					if mshr[best] > execStart {
+						execStart = findIssueSlot(mshr[best])
+					}
+					end := execStart + uint64(r.Lat)
+					mshr[best] = end
+					memBusySum += uint64(r.Lat)
+					start := execStart
+					if start < coveredUntil {
+						start = coveredUntil
+					}
+					if end > start {
+						memUnion += end - start
+					}
+					if end > coveredUntil {
+						coveredUntil = end
+					}
+				}
+				l = uint64(m.LoadAGU + r.Lat)
+			case trace.KindStore:
+				s.hier.Do(cache.Access{Addr: op.Addr, IsWrite: true})
+				l = uint64(m.StoreLat)
+			case trace.KindBranch:
+				l = uint64(m.IntLat)
+			default:
+				l = fuLat(op.Kind)
+			}
+			if l > lat {
+				lat = l
+			}
+			if op.Kind == trace.KindFP || op.Kind == trace.KindDiv {
+				ctr.FPOps++
+			}
+			if op.InstrFirst {
+				ctr.Instructions++
+			}
+		}
+		doHalf(&cur)
+		if fused {
+			doHalf(&tail)
+		}
+		complete := execStart + lat
+		iq.push(execStart)
+
+		// Branch resolution and misprediction redirect.
+		handleBranch := func(op *trace.MicroOp) {
+			if op.Kind != trace.KindBranch {
+				return
+			}
+			ctr.Branches++
+			predicted := s.pred.Predict(op.PC)
+			s.pred.Update(op.PC, op.Taken)
+			if predicted != op.Taken {
+				ctr.BranchMispredicts++
+				redirect := complete + uint64(m.FrontEndDepth)
+				if redirect > nextFetch {
+					nextFetch = redirect
+					feReason = CompBranch
+				}
+				lastLine = ^uint64(0) // refetch the target line
+			}
+		}
+		handleBranch(&cur)
+		if fused {
+			handleBranch(&tail)
+		}
+
+		// In-order commit, CommitWidth per cycle.
+		t := complete + 1
+		if t < lastCommit {
+			t = lastCommit
+		}
+		if t == lastCommit {
+			if commitCnt == m.CommitWidth {
+				t++
+				commitCnt = 1
+			} else {
+				commitCnt++
+			}
+		} else {
+			commitCnt = 1
+		}
+		lastCommit = t
+		meta.commit = t
+		meta.complete = complete
+		rob[entryCount%uint64(m.ROBSize)] = meta
+
+		storeComplete(cur.Seq, complete)
+		if fused {
+			storeComplete(tail.Seq, complete)
+		}
+
+		// Accounting: the dispatched slot is base work.
+		res.Truth.Cycles[CompBase] += 1 / float64(D)
+		entryCount++
+		ctr.Uops++
+	}
+
+	// --- Drain: attribute the window-drain tail after the last dispatch.
+	accounted := float64(cycle) + float64(slots)/float64(D)
+	for j := headIdx; j < entryCount; j++ {
+		mm := &rob[j%uint64(m.ROBSize)]
+		ct := float64(mm.commit)
+		if ct <= accounted {
+			continue
+		}
+		comp := CompResource
+		if mm.memTrip {
+			comp = CompLLCLoad
+		} else if mm.dtlbMiss {
+			comp = CompDTLB
+		}
+		res.Truth.Cycles[comp] += ct - accounted
+		accounted = ct
+	}
+
+	// --- Counters from hierarchy statistics.
+	is, ds := s.hier.IStats, s.hier.DStats
+	ctr.Cycles = lastCommit
+	ctr.L1IMisses = is.L1Misses
+	ctr.L2IMisses = is.L2Misses
+	ctr.L3IMisses = is.L3Misses
+	ctr.LLCIMisses = is.LLCMisses
+	ctr.ITLBMisses = is.TLBMisses
+	ctr.L1DLoadMisses = ds.L1LoadMisses
+	ctr.L1DLoadL2Hits = ds.L1LoadL2Hits
+	ctr.LLCDLoadMisses = ds.LLCLoadMisses
+	ctr.DTLBMisses = ds.TLBMisses
+
+	if memUnion > 0 {
+		res.MeasuredMLP = float64(memBusySum) / float64(memUnion)
+	}
+	if err := ctr.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: inconsistent counters for %q on %s: %w",
+			g.Spec().Name, m.Name, err)
+	}
+	return res, nil
+}
+
+// minHeap is a binary min-heap of uint64 (issue-queue departure times).
+type minHeap struct {
+	a []uint64
+}
+
+func newMinHeap(capHint int) *minHeap {
+	return &minHeap{a: make([]uint64, 0, capHint)}
+}
+
+func (h *minHeap) len() int    { return len(h.a) }
+func (h *minHeap) min() uint64 { return h.a[0] }
+
+func (h *minHeap) push(v uint64) {
+	h.a = append(h.a, v)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *minHeap) pop() uint64 {
+	v := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.a[l] < h.a[small] {
+			small = l
+		}
+		if r < last && h.a[r] < h.a[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return v
+}
+
+// popUpTo removes all entries with value <= cycle (ops that have issued).
+func (h *minHeap) popUpTo(cycle uint64) {
+	for len(h.a) > 0 && h.a[0] <= cycle {
+		h.pop()
+	}
+}

@@ -1,0 +1,253 @@
+// Package stack renders CPI stacks and CPI-delta stacks as ASCII tables
+// and bar charts for terminal output — the presentation layer for the
+// paper's Figures 5 and 6 and for the mecpi CLI.
+package stack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Bar renders a signed horizontal bar of the given half-width scale:
+// negative values extend left, positive right.
+func Bar(v, scale float64, width int) string {
+	if width < 1 {
+		width = 1
+	}
+	n := 0
+	if scale > 0 {
+		n = int(v/scale*float64(width) + 0.5*sign(v))
+	}
+	if n > width {
+		n = width
+	}
+	if n < -width {
+		n = -width
+	}
+	left := strings.Repeat(" ", width)
+	right := strings.Repeat(" ", width)
+	if n < 0 {
+		left = strings.Repeat(" ", width+n) + strings.Repeat("█", -n)
+	} else if n > 0 {
+		right = strings.Repeat("█", n) + strings.Repeat(" ", width-n)
+	}
+	return left + "|" + right
+}
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// RenderCPIStack formats a per-µop CPI stack as an aligned table with
+// proportional bars, components in stack order, and a total line.
+func RenderCPIStack(title string, s sim.Stack) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (total CPI %.4f)\n", title, s.Total())
+	maxVal := 0.0
+	for _, c := range sim.Components() {
+		if s.Cycles[c] > maxVal {
+			maxVal = s.Cycles[c]
+		}
+	}
+	for _, c := range sim.Components() {
+		v := s.Cycles[c]
+		bar := ""
+		if maxVal > 0 {
+			n := int(v / maxVal * 40)
+			bar = strings.Repeat("█", n)
+		}
+		fmt.Fprintf(&b, "  %-11s %8.4f  %5.1f%%  %s\n", c, v, 100*safeFrac(v, s.Total()), bar)
+	}
+	return b.String()
+}
+
+func safeFrac(v, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return v / total
+}
+
+// RenderComparison formats two stacks side by side (e.g. model-predicted
+// vs. simulator ground truth, Figure 5 style) with per-component errors.
+func RenderComparison(title string, predicted, truth sim.Stack) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "  %-11s %10s %10s %9s\n", "component", "predicted", "actual", "error")
+	for _, c := range sim.Components() {
+		p, a := predicted.Cycles[c], truth.Cycles[c]
+		errStr := "    —"
+		if a > 1e-9 {
+			errStr = fmt.Sprintf("%+7.1f%%", 100*(p-a)/a)
+		}
+		fmt.Fprintf(&b, "  %-11s %10.4f %10.4f %9s\n", c, p, a, errStr)
+	}
+	fmt.Fprintf(&b, "  %-11s %10.4f %10.4f %+8.1f%%\n", "TOTAL",
+		predicted.Total(), truth.Total(), 100*(predicted.Total()-truth.Total())/truth.Total())
+	return b.String()
+}
+
+// deltaRow is one labeled value in a delta rendering.
+type deltaRow struct {
+	label string
+	value float64
+}
+
+func renderDeltaRows(b *strings.Builder, rows []deltaRow) {
+	scale := 0.0
+	for _, r := range rows {
+		if v := abs(r.value); v > scale {
+			scale = v
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	for _, r := range rows {
+		fmt.Fprintf(b, "  %-16s %+9.4f  %s\n", r.label, r.value, Bar(r.value, scale, 20))
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// RenderDelta formats a full CPI-delta stack set (Figure 6 style): the
+// overall decomposition plus the branch and LLC factor breakdowns.
+// Negative values are improvements on the newer machine.
+func RenderDelta(d *core.DeltaStacks) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CPI-delta stacks: %s → %s over %d workloads\n", d.OldName, d.NewName, d.Workloads)
+	fmt.Fprintf(&b, "mean CPI/instr: %.4f → %.4f (Δ %+0.4f; negative = %s faster)\n\n",
+		d.OldCPI, d.NewCPI, d.NewCPI-d.OldCPI, d.NewName)
+
+	fmt.Fprintf(&b, "overall (per instruction):\n")
+	renderDeltaRows(&b, []deltaRow{
+		{"wider dispatch", d.Overall.Width},
+		{"µop fusion", d.Overall.Fusion},
+		{"I-cache (+ITLB)", d.Overall.ICache},
+		{"memory (D+DTLB)", d.Overall.Memory},
+		{"branch", d.Overall.Branch},
+		{"other (stalls)", d.Overall.Other},
+	})
+	fmt.Fprintf(&b, "  %-16s %+9.4f\n\n", "TOTAL", d.Overall.Total())
+
+	fmt.Fprintf(&b, "branch component factors:\n")
+	renderDeltaRows(&b, []deltaRow{
+		{"#mispredictions", d.Branch.Mispredictions},
+		{"resolution time", d.Branch.Resolution},
+		{"front-end depth", d.Branch.FrontEnd},
+	})
+	fmt.Fprintf(&b, "  %-16s %+9.4f\n\n", "TOTAL", d.Branch.Total())
+
+	fmt.Fprintf(&b, "last-level cache component factors:\n")
+	renderDeltaRows(&b, []deltaRow{
+		{"#misses", d.LLC.Misses},
+		{"latency", d.LLC.Latency},
+		{"MLP", d.LLC.MLP},
+	})
+	fmt.Fprintf(&b, "  %-16s %+9.4f\n", "TOTAL", d.LLC.Total())
+	return b.String()
+}
+
+// ScatterPoint is one (measured, predicted) pair with a label.
+type ScatterPoint struct {
+	Name      string
+	Measured  float64
+	Predicted float64
+}
+
+// RenderScatter draws a Figure 2-style measured-vs-predicted scatter as
+// an ASCII grid with the bisector marked. Points landing on the same cell
+// merge; the bisector is drawn with '/', points with '●'.
+func RenderScatter(title string, pts []ScatterPoint, size int) string {
+	if size < 8 {
+		size = 8
+	}
+	maxV := 0.0
+	for _, p := range pts {
+		if p.Measured > maxV {
+			maxV = p.Measured
+		}
+		if p.Predicted > maxV {
+			maxV = p.Predicted
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	maxV *= 1.05
+	grid := make([][]byte, size)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", size))
+	}
+	for i := 0; i < size; i++ {
+		grid[size-1-i][i] = '/'
+	}
+	for _, p := range pts {
+		x := int(p.Measured / maxV * float64(size))
+		y := int(p.Predicted / maxV * float64(size))
+		if x >= size {
+			x = size - 1
+		}
+		if y >= size {
+			y = size - 1
+		}
+		grid[size-1-y][x] = '@'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (axes 0..%.2f CPI; '/' = bisector, '@' = benchmark)\n", title, maxV)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", size) + "  measured →\n")
+	return b.String()
+}
+
+// RenderCDF formats a cumulative error distribution (Figure 3 style):
+// "x% of benchmarks have error below y%". Curves are named and rendered
+// at fixed fraction grid points.
+func RenderCDF(title string, curves map[string][]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	names := make([]string, 0, len(curves))
+	for n := range curves {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "  %-10s", "fraction")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %14s", n)
+	}
+	b.WriteByte('\n')
+	for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0} {
+		fmt.Fprintf(&b, "  %-10.2f", frac)
+		for _, n := range names {
+			errs := curves[n]
+			sorted := append([]float64(nil), errs...)
+			sort.Float64s(sorted)
+			idx := int(frac*float64(len(sorted))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sorted) {
+				idx = len(sorted) - 1
+			}
+			fmt.Fprintf(&b, " %13.1f%%", 100*sorted[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package stack
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func sampleStack() sim.Stack {
+	var s sim.Stack
+	s.Cycles[sim.CompBase] = 0.25
+	s.Cycles[sim.CompBranch] = 0.10
+	s.Cycles[sim.CompLLCLoad] = 0.30
+	s.Cycles[sim.CompResource] = 0.05
+	return s
+}
+
+func TestBar(t *testing.T) {
+	b := Bar(1, 1, 10)
+	if !strings.Contains(b, "|") {
+		t.Error("bar missing axis")
+	}
+	if strings.Count(b, "█") != 10 {
+		t.Errorf("full positive bar should have 10 blocks: %q", b)
+	}
+	neg := Bar(-0.5, 1, 10)
+	idx := strings.Index(neg, "|")
+	if !strings.Contains(neg[:idx], "█") || strings.Contains(neg[idx:], "█") {
+		t.Errorf("negative bar should extend left only: %q", neg)
+	}
+	if z := Bar(0, 1, 10); strings.Contains(z, "█") {
+		t.Errorf("zero bar should be empty: %q", z)
+	}
+	// Clamped overflow.
+	if over := Bar(100, 1, 5); strings.Count(over, "█") != 5 {
+		t.Errorf("overflow should clamp: %q", over)
+	}
+	// Degenerate inputs must not panic.
+	Bar(1, 0, 0)
+}
+
+func TestRenderCPIStack(t *testing.T) {
+	out := RenderCPIStack("test", sampleStack())
+	for _, want := range []string{"total CPI 0.7", "base", "llc-load", "branch", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Empty stack must not divide by zero.
+	var empty sim.Stack
+	if out := RenderCPIStack("empty", empty); !strings.Contains(out, "0.0000") {
+		t.Error("empty stack should render zeros")
+	}
+}
+
+func TestRenderComparison(t *testing.T) {
+	pred := sampleStack()
+	truth := sampleStack()
+	truth.Cycles[sim.CompBranch] = 0.20
+	out := RenderComparison("fig5", pred, truth)
+	if !strings.Contains(out, "predicted") || !strings.Contains(out, "actual") {
+		t.Error("comparison missing headers")
+	}
+	if !strings.Contains(out, "-50.0%") {
+		t.Errorf("expected -50%% branch error:\n%s", out)
+	}
+	if !strings.Contains(out, "TOTAL") {
+		t.Error("missing total row")
+	}
+	// Zero actual renders an em-dash, not a division by zero.
+	if !strings.Contains(out, "—") {
+		t.Error("zero-actual components should render —")
+	}
+}
+
+func TestRenderDelta(t *testing.T) {
+	d := &core.DeltaStacks{
+		OldName: "pentium4", NewName: "core2", Workloads: 48,
+		Overall: core.OverallDelta{Width: -0.1, Fusion: -0.05, Branch: -0.2, Memory: 0.02},
+		Branch:  core.BranchDelta{Mispredictions: 0.05, Resolution: -0.15, FrontEnd: -0.1},
+		LLC:     core.LLCDelta{Misses: -0.1, Latency: -0.05, MLP: 0.08},
+		OldCPI:  1.5, NewCPI: 1.1,
+	}
+	out := RenderDelta(d)
+	for _, want := range []string{
+		"pentium4 → core2", "wider dispatch", "µop fusion", "#mispredictions",
+		"front-end depth", "#misses", "MLP", "TOTAL",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delta rendering missing %q", want)
+		}
+	}
+}
+
+func TestRenderScatter(t *testing.T) {
+	pts := []ScatterPoint{
+		{Name: "a", Measured: 0.5, Predicted: 0.52},
+		{Name: "b", Measured: 1.0, Predicted: 0.9},
+		{Name: "c", Measured: 2.0, Predicted: 2.4},
+	}
+	out := RenderScatter("fig2", pts, 16)
+	if !strings.Contains(out, "@") || !strings.Contains(out, "/") {
+		t.Errorf("scatter missing points or bisector:\n%s", out)
+	}
+	if !strings.Contains(out, "measured") {
+		t.Error("scatter missing axis label")
+	}
+	// Degenerate cases.
+	RenderScatter("empty", nil, 4)
+	RenderScatter("zero", []ScatterPoint{{Measured: 0, Predicted: 0}}, 8)
+}
+
+func TestRenderCDF(t *testing.T) {
+	curves := map[string][]float64{
+		"cpu2006 model": {0.01, 0.05, 0.10, 0.20},
+		"cpu2000 model": {0.02, 0.08, 0.15, 0.30},
+	}
+	out := RenderCDF("fig3", curves)
+	if !strings.Contains(out, "cpu2006 model") || !strings.Contains(out, "cpu2000 model") {
+		t.Error("CDF missing curve names")
+	}
+	if !strings.Contains(out, "30.0%") {
+		t.Errorf("CDF should show the max error:\n%s", out)
+	}
+	if !strings.Contains(out, "0.50") {
+		t.Error("CDF missing fraction grid")
+	}
+}

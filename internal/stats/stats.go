@@ -1,0 +1,238 @@
+// Package stats provides the statistical utilities used throughout the
+// mechanistic-empirical modeling pipeline: error metrics (the paper's
+// average absolute relative prediction error), summary statistics,
+// percentiles, and cumulative error distributions (for Figure 3 style
+// plots).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// non-positive values are skipped (and if all are skipped the result is 0).
+func GeoMean(xs []float64) float64 {
+	var s float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			s += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// RelErr returns the absolute relative error |pred-actual|/actual.
+// It returns +Inf when actual is zero and pred is not, and 0 when both are 0.
+func RelErr(pred, actual float64) float64 {
+	if actual == 0 {
+		if pred == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(pred-actual) / math.Abs(actual)
+}
+
+// RelErrs returns the element-wise absolute relative errors of pred vs
+// actual. The slices must have equal length.
+func RelErrs(pred, actual []float64) []float64 {
+	if len(pred) != len(actual) {
+		panic(fmt.Sprintf("stats: RelErrs length mismatch %d vs %d", len(pred), len(actual)))
+	}
+	out := make([]float64, len(pred))
+	for i := range pred {
+		out[i] = RelErr(pred[i], actual[i])
+	}
+	return out
+}
+
+// MARE returns the mean absolute relative error of pred vs actual — the
+// paper's "average prediction error".
+func MARE(pred, actual []float64) float64 { return Mean(RelErrs(pred, actual)) }
+
+// MaxRelErr returns the maximum absolute relative error of pred vs actual.
+func MaxRelErr(pred, actual []float64) float64 { return Max(RelErrs(pred, actual)) }
+
+// RelSqErrSum returns the sum of relative squared errors
+// Σ (pred-actual)²/actual — the paper's regression objective
+// (least-squares percentage regression, Tofallis 2009).
+func RelSqErrSum(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		panic(fmt.Sprintf("stats: RelSqErrSum length mismatch %d vs %d", len(pred), len(actual)))
+	}
+	var s float64
+	for i := range pred {
+		d := pred[i] - actual[i]
+		if actual[i] == 0 {
+			s += d * d
+			continue
+		}
+		s += d * d / math.Abs(actual[i])
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile of xs (p in [0,100]) using linear
+// interpolation between order statistics. It does not modify xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// FractionBelow returns the fraction of xs strictly below the threshold t.
+func FractionBelow(xs []float64, t float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var n int
+	for _, x := range xs {
+		if x < t {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// CDFPoint is one point of an empirical cumulative distribution: Frac of
+// the samples have a value at or below Value. Used for Figure 3 style
+// "x% of benchmarks have a prediction error below y%" curves.
+type CDFPoint struct {
+	Frac  float64
+	Value float64
+}
+
+// CDF returns the empirical cumulative distribution of xs as sorted
+// (fraction, value) points, one per sample.
+func CDF(xs []float64) []CDFPoint {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, len(s))
+	for i, v := range s {
+		out[i] = CDFPoint{Frac: float64(i+1) / float64(len(s)), Value: v}
+	}
+	return out
+}
+
+// Summary describes a sample in one struct, convenient for table output.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	Std    float64
+	Min    float64
+	Max    float64
+	P90    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Median: Percentile(xs, 50),
+		Std:    StdDev(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		P90:    Percentile(xs, 90),
+	}
+}
+
+// String renders the summary on a single line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g median=%.4g std=%.4g min=%.4g max=%.4g p90=%.4g",
+		s.N, s.Mean, s.Median, s.Std, s.Min, s.Max, s.P90)
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,221 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v want %v (tol %v)", msg, got, want, tol)
+	}
+}
+
+func TestMean(t *testing.T) {
+	approx(t, Mean([]float64{1, 2, 3, 4}), 2.5, 1e-12, "mean 1..4")
+	approx(t, Mean(nil), 0, 0, "mean empty")
+	approx(t, Mean([]float64{-5}), -5, 0, "mean single")
+}
+
+func TestGeoMean(t *testing.T) {
+	approx(t, GeoMean([]float64{1, 4}), 2, 1e-12, "geomean 1,4")
+	approx(t, GeoMean([]float64{2, 8}), 4, 1e-12, "geomean 2,8")
+	approx(t, GeoMean(nil), 0, 0, "geomean empty")
+	// Non-positive values are skipped.
+	approx(t, GeoMean([]float64{-1, 0, 9}), 9, 1e-12, "geomean skips nonpositive")
+}
+
+func TestVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, Variance(xs), 4, 1e-12, "variance")
+	approx(t, StdDev(xs), 2, 1e-12, "std")
+	approx(t, Variance([]float64{3}), 0, 0, "variance single")
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	approx(t, Min(xs), -1, 0, "min")
+	approx(t, Max(xs), 7, 0, "max")
+	if !math.IsInf(Min(nil), 1) {
+		t.Error("Min(nil) should be +Inf")
+	}
+	if !math.IsInf(Max(nil), -1) {
+		t.Error("Max(nil) should be -Inf")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	approx(t, RelErr(11, 10), 0.1, 1e-12, "relerr over")
+	approx(t, RelErr(9, 10), 0.1, 1e-12, "relerr under")
+	approx(t, RelErr(0, 0), 0, 0, "relerr both zero")
+	if !math.IsInf(RelErr(1, 0), 1) {
+		t.Error("RelErr(1,0) should be +Inf")
+	}
+	// Negative actuals use the absolute value as denominator.
+	approx(t, RelErr(-9, -10), 0.1, 1e-12, "relerr negative")
+}
+
+func TestMAREAndMax(t *testing.T) {
+	pred := []float64{11, 9, 10}
+	act := []float64{10, 10, 10}
+	approx(t, MARE(pred, act), (0.1+0.1+0)/3, 1e-12, "mare")
+	approx(t, MaxRelErr(pred, act), 0.1, 1e-12, "max rel err")
+}
+
+func TestRelErrsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	RelErrs([]float64{1}, []float64{1, 2})
+}
+
+func TestRelSqErrSum(t *testing.T) {
+	// (11-10)^2/10 + (8-10)^2/10 = 0.1 + 0.4
+	approx(t, RelSqErrSum([]float64{11, 8}, []float64{10, 10}), 0.5, 1e-12, "relsq")
+	// Zero actual falls back to absolute squared error.
+	approx(t, RelSqErrSum([]float64{2}, []float64{0}), 4, 1e-12, "relsq zero actual")
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	approx(t, Percentile(xs, 0), 1, 0, "p0")
+	approx(t, Percentile(xs, 100), 5, 0, "p100")
+	approx(t, Percentile(xs, 50), 3, 1e-12, "p50")
+	approx(t, Percentile(xs, 25), 2, 1e-12, "p25")
+	approx(t, Percentile(xs, 10), 1.4, 1e-12, "p10 interpolated")
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile(nil) should be NaN")
+	}
+	// Percentile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := []float64{0.05, 0.15, 0.25, 0.35}
+	approx(t, FractionBelow(xs, 0.20), 0.5, 1e-12, "fraction below")
+	approx(t, FractionBelow(xs, 0.05), 0, 0, "strictly below")
+	approx(t, FractionBelow(nil, 1), 0, 0, "empty")
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{0.3, 0.1, 0.2})
+	if len(pts) != 3 {
+		t.Fatalf("want 3 points, got %d", len(pts))
+	}
+	approx(t, pts[0].Value, 0.1, 0, "cdf sorted value 0")
+	approx(t, pts[2].Value, 0.3, 0, "cdf sorted value 2")
+	approx(t, pts[0].Frac, 1.0/3, 1e-12, "cdf frac 0")
+	approx(t, pts[2].Frac, 1, 1e-12, "cdf frac 2")
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 {
+		t.Errorf("N=%d", s.N)
+	}
+	approx(t, s.Mean, 3, 1e-12, "summary mean")
+	approx(t, s.Median, 3, 1e-12, "summary median")
+	approx(t, s.Min, 1, 0, "summary min")
+	approx(t, s.Max, 5, 0, "summary max")
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	approx(t, Pearson(xs, ys), 1, 1e-12, "perfect positive")
+	neg := []float64{8, 6, 4, 2}
+	approx(t, Pearson(xs, neg), -1, 1e-12, "perfect negative")
+	if !math.IsNaN(Pearson(xs, []float64{1, 1, 1, 1})) {
+		t.Error("zero-variance Pearson should be NaN")
+	}
+	if !math.IsNaN(Pearson(xs, []float64{1})) {
+		t.Error("mismatched Pearson should be NaN")
+	}
+}
+
+// Property: MARE is invariant under positive scaling of both vectors.
+func TestMAREScaleInvariantProperty(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 1
+			}
+			return math.Mod(math.Abs(v), 1e6)
+		}
+		p := []float64{clamp(a) + 1, clamp(b) + 2}
+		y := []float64{clamp(c) + 1, clamp(a) + 3}
+		k := 3.7
+		ps := []float64{p[0] * k, p[1] * k}
+		ys := []float64{y[0] * k, y[1] * k}
+		return math.Abs(MARE(p, y)-MARE(ps, ys)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 12.5 {
+			v := Percentile(xs, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CDF fractions are increasing and end at exactly 1.
+func TestCDFProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pts := CDF(xs)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Frac <= pts[i-1].Frac || pts[i].Value < pts[i-1].Value {
+				return false
+			}
+		}
+		return pts[len(pts)-1].Frac == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

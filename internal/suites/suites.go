@@ -1,0 +1,254 @@
+// Package suites defines the two synthetic benchmark suites standing in
+// for SPEC CPU2000 and CPU2006. Each suite is a set of workload
+// specifications (48 and 55 benchmark-input pairs, matching the paper's
+// counts) whose characteristics — instruction mix, branch
+// predictability, code/data footprints, locality, pointer chasing,
+// dependence structure — are curated per benchmark to echo the published
+// behaviour of their namesakes: mcf chases pointers across a huge heap,
+// gcc has a large code footprint, milc/soplex/lbm stream through memory,
+// calculix and gromacs barely miss anywhere (the paper's outliers), and
+// so on. Benchmarks with multiple reference inputs appear once per input
+// with deterministically perturbed parameters, as on real SPEC runs.
+//
+// The CPU2006-like suite is deliberately more memory-intensive than the
+// CPU2000-like one (larger data footprints), reproducing the contrast the
+// paper leans on in Section 6.
+package suites
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Suite is a named set of workloads.
+type Suite struct {
+	Name      string
+	Workloads []trace.Spec
+}
+
+// Options controls suite instantiation.
+type Options struct {
+	// NumOps is the µop count per workload (default 300000). Experiments
+	// trade a little measurement noise for wall-clock time through this.
+	NumOps int
+	// SeedBase decorrelates whole-suite replications (default 0 — the
+	// standard suites).
+	SeedBase uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumOps <= 0 {
+		o.NumOps = 300000
+	}
+	return o
+}
+
+// profile is the curated per-benchmark characteristic set.
+type profile struct {
+	name   string
+	inputs int     // number of reference inputs (spec variants)
+	fp     float64 // FP fraction of non-branch µops
+	load   float64
+	store  float64
+	hard   float64 // fraction of hard-to-predict static branches
+	codeKB int
+	cloc   float64 // code locality
+	dataMB float64
+	dloc   float64 // data locality
+	chase  float64 // pointer-chase fraction of loads
+	dep    float64 // mean register-dependence distance (ILP)
+	chain  float64 // serial-chain fraction
+	hotMB  float64 // uniformly re-referenced resident set (0 = none);
+	// sized to straddle cache capacities across machine generations
+	// (1–3MB: between the P4's 1MB L2 and the Core 2's 4MB;
+	//  4.5–6.5MB: between the Core 2's 4MB L2 and the i7's 8MB L3)
+}
+
+// specs expands a profile into one trace.Spec per reference input. Input
+// variants perturb footprints and mix slightly (deterministically), the
+// way different SPEC inputs stress the same binary differently.
+func (p profile) specs(suite string, opts Options) []trace.Spec {
+	out := make([]trace.Spec, 0, p.inputs)
+	for i := 0; i < p.inputs; i++ {
+		name := p.name
+		if p.inputs > 1 {
+			name = fmt.Sprintf("%s.%d", p.name, i+1)
+		}
+		seed := hashName(suite+"/"+name) + opts.SeedBase
+		r := rng.New(seed ^ 0xabcdef12345)
+		jitter := func(v, rel float64) float64 {
+			f := v * (1 + rel*(2*r.Float64()-1))
+			if f < 0 {
+				f = 0
+			}
+			if f > 1 {
+				f = 1
+			}
+			return f
+		}
+		dataMB := p.dataMB * (0.6 + 0.8*r.Float64())
+		codeKB := float64(p.codeKB) * (0.75 + 0.5*r.Float64())
+		dep := p.dep * (0.85 + 0.3*r.Float64())
+		if dep < 1.2 {
+			dep = 1.2
+		}
+		out = append(out, trace.Spec{
+			Name:             name,
+			Seed:             seed,
+			NumOps:           opts.NumOps,
+			LoadFrac:         jitter(p.load, 0.08),
+			StoreFrac:        jitter(p.store, 0.08),
+			FPFrac:           jitter(p.fp, 0.08),
+			MulFrac:          0.02,
+			DivFrac:          0.003,
+			BranchHardFrac:   jitter(p.hard, 0.12),
+			CodeFootprint:    maxI64(4096, int64(codeKB*1024)),
+			CodeLocality:     jitter(p.cloc, 0.05),
+			DataFootprint:    maxI64(8192, int64(dataMB*(1<<20))),
+			DataLocality:     jitter(p.dloc, 0.05),
+			PointerChaseFrac: jitter(p.chase, 0.1),
+			DepDistMean:      dep,
+			LongChainFrac:    jitter(p.chain, 0.1),
+			FusibleFrac:      0.45,
+			HotBytes:         int64(p.hotMB * (0.92 + 0.16*r.Float64()) * (1 << 20)),
+		})
+	}
+	return out
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// hashName gives a stable 64-bit seed per workload name (FNV-1a).
+func hashName(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// cpu2000Profiles: 26 benchmarks, 48 benchmark-input pairs.
+var cpu2000Profiles = []profile{
+	// --- CINT2000 (33 pairs) ---
+	{name: "gzip", inputs: 5, fp: 0, load: 0.24, store: 0.10, hard: 0.22, codeKB: 24, cloc: 0.85, dataMB: 1.2, dloc: 0.65, chase: 0.02, dep: 7, chain: 0.10},
+	{name: "vpr", inputs: 2, fp: 0.04, load: 0.28, store: 0.09, hard: 0.35, codeKB: 48, cloc: 0.80, dataMB: 2.0, dloc: 0.55, chase: 0.10, dep: 8, chain: 0.10, hotMB: 1.2},
+	{name: "gcc", inputs: 5, fp: 0, load: 0.26, store: 0.13, hard: 0.30, codeKB: 1400, cloc: 0.55, dataMB: 6.0, dloc: 0.55, chase: 0.12, dep: 9, chain: 0.08},
+	{name: "mcf", inputs: 1, fp: 0, load: 0.32, store: 0.08, hard: 0.28, codeKB: 16, cloc: 0.90, dataMB: 96, dloc: 0.15, chase: 0.45, dep: 6, chain: 0.15},
+	{name: "crafty", inputs: 1, fp: 0, load: 0.27, store: 0.07, hard: 0.30, codeKB: 160, cloc: 0.70, dataMB: 1.5, dloc: 0.70, chase: 0.03, dep: 10, chain: 0.06},
+	{name: "parser", inputs: 1, fp: 0, load: 0.26, store: 0.10, hard: 0.32, codeKB: 120, cloc: 0.70, dataMB: 12, dloc: 0.45, chase: 0.22, dep: 7, chain: 0.12, hotMB: 1.5},
+	{name: "eon", inputs: 3, fp: 0.12, load: 0.28, store: 0.12, hard: 0.12, codeKB: 300, cloc: 0.70, dataMB: 0.5, dloc: 0.80, chase: 0.02, dep: 11, chain: 0.08},
+	{name: "perlbmk", inputs: 7, fp: 0, load: 0.27, store: 0.12, hard: 0.25, codeKB: 600, cloc: 0.60, dataMB: 8, dloc: 0.55, chase: 0.14, dep: 9, chain: 0.08},
+	{name: "gap", inputs: 1, fp: 0, load: 0.26, store: 0.11, hard: 0.20, codeKB: 400, cloc: 0.65, dataMB: 24, dloc: 0.45, chase: 0.12, dep: 9, chain: 0.09, hotMB: 1.9},
+	{name: "vortex", inputs: 3, fp: 0, load: 0.29, store: 0.14, hard: 0.10, codeKB: 500, cloc: 0.60, dataMB: 20, dloc: 0.50, chase: 0.15, dep: 10, chain: 0.07},
+	{name: "bzip2", inputs: 3, fp: 0, load: 0.25, store: 0.10, hard: 0.28, codeKB: 20, cloc: 0.85, dataMB: 10, dloc: 0.50, chase: 0.02, dep: 7, chain: 0.11},
+	{name: "twolf", inputs: 1, fp: 0.03, load: 0.28, store: 0.08, hard: 0.38, codeKB: 90, cloc: 0.75, dataMB: 2.5, dloc: 0.55, chase: 0.08, dep: 7, chain: 0.12, hotMB: 1.1},
+	// --- CFP2000 (15 pairs) ---
+	{name: "wupwise", inputs: 1, fp: 0.30, load: 0.26, store: 0.10, hard: 0.04, codeKB: 32, cloc: 0.85, dataMB: 40, dloc: 0.50, chase: 0.01, dep: 14, chain: 0.12, hotMB: 0.2},
+	{name: "swim", inputs: 1, fp: 0.32, load: 0.28, store: 0.11, hard: 0.02, codeKB: 16, cloc: 0.90, dataMB: 100, dloc: 0.30, chase: 0.00, dep: 18, chain: 0.08, hotMB: 0.2},
+	{name: "mgrid", inputs: 1, fp: 0.34, load: 0.30, store: 0.08, hard: 0.02, codeKB: 16, cloc: 0.90, dataMB: 28, dloc: 0.45, chase: 0.00, dep: 16, chain: 0.10, hotMB: 0.2},
+	{name: "applu", inputs: 1, fp: 0.33, load: 0.27, store: 0.10, hard: 0.03, codeKB: 40, cloc: 0.85, dataMB: 64, dloc: 0.35, chase: 0.00, dep: 15, chain: 0.14, hotMB: 0.2},
+	{name: "mesa", inputs: 1, fp: 0.18, load: 0.25, store: 0.12, hard: 0.10, codeKB: 280, cloc: 0.70, dataMB: 4, dloc: 0.70, chase: 0.03, dep: 11, chain: 0.08},
+	{name: "galgel", inputs: 1, fp: 0.32, load: 0.28, store: 0.08, hard: 0.05, codeKB: 64, cloc: 0.80, dataMB: 12, dloc: 0.60, chase: 0.00, dep: 15, chain: 0.12, hotMB: 2.5},
+	{name: "art", inputs: 2, fp: 0.26, load: 0.31, store: 0.07, hard: 0.08, codeKB: 12, cloc: 0.90, dataMB: 3.5, dloc: 0.25, chase: 0.02, dep: 12, chain: 0.18, hotMB: 2.8},
+	{name: "equake", inputs: 1, fp: 0.28, load: 0.30, store: 0.08, hard: 0.05, codeKB: 24, cloc: 0.88, dataMB: 32, dloc: 0.40, chase: 0.08, dep: 12, chain: 0.16, hotMB: 2.2},
+	{name: "facerec", inputs: 1, fp: 0.28, load: 0.27, store: 0.08, hard: 0.06, codeKB: 48, cloc: 0.82, dataMB: 12, dloc: 0.55, chase: 0.01, dep: 14, chain: 0.10},
+	{name: "ammp", inputs: 1, fp: 0.26, load: 0.28, store: 0.09, hard: 0.08, codeKB: 64, cloc: 0.80, dataMB: 20, dloc: 0.40, chase: 0.10, dep: 10, chain: 0.18, hotMB: 1.6},
+	{name: "lucas", inputs: 1, fp: 0.33, load: 0.26, store: 0.10, hard: 0.02, codeKB: 24, cloc: 0.88, dataMB: 80, dloc: 0.35, chase: 0.00, dep: 16, chain: 0.10, hotMB: 0.2},
+	{name: "fma3d", inputs: 1, fp: 0.29, load: 0.27, store: 0.11, hard: 0.06, codeKB: 700, cloc: 0.60, dataMB: 48, dloc: 0.45, chase: 0.02, dep: 13, chain: 0.12},
+	{name: "sixtrack", inputs: 1, fp: 0.31, load: 0.26, store: 0.09, hard: 0.04, codeKB: 500, cloc: 0.65, dataMB: 1.5, dloc: 0.75, chase: 0.00, dep: 14, chain: 0.14},
+	{name: "apsi", inputs: 1, fp: 0.30, load: 0.27, store: 0.10, hard: 0.05, codeKB: 96, cloc: 0.78, dataMB: 24, dloc: 0.45, chase: 0.00, dep: 14, chain: 0.12},
+}
+
+// cpu2006Profiles: 29 benchmarks, 55 benchmark-input pairs. Larger data
+// footprints overall than CPU2000 (the suite is more memory-intensive).
+var cpu2006Profiles = []profile{
+	// --- CINT2006 (35 pairs) ---
+	{name: "perlbench", inputs: 3, fp: 0, load: 0.27, store: 0.12, hard: 0.24, codeKB: 900, cloc: 0.60, dataMB: 24, dloc: 0.55, chase: 0.12, dep: 9, chain: 0.08},
+	{name: "bzip2", inputs: 6, fp: 0, load: 0.25, store: 0.10, hard: 0.30, codeKB: 24, cloc: 0.85, dataMB: 40, dloc: 0.45, chase: 0.02, dep: 7, chain: 0.11},
+	{name: "gcc", inputs: 9, fp: 0, load: 0.26, store: 0.13, hard: 0.30, codeKB: 2600, cloc: 0.50, dataMB: 48, dloc: 0.50, chase: 0.13, dep: 9, chain: 0.08},
+	{name: "mcf", inputs: 1, fp: 0, load: 0.33, store: 0.08, hard: 0.30, codeKB: 16, cloc: 0.90, dataMB: 600, dloc: 0.12, chase: 0.50, dep: 6, chain: 0.15},
+	{name: "gobmk", inputs: 5, fp: 0, load: 0.26, store: 0.09, hard: 0.36, codeKB: 1200, cloc: 0.62, dataMB: 8, dloc: 0.60, chase: 0.06, dep: 8, chain: 0.09},
+	{name: "hmmer", inputs: 2, fp: 0, load: 0.29, store: 0.11, hard: 0.08, codeKB: 80, cloc: 0.82, dataMB: 6, dloc: 0.65, chase: 0.01, dep: 12, chain: 0.08},
+	{name: "sjeng", inputs: 1, fp: 0, load: 0.24, store: 0.08, hard: 0.36, codeKB: 130, cloc: 0.75, dataMB: 64, dloc: 0.55, chase: 0.05, dep: 8, chain: 0.09},
+	{name: "libquantum", inputs: 1, fp: 0.02, load: 0.28, store: 0.09, hard: 0.06, codeKB: 16, cloc: 0.92, dataMB: 96, dloc: 0.25, chase: 0.00, dep: 14, chain: 0.10, hotMB: 0.2},
+	{name: "h264ref", inputs: 3, fp: 0.03, load: 0.30, store: 0.12, hard: 0.18, codeKB: 500, cloc: 0.68, dataMB: 24, dloc: 0.60, chase: 0.02, dep: 10, chain: 0.09},
+	{name: "omnetpp", inputs: 1, fp: 0, load: 0.30, store: 0.12, hard: 0.28, codeKB: 600, cloc: 0.60, dataMB: 120, dloc: 0.30, chase: 0.30, dep: 8, chain: 0.11, hotMB: 5.8},
+	{name: "astar", inputs: 2, fp: 0.02, load: 0.30, store: 0.09, hard: 0.32, codeKB: 40, cloc: 0.82, dataMB: 180, dloc: 0.35, chase: 0.25, dep: 7, chain: 0.12, hotMB: 5.2},
+	{name: "xalancbmk", inputs: 1, fp: 0, load: 0.30, store: 0.11, hard: 0.24, codeKB: 2400, cloc: 0.52, dataMB: 160, dloc: 0.40, chase: 0.22, dep: 9, chain: 0.09, hotMB: 6.0},
+	// --- CFP2006 (20 pairs) ---
+	{name: "bwaves", inputs: 1, fp: 0.33, load: 0.28, store: 0.09, hard: 0.02, codeKB: 24, cloc: 0.90, dataMB: 400, dloc: 0.30, chase: 0.00, dep: 17, chain: 0.09, hotMB: 0.2},
+	{name: "gamess", inputs: 3, fp: 0.30, load: 0.26, store: 0.09, hard: 0.05, codeKB: 2000, cloc: 0.62, dataMB: 1.2, dloc: 0.80, chase: 0.00, dep: 13, chain: 0.12},
+	{name: "milc", inputs: 1, fp: 0.30, load: 0.30, store: 0.11, hard: 0.03, codeKB: 80, cloc: 0.82, dataMB: 500, dloc: 0.18, chase: 0.00, dep: 15, chain: 0.11, hotMB: 0.2},
+	{name: "zeusmp", inputs: 1, fp: 0.32, load: 0.27, store: 0.10, hard: 0.03, codeKB: 160, cloc: 0.78, dataMB: 360, dloc: 0.35, chase: 0.00, dep: 15, chain: 0.11, hotMB: 5.4},
+	{name: "gromacs", inputs: 1, fp: 0.31, load: 0.26, store: 0.08, hard: 0.02, codeKB: 260, cloc: 0.80, dataMB: 1.0, dloc: 0.85, chase: 0.00, dep: 13, chain: 0.13},
+	{name: "cactusADM", inputs: 1, fp: 0.34, load: 0.28, store: 0.10, hard: 0.02, codeKB: 240, cloc: 0.75, dataMB: 420, dloc: 0.35, chase: 0.00, dep: 16, chain: 0.11, hotMB: 0.2},
+	{name: "leslie3d", inputs: 1, fp: 0.33, load: 0.28, store: 0.10, hard: 0.02, codeKB: 64, cloc: 0.85, dataMB: 80, dloc: 0.35, chase: 0.00, dep: 16, chain: 0.10, hotMB: 4.8},
+	{name: "namd", inputs: 1, fp: 0.30, load: 0.28, store: 0.08, hard: 0.04, codeKB: 220, cloc: 0.80, dataMB: 3.0, dloc: 0.80, chase: 0.00, dep: 14, chain: 0.11},
+	{name: "dealII", inputs: 1, fp: 0.26, load: 0.29, store: 0.10, hard: 0.10, codeKB: 1600, cloc: 0.60, dataMB: 24, dloc: 0.60, chase: 0.08, dep: 11, chain: 0.10, hotMB: 4.5},
+	{name: "soplex", inputs: 2, fp: 0.24, load: 0.30, store: 0.08, hard: 0.14, codeKB: 400, cloc: 0.68, dataMB: 280, dloc: 0.25, chase: 0.10, dep: 11, chain: 0.12, hotMB: 5.5},
+	{name: "povray", inputs: 1, fp: 0.24, load: 0.28, store: 0.10, hard: 0.16, codeKB: 900, cloc: 0.64, dataMB: 1.5, dloc: 0.80, chase: 0.04, dep: 11, chain: 0.10},
+	{name: "calculix", inputs: 1, fp: 0.31, load: 0.26, store: 0.08, hard: 0.02, codeKB: 1400, cloc: 0.85, dataMB: 0.8, dloc: 0.88, chase: 0.00, dep: 14, chain: 0.12},
+	{name: "GemsFDTD", inputs: 1, fp: 0.33, load: 0.28, store: 0.10, hard: 0.02, codeKB: 160, cloc: 0.80, dataMB: 400, dloc: 0.30, chase: 0.00, dep: 16, chain: 0.10, hotMB: 6.2},
+	{name: "tonto", inputs: 1, fp: 0.29, load: 0.27, store: 0.10, hard: 0.06, codeKB: 2200, cloc: 0.62, dataMB: 6, dloc: 0.70, chase: 0.01, dep: 13, chain: 0.11},
+	{name: "lbm", inputs: 1, fp: 0.32, load: 0.29, store: 0.12, hard: 0.01, codeKB: 12, cloc: 0.92, dataMB: 420, dloc: 0.22, chase: 0.00, dep: 18, chain: 0.08, hotMB: 0.2},
+	{name: "wrf", inputs: 1, fp: 0.31, load: 0.27, store: 0.10, hard: 0.04, codeKB: 2000, cloc: 0.65, dataMB: 120, dloc: 0.45, chase: 0.00, dep: 14, chain: 0.11, hotMB: 5.6},
+	{name: "sphinx3", inputs: 1, fp: 0.28, load: 0.29, store: 0.08, hard: 0.08, codeKB: 160, cloc: 0.78, dataMB: 48, dloc: 0.40, chase: 0.02, dep: 13, chain: 0.11, hotMB: 5.0},
+}
+
+func build(name string, profiles []profile, opts Options) Suite {
+	opts = opts.withDefaults()
+	s := Suite{Name: name}
+	for _, p := range profiles {
+		s.Workloads = append(s.Workloads, p.specs(name, opts)...)
+	}
+	return s
+}
+
+// CPU2000Like returns the 48-workload CPU2000 stand-in suite.
+func CPU2000Like(opts Options) Suite { return build("cpu2000", cpu2000Profiles, opts) }
+
+// CPU2006Like returns the 55-workload CPU2006 stand-in suite.
+func CPU2006Like(opts Options) Suite { return build("cpu2006", cpu2006Profiles, opts) }
+
+// ByName returns the named suite ("cpu2000" or "cpu2006").
+func ByName(name string, opts Options) (Suite, error) {
+	switch name {
+	case "cpu2000":
+		return CPU2000Like(opts), nil
+	case "cpu2006":
+		return CPU2006Like(opts), nil
+	default:
+		return Suite{}, fmt.Errorf("suites: unknown suite %q (want cpu2000 or cpu2006)", name)
+	}
+}
+
+// Find returns the workload spec with the given name, if present.
+func (s *Suite) Find(name string) (trace.Spec, bool) {
+	for _, w := range s.Workloads {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return trace.Spec{}, false
+}
+
+// MeanDataFootprint returns the average data footprint in bytes, used to
+// verify the 2006 suite is the more memory-intensive one.
+func (s *Suite) MeanDataFootprint() float64 {
+	if len(s.Workloads) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, w := range s.Workloads {
+		sum += float64(w.DataFootprint)
+	}
+	return sum / float64(len(s.Workloads))
+}

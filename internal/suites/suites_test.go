@@ -1,0 +1,191 @@
+package suites
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSuiteSizesMatchPaper(t *testing.T) {
+	s2000 := CPU2000Like(Options{})
+	s2006 := CPU2006Like(Options{})
+	if len(s2000.Workloads) != 48 {
+		t.Errorf("CPU2000-like has %d workloads, want 48", len(s2000.Workloads))
+	}
+	if len(s2006.Workloads) != 55 {
+		t.Errorf("CPU2006-like has %d workloads, want 55", len(s2006.Workloads))
+	}
+}
+
+func TestAllSpecsValid(t *testing.T) {
+	for _, s := range []Suite{CPU2000Like(Options{}), CPU2006Like(Options{})} {
+		for _, w := range s.Workloads {
+			if err := w.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", s.Name, w.Name, err)
+			}
+		}
+	}
+}
+
+func TestWorkloadNamesUnique(t *testing.T) {
+	for _, s := range []Suite{CPU2000Like(Options{}), CPU2006Like(Options{})} {
+		seen := map[string]bool{}
+		for _, w := range s.Workloads {
+			if seen[w.Name] {
+				t.Errorf("%s: duplicate workload name %s", s.Name, w.Name)
+			}
+			seen[w.Name] = true
+		}
+	}
+}
+
+func TestSeedsUnique(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, s := range []Suite{CPU2000Like(Options{}), CPU2006Like(Options{})} {
+		for _, w := range s.Workloads {
+			if prev, ok := seen[w.Seed]; ok {
+				t.Errorf("seed collision: %s/%s and %s", s.Name, w.Name, prev)
+			}
+			seen[w.Seed] = s.Name + "/" + w.Name
+		}
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	a := CPU2006Like(Options{})
+	b := CPU2006Like(Options{})
+	for i := range a.Workloads {
+		if a.Workloads[i] != b.Workloads[i] {
+			t.Fatalf("workload %d differs between constructions", i)
+		}
+	}
+}
+
+func Test2006MoreMemoryIntensive(t *testing.T) {
+	s2000 := CPU2000Like(Options{})
+	s2006 := CPU2006Like(Options{})
+	if s2006.MeanDataFootprint() < 2*s2000.MeanDataFootprint() {
+		t.Errorf("CPU2006-like mean footprint %.0fMB should dwarf CPU2000-like %.0fMB",
+			s2006.MeanDataFootprint()/(1<<20), s2000.MeanDataFootprint()/(1<<20))
+	}
+}
+
+func TestNumOpsOption(t *testing.T) {
+	s := CPU2000Like(Options{NumOps: 12345})
+	for _, w := range s.Workloads {
+		if w.NumOps != 12345 {
+			t.Fatalf("workload %s NumOps %d", w.Name, w.NumOps)
+		}
+	}
+	d := CPU2000Like(Options{})
+	if d.Workloads[0].NumOps != 300000 {
+		t.Errorf("default NumOps %d, want 300000", d.Workloads[0].NumOps)
+	}
+}
+
+func TestSeedBaseChangesSeedsOnly(t *testing.T) {
+	a := CPU2000Like(Options{})
+	b := CPU2000Like(Options{SeedBase: 99})
+	if a.Workloads[0].Seed == b.Workloads[0].Seed {
+		t.Error("SeedBase should alter seeds")
+	}
+	if a.Workloads[0].Name != b.Workloads[0].Name {
+		t.Error("SeedBase should not alter names")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"cpu2000", "cpu2006"} {
+		s, err := ByName(n, Options{})
+		if err != nil || s.Name != n {
+			t.Errorf("ByName(%s): %v, %s", n, err, s.Name)
+		}
+	}
+	if _, err := ByName("cpu2017", Options{}); err == nil {
+		t.Error("expected error for unknown suite")
+	}
+}
+
+func TestFind(t *testing.T) {
+	s := CPU2006Like(Options{})
+	w, ok := s.Find("mcf")
+	if !ok || w.Name != "mcf" {
+		t.Error("mcf should be present in CPU2006-like")
+	}
+	if _, ok := s.Find("doom3"); ok {
+		t.Error("doom3 should not be present")
+	}
+}
+
+func TestPaperOutlierCharacteristics(t *testing.T) {
+	// calculix and gromacs are the paper's low-miss outliers; milc and
+	// soplex its high-miss ones (Section 5.1/5.2). Check the suite encodes
+	// that contrast.
+	s := CPU2006Like(Options{})
+	calculix, _ := s.Find("calculix")
+	gromacs, _ := s.Find("gromacs")
+	milc, _ := s.Find("milc")
+	soplex, _ := s.Find("soplex.1")
+	for _, low := range []trace.Spec{calculix, gromacs} {
+		if low.DataFootprint > 4<<20 {
+			t.Errorf("%s footprint %d should be cache-resident", low.Name, low.DataFootprint)
+		}
+		if low.BranchHardFrac > 0.1 {
+			t.Errorf("%s should have low branch entropy", low.Name)
+		}
+	}
+	for _, high := range []trace.Spec{milc, soplex} {
+		if high.DataFootprint < 64<<20 {
+			t.Errorf("%s footprint %d should be memory-bound", high.Name, high.DataFootprint)
+		}
+	}
+	// mcf chases pointers.
+	mcf, _ := s.Find("mcf")
+	if mcf.PointerChaseFrac < 0.3 {
+		t.Errorf("mcf chase fraction %.2f should be high", mcf.PointerChaseFrac)
+	}
+	// gcc has a big code footprint.
+	gcc, _ := s.Find("gcc.1")
+	if gcc.CodeFootprint < 1<<20 {
+		t.Errorf("gcc code footprint %d should exceed 1MB", gcc.CodeFootprint)
+	}
+}
+
+func TestInputVariantsDiffer(t *testing.T) {
+	s := CPU2000Like(Options{})
+	g1, ok1 := s.Find("gzip.1")
+	g2, ok2 := s.Find("gzip.2")
+	if !ok1 || !ok2 {
+		t.Fatal("gzip variants missing")
+	}
+	if g1.Seed == g2.Seed {
+		t.Error("variants must have distinct seeds")
+	}
+	if g1.DataFootprint == g2.DataFootprint {
+		t.Error("variants should perturb footprints")
+	}
+	if !strings.HasPrefix(g1.Name, "gzip.") {
+		t.Errorf("variant naming: %s", g1.Name)
+	}
+}
+
+func TestSuitesGenerateTraces(t *testing.T) {
+	// Spot-check that a few representative specs actually generate.
+	s := CPU2006Like(Options{NumOps: 2000})
+	for _, name := range []string{"mcf", "gcc.1", "lbm", "calculix"} {
+		w, ok := s.Find(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		g := trace.New(w)
+		var op trace.MicroOp
+		n := 0
+		for g.Next(&op) {
+			n++
+		}
+		if n != 2000 {
+			t.Errorf("%s generated %d ops", name, n)
+		}
+	}
+}

@@ -1,0 +1,478 @@
+// Package trace generates synthetic micro-operation streams that stand in
+// for the SPEC CPU2000/CPU2006 binaries the paper runs on real hardware.
+//
+// A workload is described by a Spec: instruction mix, branch
+// predictability, code footprint, data footprint and locality, pointer
+// chasing, and register-dependence structure. The generator expands the
+// spec into a deterministic, seeded stream of micro-ops with concrete
+// program counters, data addresses, branch outcomes, and producer
+// distances, which the cycle-level simulator in internal/sim executes.
+//
+// The same Spec always produces the exact same µop stream, so every
+// machine configuration observes the same program — differences in
+// counter values across machines come from the hardware, as on real
+// silicon.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Kind classifies a micro-op.
+type Kind uint8
+
+// Micro-op kinds.
+const (
+	KindInt Kind = iota // single-cycle integer ALU
+	KindMul             // integer multiply
+	KindFP              // floating-point arithmetic
+	KindDiv             // long-latency divide
+	KindLoad
+	KindStore
+	KindBranch // conditional branch
+	kindCount
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindMul:
+		return "mul"
+	case KindFP:
+		return "fp"
+	case KindDiv:
+		return "div"
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindBranch:
+		return "branch"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// IsMem reports whether the kind accesses data memory.
+func (k Kind) IsMem() bool { return k == KindLoad || k == KindStore }
+
+// MicroOp is one micro-operation of the canonical (unfused) stream.
+type MicroOp struct {
+	Seq    uint64 // canonical sequence number, starting at 0
+	Kind   Kind
+	PC     uint64 // instruction address
+	Addr   uint64 // data address (loads/stores only)
+	Target uint64 // branch target (branches only)
+	Taken  bool   // branch outcome (branches only)
+
+	// Dep1 and Dep2 are backward distances (in canonical sequence numbers)
+	// to producer µops; 0 means no register dependence. For loads, Dep1
+	// is an address-generation dependence.
+	Dep1, Dep2 uint32
+
+	// InstrFirst marks the first µop of a macro-instruction. The number
+	// of macro-instructions executed is the count of InstrFirst µops.
+	InstrFirst bool
+
+	// FuseHead marks a µop that a fusing machine may merge with its
+	// immediate successor (e.g. compare+branch macro-fusion or load+op
+	// micro-fusion). The successor is then the FuseTail.
+	FuseHead bool
+	FuseTail bool
+}
+
+// Spec describes a synthetic workload. All fractions are in [0,1].
+type Spec struct {
+	Name string
+	Seed uint64
+	// NumOps is the number of canonical µops to generate.
+	NumOps int
+
+	// Instruction mix, as fractions of non-branch µops (the remainder are
+	// integer ALU ops; branches are emitted by the basic-block structure
+	// at a density set by block lengths, roughly one in eight µops).
+	// LoadFrac+StoreFrac+FPFrac+MulFrac+DivFrac must be <= 0.95 so some
+	// plain integer ops remain.
+	LoadFrac  float64
+	StoreFrac float64
+	FPFrac    float64
+	MulFrac   float64
+	DivFrac   float64
+
+	// BranchHardFrac is the fraction of *static* branches with
+	// near-random outcomes (taken probability drawn in [0.35, 0.65]);
+	// the rest are strongly biased (p in [0, 0.08] or [0.92, 1]).
+	BranchHardFrac float64
+
+	// CodeFootprint is the static code size in bytes; it determines
+	// I-cache and I-TLB behaviour. CodeLocality in [0,1] skews block
+	// reuse toward a hot region (1 = tight loop nest, 0 = flat profile).
+	CodeFootprint int64
+	CodeLocality  float64
+
+	// DataFootprint is the total data working set in bytes; DataLocality
+	// in [0,1] skews accesses toward hot lines. PointerChaseFrac is the
+	// fraction of loads whose address depends on the previous load
+	// (serializing misses and suppressing MLP).
+	DataFootprint    int64
+	DataLocality     float64
+	PointerChaseFrac float64
+
+	// HotBytes, when non-zero, models a uniformly re-referenced resident
+	// set at the start of the footprint: a fraction HotFrac of accesses
+	// fall uniformly inside it, the rest follow the Zipf tail over the
+	// whole footprint. A resident set that straddles two machines' cache
+	// capacities is what makes a larger last-level cache remove misses
+	// (e.g. art thrashing a 1MB L2 but fitting 4MB; SPEC2006 sets
+	// straddling 4MB vs 8MB). HotFrac defaults to 0.9 when HotBytes is
+	// set and HotFrac is zero.
+	HotBytes int64
+	HotFrac  float64
+
+	// DepDistMean is the mean backward distance of register dependences;
+	// small values mean long dependence chains and low ILP.
+	// LongChainFrac is the fraction of µops chained directly to their
+	// predecessor (distance 1), creating serial chains that fill the
+	// window and cause dispatch stalls.
+	DepDistMean   float64
+	LongChainFrac float64
+
+	// FusibleFrac is the fraction of µop pairs marked fusible; fusing
+	// machines merge a machine-dependent share of them.
+	FusibleFrac float64
+}
+
+// Validate checks the spec for consistency.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("trace: spec has no name")
+	}
+	if s.NumOps <= 0 {
+		return fmt.Errorf("trace: %s: NumOps must be positive", s.Name)
+	}
+	mix := s.LoadFrac + s.StoreFrac + s.FPFrac + s.MulFrac + s.DivFrac
+	if mix > 0.95 {
+		return fmt.Errorf("trace: %s: instruction mix sums to %.2f > 0.95", s.Name, mix)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"LoadFrac", s.LoadFrac}, {"StoreFrac", s.StoreFrac}, {"FPFrac", s.FPFrac},
+		{"MulFrac", s.MulFrac}, {"DivFrac", s.DivFrac},
+		{"BranchHardFrac", s.BranchHardFrac}, {"CodeLocality", s.CodeLocality},
+		{"DataLocality", s.DataLocality}, {"PointerChaseFrac", s.PointerChaseFrac},
+		{"LongChainFrac", s.LongChainFrac}, {"FusibleFrac", s.FusibleFrac},
+		{"HotFrac", s.HotFrac},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("trace: %s: %s=%v outside [0,1]", s.Name, f.name, f.v)
+		}
+	}
+	if s.CodeFootprint < 1024 {
+		return fmt.Errorf("trace: %s: code footprint %d too small", s.Name, s.CodeFootprint)
+	}
+	if s.DataFootprint < 4096 {
+		return fmt.Errorf("trace: %s: data footprint %d too small", s.Name, s.DataFootprint)
+	}
+	if s.DepDistMean < 1 {
+		return fmt.Errorf("trace: %s: DepDistMean must be >= 1", s.Name)
+	}
+	if s.HotBytes < 0 || s.HotBytes > s.DataFootprint {
+		return fmt.Errorf("trace: %s: HotBytes %d outside [0, footprint]", s.Name, s.HotBytes)
+	}
+	return nil
+}
+
+// Layout constants for synthetic address spaces.
+const (
+	codeBase   = 0x0040_0000 // where synthetic code is laid out
+	dataBase   = 0x1000_0000 // where the data working set is laid out
+	bytesPerOp = 4           // static bytes per µop in the code layout
+	lineBytes  = 64          // data line granularity for locality
+)
+
+// block is a static basic block of the synthetic program.
+type block struct {
+	startPC   uint64
+	numOps    int
+	takenProb float64
+	target    int // target block index when the terminating branch is taken
+}
+
+// Generator streams the µop sequence of one workload. Not safe for
+// concurrent use; create one per goroutine.
+type Generator struct {
+	spec   Spec
+	blocks []block
+
+	r             *rng.RNG
+	emitted       int
+	blockIdx      int
+	opInBlk       int
+	lastLoad      uint64 // canonical seq of the most recent load
+	hasLoad       bool
+	opsSinceInstr int
+	fuseArmed     bool // previous µop was a FuseHead
+
+	// data regions: hot/cold split of the footprint in lines.
+	dataLines int
+	hotLines  int
+	hotFrac   float64
+}
+
+// New constructs a generator for the spec. It panics if the spec is
+// invalid; call Validate first for graceful handling.
+func New(spec Spec) *Generator {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	g := &Generator{spec: spec}
+	g.buildProgram()
+	g.Reset()
+	return g
+}
+
+// buildProgram lays out the static basic blocks deterministically from
+// the seed. Block structure is part of the program, not the dynamic
+// stream, so it uses a dedicated RNG stream (seed^const).
+func (g *Generator) buildProgram() {
+	r := rng.New(g.spec.Seed ^ 0x9e3779b97f4a7c15)
+	// Average block ~8 µops → blockBytes ~32.
+	nBlocks := int(g.spec.CodeFootprint / (8 * bytesPerOp))
+	if nBlocks < 4 {
+		nBlocks = 4
+	}
+	g.blocks = make([]block, nBlocks)
+	pc := uint64(codeBase)
+	for i := range g.blocks {
+		n := 4 + r.Intn(9) // 4..12 µops
+		var p float64
+		if r.Float64() < g.spec.BranchHardFrac {
+			p = 0.35 + 0.3*r.Float64() // hard-to-predict
+		} else if r.Bool(0.5) {
+			p = 0.08 * r.Float64() // strongly not-taken
+		} else {
+			p = 1 - 0.08*r.Float64() // strongly taken
+		}
+		// Taken targets are Zipf-skewed toward low block indices: a hot
+		// loop region at the start of the code, colder code later. The
+		// skew grows with CodeLocality; coefficients are tuned so that
+		// large-code workloads (gcc-like, MBs of text at locality ~0.5)
+		// spill out of a 32KB L1I at a realistic rate while tight kernels
+		// (locality ~0.9) stay resident.
+		target := r.Zipf(nBlocks, 0.3+1.4*g.spec.CodeLocality)
+		g.blocks[i] = block{startPC: pc, numOps: n, takenProb: p, target: target}
+		pc += uint64(n * bytesPerOp)
+	}
+	g.dataLines = int(g.spec.DataFootprint / lineBytes)
+	if g.dataLines < 16 {
+		g.dataLines = 16
+	}
+	if g.spec.HotBytes > 0 {
+		g.hotLines = int(g.spec.HotBytes / lineBytes)
+		if g.hotLines < 1 {
+			g.hotLines = 1
+		}
+		g.hotFrac = g.spec.HotFrac
+		if g.hotFrac == 0 {
+			g.hotFrac = 0.9
+		}
+	}
+}
+
+// Reset restarts the dynamic stream from the beginning. The static
+// program layout is preserved, so the regenerated stream is identical.
+func (g *Generator) Reset() {
+	g.r = rng.New(g.spec.Seed)
+	g.emitted = 0
+	g.blockIdx = 0
+	g.opInBlk = 0
+	g.lastLoad = 0
+	g.hasLoad = false
+	g.opsSinceInstr = 0
+	g.fuseArmed = false
+}
+
+// Spec returns the workload specification.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// NumOps returns the stream length.
+func (g *Generator) NumOps() int { return g.spec.NumOps }
+
+// Next fills op with the next µop and returns true, or returns false when
+// the stream is exhausted.
+func (g *Generator) Next(op *MicroOp) bool {
+	if g.emitted >= g.spec.NumOps {
+		return false
+	}
+	s := &g.spec
+	blk := &g.blocks[g.blockIdx]
+
+	*op = MicroOp{
+		Seq: uint64(g.emitted),
+		PC:  blk.startPC + uint64(g.opInBlk*bytesPerOp),
+	}
+
+	lastInBlock := g.opInBlk == blk.numOps-1
+	if lastInBlock {
+		// Terminating conditional branch of the block.
+		op.Kind = KindBranch
+		op.Taken = g.r.Bool(blk.takenProb)
+		if op.Taken {
+			op.Target = g.blocks[blk.target].startPC
+		} else {
+			next := (g.blockIdx + 1) % len(g.blocks)
+			op.Target = g.blocks[next].startPC
+		}
+	} else {
+		op.Kind = g.pickKind()
+	}
+
+	// Data address for memory ops.
+	if op.Kind.IsMem() {
+		line := g.pickDataLine()
+		off := uint64(g.r.Intn(lineBytes/8) * 8)
+		op.Addr = dataBase + uint64(line)*lineBytes + off
+	}
+
+	// Register dependences.
+	g.assignDeps(op)
+
+	// Macro-instruction boundaries: roughly 1.5 canonical µops per
+	// instruction (NetBurst-style cracking); memory ops tend to start
+	// instructions (load+op pairs).
+	if g.opsSinceInstr == 0 {
+		op.InstrFirst = true
+		g.opsSinceInstr = 1
+		if g.r.Bool(0.5) {
+			g.opsSinceInstr = 0 // single-µop instruction
+		}
+	} else {
+		g.opsSinceInstr = 0
+	}
+
+	// Fusibility: mark head/tail pairs (never across a branch target,
+	// which in this synthetic layout means never across blocks).
+	if op.FuseTail = g.pendingFuseTail(); !op.FuseTail {
+		if !lastInBlock && g.r.Bool(s.FusibleFrac) {
+			op.FuseHead = true
+			g.fuseArmed = true
+		}
+	}
+
+	if op.Kind == KindLoad {
+		g.lastLoad = op.Seq
+		g.hasLoad = true
+	}
+
+	// Advance program position.
+	if lastInBlock {
+		if op.Taken {
+			g.blockIdx = blk.target
+		} else {
+			g.blockIdx = (g.blockIdx + 1) % len(g.blocks)
+		}
+		g.opInBlk = 0
+	} else {
+		g.opInBlk++
+	}
+	g.emitted++
+	return true
+}
+
+func (g *Generator) pendingFuseTail() bool {
+	if g.fuseArmed {
+		g.fuseArmed = false
+		return true
+	}
+	return false
+}
+
+// pickKind draws a non-branch µop kind from the mix.
+func (g *Generator) pickKind() Kind {
+	s := &g.spec
+	u := g.r.Float64()
+	switch {
+	case u < s.LoadFrac:
+		return KindLoad
+	case u < s.LoadFrac+s.StoreFrac:
+		return KindStore
+	case u < s.LoadFrac+s.StoreFrac+s.FPFrac:
+		return KindFP
+	case u < s.LoadFrac+s.StoreFrac+s.FPFrac+s.MulFrac:
+		return KindMul
+	case u < s.LoadFrac+s.StoreFrac+s.FPFrac+s.MulFrac+s.DivFrac:
+		return KindDiv
+	default:
+		return KindInt
+	}
+}
+
+// pickDataLine selects a data line index with Zipf locality. The skew
+// mapping is calibrated so that even "low locality" workloads reuse most
+// of their accesses (as real programs do): at locality 0.12 over a
+// ~500MB footprint roughly 10% of accesses fall outside a 4MB hot set
+// (mcf-like LLC miss rates of tens per thousand instructions), while at
+// locality 0.85 the working set is cache-resident. The gap between the
+// beyond-4MB and beyond-8MB tails is what lets a larger last-level
+// cache remove misses (the paper's Core i7 observation).
+func (g *Generator) pickDataLine() int {
+	if g.hotLines > 0 && g.r.Bool(g.hotFrac) {
+		return g.r.Intn(g.hotLines)
+	}
+	skew := 1.05 + 0.85*g.spec.DataLocality
+	return g.r.Zipf(g.dataLines, skew)
+}
+
+// assignDeps draws producer distances for op.
+func (g *Generator) assignDeps(op *MicroOp) {
+	s := &g.spec
+	seq := op.Seq
+	maxDist := seq // cannot reach before the stream start
+	if maxDist == 0 {
+		return
+	}
+	draw := func() uint32 {
+		if g.r.Bool(s.LongChainFrac) {
+			return 1
+		}
+		// Geometric with the requested mean, clamped to the window-ish
+		// range [1, 96] so dependences stay plausible.
+		p := 1 / s.DepDistMean
+		if p > 1 {
+			p = 1
+		}
+		d := uint32(g.r.Geometric(p)) + 1
+		if d > 96 {
+			d = 96
+		}
+		return d
+	}
+	clamp := func(d uint32) uint32 {
+		if uint64(d) > maxDist {
+			return uint32(maxDist)
+		}
+		return d
+	}
+
+	if op.Kind == KindLoad && g.hasLoad && g.r.Bool(s.PointerChaseFrac) {
+		// Pointer chase: address depends on the most recent load.
+		d := seq - g.lastLoad
+		if d >= 1 && d <= 256 {
+			op.Dep1 = uint32(d)
+		} else {
+			op.Dep1 = clamp(draw())
+		}
+	} else {
+		op.Dep1 = clamp(draw())
+	}
+	// Second source operand with 40% probability (stores always have a
+	// data operand besides the address).
+	if op.Kind == KindStore || g.r.Bool(0.4) {
+		op.Dep2 = clamp(draw())
+	}
+}
