@@ -1,0 +1,65 @@
+#!/usr/bin/make -f
+
+########################################
+### Simulations & CI targets
+#
+# The simulation campaign is cached in a content-addressed run store
+# (internal/runstore); point RUNSTORE elsewhere to isolate runs, or
+# delete the directory to force a cold campaign. Modeled on the
+# multi-seed/cached-run sims.mk discipline of cosmos-sdk chains.
+
+RUNSTORE ?= $(CURDIR)/.runstore
+
+# µop counts: BENCH_OPS feeds the shared benchmark campaign through
+# REPRO_BENCH_OPS (default in bench_test.go is the paper-faithful 1.2M);
+# SMOKE_OPS keeps the CI simulation smoke short.
+BENCH_OPS ?= 120000
+SMOKE_OPS ?= 60000
+
+all: lint test
+
+build:
+	@echo "Building all packages..."
+	@go build ./...
+
+test:
+	@echo "Running unit tests..."
+	@go test ./...
+
+test-short:
+	@echo "Running short unit tests (skips full campaigns)..."
+	@go test -short ./...
+
+race:
+	@echo "Running unit tests under the race detector..."
+	@go test -race ./...
+
+lint:
+	@echo "Checking gofmt..."
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@echo "Running go vet..."
+	@go vet ./...
+
+bench-smoke:
+	@echo "Running benchmark smoke (ops=$(BENCH_OPS)) against the run store at $(RUNSTORE)..."
+	@REPRO_RUNSTORE=$(RUNSTORE) REPRO_BENCH_OPS=$(BENCH_OPS) \
+		go test -run '^$$' -bench 'Fig2ModelAccuracy|SimulatorThroughput|TraceGeneration|ModelPredict' \
+		-benchtime 1x -benchmem .
+
+bench-full:
+	@echo "Running the full paper benchmark campaign. This may take awhile!"
+	@REPRO_RUNSTORE=$(RUNSTORE) go test -run '^$$' -bench . -benchtime 1x -benchmem .
+
+sim-smoke:
+	@echo "Running a short experiment campaign (ops=$(SMOKE_OPS)) against the run store..."
+	@go run ./cmd/experiments -run fig2 -ops $(SMOKE_OPS) -starts 2 -store $(RUNSTORE) > /dev/null
+	@echo "Re-running warm: must be pure store hits..."
+	@go run ./cmd/experiments -run fig2 -ops $(SMOKE_OPS) -starts 2 -store $(RUNSTORE) 2>&1 >/dev/null \
+		| grep "0 simulated (100.0% hit rate)"
+
+clean-store:
+	@echo "Removing the run store at $(RUNSTORE)..."
+	@rm -rf $(RUNSTORE)
+
+.PHONY: all build test test-short race lint bench-smoke bench-full sim-smoke clean-store

@@ -11,12 +11,17 @@
 package repro
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
 	"sync"
 	"testing"
 
 	"repro/internal/calibrator"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/runstore"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/suites"
@@ -30,15 +35,51 @@ var (
 	labErr  error
 )
 
-// benchLab simulates the full campaign once per test binary invocation.
-// 1.2M µops per workload are needed for the cache-capacity effects the
-// paper's Figure 6 hinges on (the i7's 8MB L3 removing misses that the
-// Core 2's 4MB L2 takes); the one-time campaign costs a couple of
-// minutes and is shared by all figure benches.
+// benchOps is the per-workload µop count of the shared campaign. 1.2M
+// µops are needed for the cache-capacity effects the paper's Figure 6
+// hinges on (the i7's 8MB L3 removing misses that the Core 2's 4MB L2
+// takes); CI smoke runs shrink it via REPRO_BENCH_OPS.
+func benchOps() int {
+	if s := os.Getenv("REPRO_BENCH_OPS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1200000
+}
+
+// benchStore opens the run store the shared campaign is cached in, so
+// benchmark reruns are warm (zero re-simulation). REPRO_RUNSTORE picks
+// the directory ("off" disables caching); the default lives under the
+// system temp directory, per-user so two users on one host don't fight
+// over file ownership, and is keyed by µop count through the spec hash.
+func benchStore() (*runstore.Store, error) {
+	dir := os.Getenv("REPRO_RUNSTORE")
+	if dir == "off" {
+		return nil, nil
+	}
+	if dir == "" {
+		dir = filepath.Join(os.TempDir(), fmt.Sprintf("repro-runstore-%d", os.Getuid()))
+	}
+	return runstore.Open(dir)
+}
+
+// benchLab simulates the full campaign once per test binary invocation
+// and shares it across all figure benches; with a warm run store even
+// that one campaign is pure cache hits.
 func benchLab(b *testing.B) *experiments.Lab {
 	b.Helper()
 	labOnce.Do(func() {
-		labInst = experiments.NewLab(experiments.Options{NumOps: 1200000, FitStarts: 6})
+		store, err := benchStore()
+		if err != nil {
+			labErr = err
+			return
+		}
+		labInst = experiments.NewLab(experiments.Options{
+			NumOps:    benchOps(),
+			FitStarts: 6,
+			Store:     store,
+		})
 		labErr = labInst.Simulate()
 	})
 	if labErr != nil {

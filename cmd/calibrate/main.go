@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	calibrate [-machine pentium4|core2|corei7] [-sweep]
+//	calibrate [-machine pentium4|core2|corei7] [-sweep] [-store DIR]
+//
+// With -store DIR the calibration result is cached content-addressed on
+// the machine configuration, so re-calibrating an unchanged machine is
+// instant.
 package main
 
 import (
@@ -13,28 +17,54 @@ import (
 	"os"
 
 	"repro/internal/calibrator"
+	"repro/internal/runstore"
 	"repro/internal/uarch"
 )
 
 func main() {
 	machine := flag.String("machine", "core2", "machine to calibrate (pentium4, core2, corei7)")
 	sweep := flag.Bool("sweep", false, "also print the raw footprint sweep")
+	storeDir := flag.String("store", "", "run-store directory for cached calibrations (empty = no cache)")
 	flag.Parse()
 
-	if err := realMain(*machine, *sweep); err != nil {
+	if err := realMain(*machine, *sweep, *storeDir); err != nil {
 		fmt.Fprintln(os.Stderr, "calibrate:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(name string, sweep bool) error {
+func realMain(name string, sweep bool, storeDir string) error {
 	m, err := uarch.ByName(name)
 	if err != nil {
 		return err
 	}
-	res, err := calibrator.Calibrate(m)
-	if err != nil {
-		return err
+	var store *runstore.Store
+	if storeDir != "" {
+		if store, err = runstore.Open(storeDir); err != nil {
+			return err
+		}
+	}
+	var res *calibrator.Result
+	if store != nil {
+		var cached calibrator.Result
+		hit, err := store.Get(runstore.CalibrationKey(m), &cached)
+		if err != nil {
+			return err
+		}
+		if hit {
+			fmt.Fprintf(os.Stderr, "run store %s: calibration of %s cached\n", store.Dir(), m.Name)
+			res = &cached
+		}
+	}
+	if res == nil {
+		if res, err = calibrator.Calibrate(m); err != nil {
+			return err
+		}
+		if store != nil {
+			if err := store.Put(runstore.CalibrationKey(m), res); err != nil {
+				return err
+			}
+		}
 	}
 	e := res.Estimates
 	fmt.Printf("calibration of %s:\n", m.Name)

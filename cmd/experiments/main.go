@@ -5,9 +5,12 @@
 // Usage:
 //
 //	experiments [-run all|table1|table2|fig2|fig3|fig4|fig5|fig6|ablation]
-//	            [-ops N] [-starts N]
+//	            [-ops N] [-starts N] [-store DIR]
 //
 // Everything is deterministic; re-running reproduces identical output.
+// With -store DIR, simulation results are cached content-addressed on
+// disk: a warm rerun performs zero new simulations and still emits
+// byte-identical artifacts.
 package main
 
 import (
@@ -18,22 +21,36 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runstore"
 )
 
 func main() {
 	run := flag.String("run", "all", "which artifact to produce: all, table1, table2, fig2..fig6, ablation")
 	ops := flag.Int("ops", 1200000, "µops per workload (capacity effects — e.g. the i7's larger LLC removing misses — need ≥1M)")
 	starts := flag.Int("starts", 12, "regression multi-start count")
+	storeDir := flag.String("store", "", "run-store directory for cached simulation results (empty = no cache)")
 	flag.Parse()
 
-	if err := realMain(*run, *ops, *starts); err != nil {
+	if err := realMain(*run, *ops, *starts, *storeDir); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(run string, ops, starts int) error {
-	lab := experiments.NewLab(experiments.Options{NumOps: ops, FitStarts: starts})
+func realMain(run string, ops, starts int, storeDir string) error {
+	switch run {
+	case "all", "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "ablation":
+	default:
+		return fmt.Errorf("unknown -run value %q", run)
+	}
+	var store *runstore.Store
+	if storeDir != "" {
+		var err error
+		if store, err = runstore.Open(storeDir); err != nil {
+			return err
+		}
+	}
+	lab := experiments.NewLab(experiments.Options{NumOps: ops, FitStarts: starts, Store: store})
 	want := func(name string) bool { return run == "all" || run == name }
 
 	needsSim := run == "all" ||
@@ -44,7 +61,14 @@ func realMain(run string, ops, starts int) error {
 		if err := lab.Simulate(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "simulation done in %v\n\n", time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "simulation done in %v\n", time.Since(t0).Round(time.Millisecond))
+		if store != nil {
+			st := lab.SimStats()
+			fmt.Fprintf(os.Stderr, "run store %s: %d hits, %d simulated (%.1f%% hit rate)\n",
+				store.Dir(), st.Hits, st.Simulated,
+				100*float64(st.Hits)/float64(st.Hits+st.Simulated))
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 
 	if want("table1") {
@@ -100,10 +124,5 @@ func realMain(run string, ops, starts int) error {
 		fmt.Println(text)
 	}
 
-	switch run {
-	case "all", "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "ablation":
-		return nil
-	default:
-		return fmt.Errorf("unknown -run value %q", run)
-	}
+	return nil
 }

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	mecpi [-machine core2] [-suite cpu2006] [-workload mcf] [-ops N]
-//	      [-starts N] [-truth]
+//	      [-starts N] [-truth] [-store DIR]
 //
 // Without -workload it prints the fitted model and the suite-wide
 // accuracy; with -workload it prints that workload's CPI stack, and with
@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/runstore"
 	"repro/internal/sim"
 	"repro/internal/stack"
 	"repro/internal/stats"
@@ -36,15 +37,16 @@ func main() {
 	starts := flag.Int("starts", 12, "regression multi-start count")
 	truth := flag.Bool("truth", false, "also print the simulator's ground-truth stack")
 	characterize := flag.Bool("characterize", false, "classify every workload by its dominant CPI component")
+	storeDir := flag.String("store", "", "run-store directory for cached simulation results (empty = no cache)")
 	flag.Parse()
 
-	if err := realMain(*machine, *suiteName, *workload, *ops, *starts, *truth, *characterize); err != nil {
+	if err := realMain(*machine, *suiteName, *workload, *ops, *starts, *truth, *characterize, *storeDir); err != nil {
 		fmt.Fprintln(os.Stderr, "mecpi:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(machineName, suiteName, workload string, ops, starts int, truth, characterize bool) error {
+func realMain(machineName, suiteName, workload string, ops, starts int, truth, characterize bool, storeDir string) error {
 	m, err := uarch.ByName(machineName)
 	if err != nil {
 		return err
@@ -57,14 +59,38 @@ func realMain(machineName, suiteName, workload string, ops, starts int, truth, c
 	if err != nil {
 		return err
 	}
+	var store *runstore.Store
+	if storeDir != "" {
+		if store, err = runstore.Open(storeDir); err != nil {
+			return err
+		}
+	}
 
 	fmt.Fprintf(os.Stderr, "running %d workloads on %s...\n", len(suite.Workloads), m.Name)
 	obs := make([]core.Observation, 0, len(suite.Workloads))
 	runs := map[string]*sim.Result{}
 	for _, w := range suite.Workloads {
-		r, err := s.Run(trace.New(w))
-		if err != nil {
-			return err
+		var r *sim.Result
+		var key string
+		if store != nil {
+			key = runstore.SimKey(m, w)
+			cached, ok, err := store.GetResult(key)
+			if err != nil {
+				return err
+			}
+			if ok {
+				r = cached
+			}
+		}
+		if r == nil {
+			if r, err = s.Run(trace.New(w)); err != nil {
+				return err
+			}
+			if store != nil {
+				if err := store.PutResult(key, r); err != nil {
+					return err
+				}
+			}
 		}
 		o, err := core.ObservationFrom(w.Name, &r.Counters)
 		if err != nil {
@@ -72,6 +98,10 @@ func realMain(machineName, suiteName, workload string, ops, starts int, truth, c
 		}
 		obs = append(obs, o)
 		runs[w.Name] = r
+	}
+	if store != nil {
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "run store %s: %d hits, %d misses\n", store.Dir(), st.Hits, st.Misses)
 	}
 
 	fmt.Fprintf(os.Stderr, "fitting the mechanistic-empirical model...\n")

@@ -29,6 +29,12 @@ import (
 	"repro/internal/uarch"
 )
 
+// Version identifies the calibration algorithm (sweep geometry, pass
+// counts, plateau clustering). Content-addressed caches of calibration
+// Results key on it in addition to sim.Version, so bump it whenever a
+// change here can alter an estimate.
+const Version = "cal-v1"
+
 // Estimates holds measured latencies in cycles.
 type Estimates struct {
 	L1Lat  int // L1 load-to-use (not a model input, but reported)

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/runstore"
 	"repro/internal/sim"
 	"repro/internal/suites"
 	"repro/internal/trace"
@@ -29,6 +30,11 @@ type Options struct {
 	Seed uint64
 	// Workers bounds simulation parallelism (default NumCPU).
 	Workers int
+	// Store, when non-nil, is consulted before every simulation and
+	// updated as workers finish, making Simulate incremental across
+	// processes: a warm store satisfies the whole campaign without
+	// dispatching a single job.
+	Store *runstore.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -62,6 +68,17 @@ type Lab struct {
 	suiteSet map[string]suites.Suite
 	runs     map[runKey]*sim.Result
 	models   map[string]*core.Model // key: machine + "/" + suite
+	stats    SimStats
+}
+
+// SimStats reports how Simulate sourced its runs, cumulatively over all
+// Simulate calls on this Lab.
+type SimStats struct {
+	// Hits is the number of runs satisfied from the run store.
+	Hits int
+	// Simulated is the number of runs actually dispatched to workers
+	// (store misses, or all runs when no store is configured).
+	Simulated int
 }
 
 // NewLab builds a lab with the paper's three machines and two suites.
@@ -92,21 +109,42 @@ func (l *Lab) Suite(name string) (suites.Suite, bool) {
 }
 
 // Simulate runs every workload of both suites on every machine. It is
-// idempotent: already-computed runs are kept. Simulations are spread
-// across a worker pool; results are deterministic regardless of
-// scheduling because every run is independent and seeded.
+// idempotent: already-computed runs are kept, and when a run store is
+// configured every pending run is first looked up there — only misses
+// are dispatched to the worker pool, and their results are written back
+// atomically as workers finish. Results are deterministic regardless of
+// scheduling (every run is independent and seeded) and regardless of the
+// store (a cached Result is exactly what re-simulating would produce).
+// SimStats reports how many runs each path served.
 func (l *Lab) Simulate() error {
 	type job struct {
-		m *uarch.Machine
-		w trace.Spec
+		m   *uarch.Machine
+		w   trace.Spec
+		key string // run-store key; "" when no store is configured
 	}
 	var jobs []job
 	for _, m := range l.machines {
 		for _, sname := range l.SuiteNames() {
 			for _, w := range l.suiteSet[sname].Workloads {
-				if _, done := l.runs[runKey{m.Name, w.Name + "@" + sname}]; !done {
-					jobs = append(jobs, job{m, withSuiteTag(w, sname)})
+				rk := runKey{m.Name, w.Name + "@" + sname}
+				if _, done := l.runs[rk]; done {
+					continue
 				}
+				j := job{m: m, w: withSuiteTag(w, sname)}
+				if l.opts.Store != nil {
+					// Key on the spec the generator will actually see.
+					j.key = runstore.SimKey(m, stripSuiteTag(j.w))
+					res, ok, err := l.opts.Store.GetResult(j.key)
+					if err != nil {
+						return fmt.Errorf("experiments: %s on %s: %w", j.w.Name, m.Name, err)
+					}
+					if ok {
+						l.runs[rk] = res
+						l.stats.Hits++
+						continue
+					}
+				}
+				jobs = append(jobs, j)
 			}
 		}
 	}
@@ -119,6 +157,13 @@ func (l *Lab) Simulate() error {
 		firstErr error
 		wg       sync.WaitGroup
 	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
 	ch := make(chan job)
 	for i := 0; i < l.opts.Workers; i++ {
 		wg.Add(1)
@@ -132,35 +177,48 @@ func (l *Lab) Simulate() error {
 					var err error
 					s, err = sim.New(j.m)
 					if err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
+						fail(err)
 						continue
 					}
 					sims[j.m.Name] = s
 				}
 				res, err := s.Run(trace.New(stripSuiteTag(j.w)))
-				mu.Lock()
 				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("experiments: %s on %s: %w", j.w.Name, j.m.Name, err)
-					}
-				} else {
-					l.runs[runKey{j.m.Name, j.w.Name}] = res
+					fail(fmt.Errorf("experiments: %s on %s: %w", j.w.Name, j.m.Name, err))
+					continue
 				}
+				if j.key != "" {
+					if err := l.opts.Store.PutResult(j.key, res); err != nil {
+						fail(fmt.Errorf("experiments: %s on %s: %w", j.w.Name, j.m.Name, err))
+						continue
+					}
+				}
+				mu.Lock()
+				l.runs[runKey{j.m.Name, j.w.Name}] = res
+				l.stats.Simulated++
 				mu.Unlock()
 			}
 		}()
 	}
 	for _, j := range jobs {
+		// Stop feeding once a worker has failed: the campaign is doomed
+		// anyway, and the remaining simulations would waste minutes.
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
 		ch <- j
 	}
 	close(ch)
 	wg.Wait()
 	return firstErr
 }
+
+// SimStats returns cumulative run-sourcing counts over all Simulate
+// calls: store hits vs actually-dispatched simulations.
+func (l *Lab) SimStats() SimStats { return l.stats }
 
 // withSuiteTag/stripSuiteTag disambiguate workloads that exist in both
 // suites (e.g. bzip2 variants) without altering the generated stream.

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/runstore"
+	"repro/internal/uarch"
+)
+
+// totalRuns is the campaign size: every workload of both suites on every
+// machine.
+func totalRuns(l *Lab) int {
+	n := 0
+	for _, sname := range l.SuiteNames() {
+		s, _ := l.Suite(sname)
+		n += len(s.Workloads) * len(l.Machines())
+	}
+	return n
+}
+
+// TestSimulateStoreEquivalence checks the store is invisible to results:
+// a cold run (populating the store), a warm run (served entirely from
+// it), and a store-less run all produce identical Results.
+func TestSimulateStoreEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign is slow")
+	}
+	dir := t.TempDir()
+	opts := Options{NumOps: 5000}
+
+	cold, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldLab := NewLab(opts)
+	coldLab.opts.Store = cold
+	if err := coldLab.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	want := totalRuns(coldLab)
+	if st := coldLab.SimStats(); st.Hits != 0 || st.Simulated != want {
+		t.Fatalf("cold stats = %+v, want 0 hits / %d simulated", st, want)
+	}
+
+	warm, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmLab := NewLab(opts)
+	warmLab.opts.Store = warm
+	if err := warmLab.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	if st := warmLab.SimStats(); st.Hits != want || st.Simulated != 0 {
+		t.Fatalf("warm stats = %+v, want %d hits / 0 simulated", st, want)
+	}
+
+	plainLab := NewLab(opts)
+	if err := plainLab.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(coldLab.runs) != want || len(warmLab.runs) != want || len(plainLab.runs) != want {
+		t.Fatalf("run counts %d/%d/%d, want %d", len(coldLab.runs), len(warmLab.runs),
+			len(plainLab.runs), want)
+	}
+	for k, r := range coldLab.runs {
+		if !reflect.DeepEqual(warmLab.runs[k], r) {
+			t.Fatalf("%v: warm run differs from cold run", k)
+		}
+		if !reflect.DeepEqual(plainLab.runs[k], r) {
+			t.Fatalf("%v: store-less run differs from cold run", k)
+		}
+	}
+}
+
+// TestSimulateIdempotentWithStore checks a second Simulate on the same
+// Lab does nothing: runs are already resident, so neither the store nor
+// the workers are consulted again.
+func TestSimulateIdempotentWithStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign is slow")
+	}
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLab(Options{NumOps: 5000})
+	l.opts.Store = store
+	if err := l.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	before := l.SimStats()
+	if err := l.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	if after := l.SimStats(); after != before {
+		t.Errorf("re-Simulate changed stats: %+v -> %+v", before, after)
+	}
+}
+
+// TestSimulateAbortsOnError checks a failing campaign reports the error
+// without recording any runs (and, per the job-feed fix, without
+// grinding through the remaining workloads).
+func TestSimulateAbortsOnError(t *testing.T) {
+	l := NewLab(Options{NumOps: 5000, Workers: 1})
+	bad := uarch.CoreTwo()
+	bad.ROBSize = -1 // fails uarch validation inside sim.New
+	l.machines = []*uarch.Machine{bad}
+	if err := l.Simulate(); err == nil {
+		t.Fatal("want error from invalid machine")
+	}
+	if st := l.SimStats(); st.Simulated != 0 || st.Hits != 0 {
+		t.Errorf("failed campaign recorded runs: %+v", st)
+	}
+	if len(l.runs) != 0 {
+		t.Errorf("failed campaign left %d runs", len(l.runs))
+	}
+}

@@ -1,0 +1,233 @@
+// Package runstore is a disk-backed, content-addressed cache of
+// simulation results. An entry is keyed by a stable hash of everything
+// that determines its value — the full machine configuration, the full
+// workload spec, and the simulator version — so a hit is always exact:
+// the cached Result is byte-for-byte what re-simulating would produce.
+// Any change to a machine parameter, a workload knob, or the simulator's
+// timing semantics changes the key and cold-misses instead of returning
+// stale data.
+//
+// The store is a directory of JSON envelope files sharded by key prefix
+// (dir/ab/abcd….json). Writes are atomic (temp file + rename in the same
+// directory), so a crashed or concurrent writer can never leave a
+// half-written entry visible; concurrent writers of the same key race
+// benignly because both write identical content. Corrupt, truncated, or
+// version-mismatched entries are treated as misses and evicted so the
+// next Put rewrites them.
+//
+// experiments.Lab consults the store before dispatching simulations,
+// which makes every downstream experiment incremental: a warm rerun of
+// cmd/experiments, cmd/mecpi, or the top-level benchmarks performs zero
+// new simulations.
+package runstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/calibrator"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// FormatVersion is the on-disk envelope format. Entries written with a
+// different format version are treated as misses.
+const FormatVersion = 1
+
+// SimKey returns the content address of simulating spec on machine m with
+// the current simulator. The spec must be exactly the one handed to the
+// trace generator.
+func SimKey(m *uarch.Machine, spec trace.Spec) string {
+	return keyOf("sim", m.ConfigHash(), spec.ConfigHash())
+}
+
+// CalibrationKey returns the content address of calibrating machine m.
+// Calibration runs microbenchmarks against the simulated hierarchy, so
+// its result depends on the machine configuration, the simulator
+// version, and the calibration algorithm (calibrator.Version).
+func CalibrationKey(m *uarch.Machine) string {
+	return keyOf("calibration@"+calibrator.Version, m.ConfigHash())
+}
+
+func keyOf(kind string, parts ...string) string {
+	h := sha256.New()
+	io.WriteString(h, "repro/"+kind+"@"+sim.Version+"\n")
+	for _, p := range parts {
+		io.WriteString(h, p+"\n")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats counts store interactions since Open.
+type Stats struct {
+	Hits   int64 // Get found a valid entry
+	Misses int64 // Get found nothing usable (absent, corrupt, or stale)
+	Puts   int64 // entries written
+}
+
+// HitRate returns hits as a fraction of lookups (0 when no lookups).
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Store is a content-addressed result cache rooted at one directory.
+// Safe for concurrent use.
+type Store struct {
+	dir string
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	puts   atomic.Int64
+}
+
+// envelope is the on-disk entry framing. Key and Version are stored
+// redundantly so a mis-filed or stale entry is detected on read even
+// though the key already encodes the version.
+type envelope struct {
+	Format  int             `json:"format"`
+	Version string          `json:"version"`
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Open opens (creating if needed) the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runstore: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runstore: open %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the interaction counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:   s.hits.Load(),
+		Misses: s.misses.Load(),
+		Puts:   s.puts.Load(),
+	}
+}
+
+// path returns the entry file for key, sharded by its first byte.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// Get looks key up and, on a hit, unmarshals the payload into v (which
+// must be a pointer). Absent, corrupt, and stale entries all report a
+// miss — including a payload that no longer unmarshals into v — and the
+// unusable file is evicted so the next Put heals the entry. Get never
+// returns an error today; the return is kept so callers are ready for
+// store backends where lookups can genuinely fail.
+func (s *Store) Get(key string, v any) (bool, error) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		return false, nil
+	}
+	var e envelope
+	if err := json.Unmarshal(data, &e); err != nil ||
+		e.Format != FormatVersion || e.Version != sim.Version || e.Key != key {
+		s.evict(key)
+		s.misses.Add(1)
+		return false, nil
+	}
+	if err := json.Unmarshal(e.Payload, v); err != nil {
+		s.evict(key)
+		s.misses.Add(1)
+		return false, nil
+	}
+	s.hits.Add(1)
+	return true, nil
+}
+
+// Put writes v under key atomically: the entry is marshalled to a temp
+// file in the destination directory and renamed into place, so readers
+// only ever observe complete entries.
+func (s *Store) Put(key string, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runstore: marshal payload for %s: %w", key[:12], err)
+	}
+	data, err := json.Marshal(envelope{
+		Format:  FormatVersion,
+		Version: sim.Version,
+		Key:     key,
+		Payload: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("runstore: marshal envelope for %s: %w", key[:12], err)
+	}
+	dst := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "."+key[:12]+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("runstore: write %s: %w", key[:12], werr)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: commit %s: %w", key[:12], err)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// GetResult looks up a cached simulation Result. Entries that no longer
+// decode as a Result are evicted and report a miss, like any other
+// corruption.
+func (s *Store) GetResult(key string) (*sim.Result, bool, error) {
+	var raw json.RawMessage
+	ok, err := s.Get(key, &raw)
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	r, err := sim.DecodeResult(raw)
+	if err != nil {
+		s.evict(key)
+		s.hits.Add(-1)
+		s.misses.Add(1)
+		return nil, false, nil
+	}
+	return r, true, nil
+}
+
+// PutResult stores a simulation Result under key using sim's
+// deterministic encoding.
+func (s *Store) PutResult(key string, r *sim.Result) error {
+	data, err := r.Encode()
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	return s.Put(key, json.RawMessage(data))
+}
+
+// evict removes a corrupt or stale entry (best effort).
+func (s *Store) evict(key string) {
+	os.Remove(s.path(key))
+}

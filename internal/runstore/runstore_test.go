@@ -1,0 +1,239 @@
+package runstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/suites"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// simulateOne produces a small but real Result to cache.
+func simulateOne(t *testing.T) (*uarch.Machine, trace.Spec, *sim.Result) {
+	t.Helper()
+	m := uarch.CoreTwo()
+	suite := suites.CPU2000Like(suites.Options{NumOps: 20000})
+	w := suite.Workloads[0]
+	s, err := sim.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run(trace.New(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, w, r
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	m, w, r := simulateOne(t)
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := SimKey(m, w)
+
+	if _, ok, err := st.GetResult(key); ok || err != nil {
+		t.Fatalf("empty store: got hit=%v err=%v", ok, err)
+	}
+	if err := st.PutResult(key, r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.GetResult(key)
+	if err != nil || !ok {
+		t.Fatalf("get after put: hit=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+	if s := st.Stats(); s.Hits != 1 || s.Misses != 1 || s.Puts != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 put", s)
+	}
+	if got := st.Stats().HitRate(); got != 0.5 {
+		t.Errorf("hit rate %v, want 0.5", got)
+	}
+}
+
+func TestCorruptEntryIsMissAndEvicted(t *testing.T) {
+	m, w, r := simulateOne(t)
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := SimKey(m, w)
+	if err := st.PutResult(key, r); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the entry mid-JSON, as a crashed non-atomic writer would.
+	if err := os.WriteFile(st.path(key), []byte(`{"format":1,"ver`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.GetResult(key); ok || err != nil {
+		t.Fatalf("corrupt entry: got hit=%v err=%v, want clean miss", ok, err)
+	}
+	if _, err := os.Stat(st.path(key)); !os.IsNotExist(err) {
+		t.Error("corrupt entry not evicted")
+	}
+	// The store heals: a fresh Put serves hits again.
+	if err := st.PutResult(key, r); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := st.GetResult(key); !ok || !reflect.DeepEqual(got, r) {
+		t.Error("store did not heal after eviction")
+	}
+}
+
+func TestVersionMismatchIsMiss(t *testing.T) {
+	m, w, r := simulateOne(t)
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := SimKey(m, w)
+	if err := st.PutResult(key, r); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the entry claiming an older simulator version.
+	data, err := os.ReadFile(st.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatal(err)
+	}
+	e.Version = "sim-v0"
+	stale, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.path(key), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.GetResult(key); ok || err != nil {
+		t.Fatalf("stale-version entry: got hit=%v err=%v, want miss", ok, err)
+	}
+
+	// Same for a future envelope format.
+	e.Version = sim.Version
+	e.Format = FormatVersion + 1
+	future, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.path(key), future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.GetResult(key); ok || err != nil {
+		t.Fatalf("future-format entry: got hit=%v err=%v, want miss", ok, err)
+	}
+}
+
+func TestUndecodablePayloadIsMissAndEvicted(t *testing.T) {
+	m, w, _ := simulateOne(t)
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := SimKey(m, w)
+	// Valid envelope, but the payload is not a Result.
+	if err := st.Put(key, "not a result"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.GetResult(key); ok || err != nil {
+		t.Fatalf("non-Result payload: got hit=%v err=%v, want clean miss", ok, err)
+	}
+	if _, err := os.Stat(st.path(key)); !os.IsNotExist(err) {
+		t.Error("undecodable entry not evicted")
+	}
+	if s := st.Stats(); s.Hits != 0 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 0 hits / 1 miss", s)
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	m := uarch.CoreTwo()
+	suite := suites.CPU2000Like(suites.Options{NumOps: 20000})
+	w := suite.Workloads[0]
+
+	if SimKey(m, w) != SimKey(uarch.CoreTwo(), w) {
+		t.Error("identical config+spec must hash equal")
+	}
+	m2 := uarch.CoreTwo()
+	m2.MemLat++
+	if SimKey(m, w) == SimKey(m2, w) {
+		t.Error("machine change must change the key")
+	}
+	w2 := w
+	w2.NumOps++
+	if SimKey(m, w) == SimKey(m, w2) {
+		t.Error("spec change must change the key")
+	}
+	if SimKey(m, w) == CalibrationKey(m) {
+		t.Error("kinds must not collide")
+	}
+	if CalibrationKey(m) == CalibrationKey(m2) {
+		t.Error("calibration key must track the machine config")
+	}
+}
+
+func TestGenericPutGet(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type payload struct {
+		A int
+		B string
+	}
+	key := CalibrationKey(uarch.PentiumFour())
+	want := payload{A: 42, B: "walk"}
+	if err := st.Put(key, &want); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	hit, err := st.Get(key, &got)
+	if err != nil || !hit {
+		t.Fatalf("get: hit=%v err=%v", hit, err)
+	}
+	if got != want {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestPutLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, w, r := simulateOne(t)
+	if err := st.PutResult(SimKey(m, w), r); err != nil {
+		t.Fatal(err)
+	}
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.Contains(d.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("want error for empty dir")
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/branch"
@@ -9,6 +10,13 @@ import (
 	"repro/internal/trace"
 	"repro/internal/uarch"
 )
+
+// Version identifies the timing semantics of the simulator (including the
+// cache, branch-predictor, and trace-generator substrates it drives).
+// Content-addressed caches of Results key on it, so bump it whenever a
+// change anywhere in the pipeline can alter any Result — stale cached
+// runs are then never reused.
+const Version = "sim-v1"
 
 // Result is the outcome of running one workload on one machine.
 type Result struct {
@@ -22,6 +30,22 @@ type Result struct {
 	// accesses while at least one is outstanding (Chou et al.'s MLP
 	// definition). Not measurable with counters; used for validation.
 	MeasuredMLP float64
+}
+
+// Encode serializes the result deterministically: field order is fixed by
+// the struct definitions and floats use Go's shortest exact round-trip
+// encoding, so equal Results always produce byte-identical encodings.
+func (r *Result) Encode() ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// DecodeResult parses a Result previously produced by Encode.
+func DecodeResult(data []byte) (*Result, error) {
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("sim: decode result: %w", err)
+	}
+	return &r, nil
 }
 
 // Simulator executes µop streams on one machine configuration. It is

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -444,5 +445,37 @@ func TestSimInvariantsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestResultEncodeRoundTripAndDeterminism(t *testing.T) {
+	s, err := New(uarch.CoreTwo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run(trace.New(baseSpec("encode", 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Error("Encode is not deterministic")
+	}
+	got, err := DecodeResult(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("decode(encode(r)) != r:\n got %+v\nwant %+v", got, r)
+	}
+	if _, err := DecodeResult([]byte("{")); err == nil {
+		t.Error("want error for truncated encoding")
 	}
 }

@@ -15,6 +15,9 @@
 package trace
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/rng"
@@ -143,6 +146,20 @@ type Spec struct {
 	// FusibleFrac is the fraction of µop pairs marked fusible; fusing
 	// machines merge a machine-dependent share of them.
 	FusibleFrac float64
+}
+
+// ConfigHash returns a stable content hash of the workload description.
+// Because the generator is a pure function of the Spec, equal hashes mean
+// identical µop streams; the hash therefore identifies the workload in
+// content-addressed caches of simulation results.
+func (s Spec) ConfigHash() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Spec is a plain struct of scalars; marshalling cannot fail.
+		panic(fmt.Sprintf("trace: marshal %s: %v", s.Name, err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 // Validate checks the spec for consistency.

@@ -354,3 +354,21 @@ func TestStreamInvariantsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSpecConfigHashStableAndSensitive(t *testing.T) {
+	a := Spec{Name: "w", Seed: 7, NumOps: 1000, CodeFootprint: 4096,
+		DataFootprint: 1 << 20, DepDistMean: 6}
+	b := a
+	if a.ConfigHash() != b.ConfigHash() {
+		t.Error("identical specs must hash equal")
+	}
+	b.Seed++
+	if a.ConfigHash() == b.ConfigHash() {
+		t.Error("changing the seed must change the hash")
+	}
+	c := a
+	c.PointerChaseFrac = 0.3
+	if a.ConfigHash() == c.ConfigHash() {
+		t.Error("changing a knob must change the hash")
+	}
+}

@@ -11,7 +11,12 @@
 // depth, and the cache/TLB/memory latencies from Table 2).
 package uarch
 
-import "fmt"
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
 
 // CacheConfig describes one cache level.
 type CacheConfig struct {
@@ -127,6 +132,21 @@ type Machine struct {
 	// (micro-/macro-fusion). NetBurst fuses nothing; Core/Nehalem fuse
 	// increasingly — the paper's "µop fusion" delta-stack component.
 	FusionRate float64
+}
+
+// ConfigHash returns a stable content hash of the complete configuration.
+// Two machines hash equal iff every architectural parameter is equal, so
+// the hash can key caches of simulation results: any config change —
+// including adding a field to Machine — yields a new hash and therefore a
+// cold cache entry, never a stale hit.
+func (m *Machine) ConfigHash() string {
+	b, err := json.Marshal(m)
+	if err != nil {
+		// Machine is a plain struct of scalars; marshalling cannot fail.
+		panic(fmt.Sprintf("uarch: marshal %s: %v", m.Name, err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 // HasL3 reports whether the machine has a third cache level.

@@ -166,3 +166,29 @@ func TestLLCLoadMissLat(t *testing.T) {
 		t.Error("LLC miss latency should be memory latency")
 	}
 }
+
+func TestConfigHashStableAndSensitive(t *testing.T) {
+	a, b := CoreI7(), CoreI7()
+	if a.ConfigHash() != b.ConfigHash() {
+		t.Error("identical configs must hash equal")
+	}
+	if len(a.ConfigHash()) != 64 {
+		t.Errorf("hash length %d, want 64 hex chars", len(a.ConfigHash()))
+	}
+	b.MSHRs++
+	if a.ConfigHash() == b.ConfigHash() {
+		t.Error("changing MSHRs must change the hash")
+	}
+	c := CoreI7()
+	c.Prefetch = PrefetchConfig{Enabled: true, Streams: 64, Degree: 4}
+	if a.ConfigHash() == c.ConfigHash() {
+		t.Error("enabling the prefetcher must change the hash")
+	}
+	names := map[string]bool{}
+	for _, m := range StockMachines() {
+		names[m.ConfigHash()] = true
+	}
+	if len(names) != 3 {
+		t.Errorf("stock machines share a hash: %d unique", len(names))
+	}
+}
