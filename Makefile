@@ -58,8 +58,17 @@ sim-smoke:
 	@go run ./cmd/experiments -run fig2 -ops $(SMOKE_OPS) -starts 2 -store $(RUNSTORE) 2>&1 >/dev/null \
 		| grep "0 simulated (100.0% hit rate)"
 
+sweep-smoke:
+	@echo "Running a 3-point ROB sweep (ops=$(SMOKE_OPS)) against the run store..."
+	@go run ./cmd/sweep -base core2 -param rob -values 48,96,192 -suite cpu2000 \
+		-ops $(SMOKE_OPS) -starts 2 -store $(RUNSTORE) > /dev/null
+	@echo "Re-running warm: must be pure store hits..."
+	@go run ./cmd/sweep -base core2 -param rob -values 48,96,192 -suite cpu2000 \
+		-ops $(SMOKE_OPS) -starts 2 -store $(RUNSTORE) 2>&1 >/dev/null \
+		| grep "0 simulated (100.0% hit rate)"
+
 clean-store:
 	@echo "Removing the run store at $(RUNSTORE)..."
 	@rm -rf $(RUNSTORE)
 
-.PHONY: all build test test-short race lint bench-smoke bench-full sim-smoke clean-store
+.PHONY: all build test test-short race lint bench-smoke bench-full sim-smoke sweep-smoke clean-store

@@ -240,6 +240,33 @@ func BenchmarkFig6DeltaStacks(b *testing.B) {
 	b.ReportMetric(core2ToI7, "core2-to-i7-dCPI") // paper: memory-driven win
 }
 
+// --- Extension: one-axis parameter sweep (the scenario engine's
+// model-extrapolation experiment). Shares the run store with the main
+// campaign, so reruns are warm. Reports how far the base-fitted model
+// drifts from the simulator at the extreme swept points. ---
+
+func BenchmarkSweepROBExtrapolation(b *testing.B) {
+	store, err := benchStore()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.Options{NumOps: benchOps(), FitStarts: 6, Store: store}
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSweep(uarch.CoreTwo(), "rob", []int{48, 96, 192}, "cpu2000", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, p := range res.Points {
+			if e := p.Err(); e > worst {
+				worst = e
+			}
+		}
+	}
+	b.ReportMetric(100*worst, "worst-extrap-err-%")
+}
+
 // --- Ablations (DESIGN.md §5): cross-validated error with one design
 // choice removed; compare against mech-cv-% from Fig4. ---
 

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/calibrator"
 	"repro/internal/runstore"
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	machine := flag.String("machine", "core2", "machine to calibrate (pentium4, core2, corei7)")
+	machine := flag.String("machine", "core2", "machine to calibrate: "+strings.Join(uarch.Names(), ", "))
 	sweep := flag.Bool("sweep", false, "also print the raw footprint sweep")
 	storeDir := flag.String("store", "", "run-store directory for cached calibrations (empty = no cache)")
 	flag.Parse()

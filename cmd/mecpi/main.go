@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/runstore"
@@ -30,8 +31,8 @@ import (
 )
 
 func main() {
-	machine := flag.String("machine", "core2", "target machine (pentium4, core2, corei7)")
-	suiteName := flag.String("suite", "cpu2006", "suite to infer the model from (cpu2000, cpu2006)")
+	machine := flag.String("machine", "core2", "target machine: "+strings.Join(uarch.Names(), ", "))
+	suiteName := flag.String("suite", "cpu2006", "suite to infer the model from: "+strings.Join(suites.Names(), ", "))
 	workload := flag.String("workload", "", "workload whose CPI stack to print (default: suite summary)")
 	ops := flag.Int("ops", 300000, "µops per workload")
 	starts := flag.Int("starts", 12, "regression multi-start count")

@@ -1,0 +1,112 @@
+// Command sweep runs one-axis micro-architecture parameter sweeps: it
+// derives one machine per swept value from a registered base machine,
+// simulates a suite on every point (incrementally, through the run
+// store), fits the mechanistic-empirical model at the base
+// configuration, and prints sensitivity tables of simulated vs
+// model-predicted CPI — overall and per CPI-stack component. This is the
+// model-extrapolation experiment the paper gestures at but never runs:
+// the empirical coefficients are frozen at the fit point, so the tables
+// show exactly where the fitted model keeps tracking the hardware as a
+// parameter scales and where it falls off.
+//
+// Usage:
+//
+//	sweep -base core2 -param rob -values 32,64,128,256
+//	      [-suite cpu2006] [-ops N] [-starts N] [-store DIR]
+//
+// Everything is deterministic; with -store DIR a repeated sweep
+// dispatches zero simulations (100% run-store hits).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/runstore"
+	"repro/internal/uarch"
+)
+
+func main() {
+	var paramDocs []string
+	for _, p := range experiments.SweepParams() {
+		paramDocs = append(paramDocs, p.Name)
+	}
+	base := flag.String("base", "core2", "base machine to derive sweep points from")
+	param := flag.String("param", "rob", "parameter to sweep: "+strings.Join(paramDocs, ", "))
+	values := flag.String("values", "", "comma-separated parameter values, e.g. 32,64,128,256")
+	suite := flag.String("suite", "cpu2006", "suite to simulate and fit on")
+	ops := flag.Int("ops", 300000, "µops per workload")
+	starts := flag.Int("starts", 12, "regression multi-start count")
+	storeDir := flag.String("store", "", "run-store directory for cached simulation results (empty = no cache)")
+	flag.Parse()
+
+	if err := realMain(os.Stdout, *base, *param, *values, *suite, *ops, *starts, *storeDir); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func parseValues(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("no -values given (want e.g. -values 32,64,128)")
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad sweep value %q: %w", f, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("sweep value %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func realMain(out io.Writer, baseName, param, valueList, suiteName string, ops, starts int, storeDir string) error {
+	vals, err := parseValues(valueList)
+	if err != nil {
+		return err
+	}
+	if _, err := experiments.SweepParamByName(param); err != nil {
+		return err
+	}
+	base, err := uarch.ByName(baseName)
+	if err != nil {
+		return err
+	}
+	var store *runstore.Store
+	if storeDir != "" {
+		if store, err = runstore.Open(storeDir); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "sweeping %s %s over %v on %s (%d µops/workload)...\n",
+		baseName, param, vals, suiteName, ops)
+	t0 := time.Now()
+	res, err := experiments.RunSweep(base, param, vals, suiteName, experiments.Options{
+		NumOps: ops, FitStarts: starts, Store: store,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep done in %v\n", time.Since(t0).Round(time.Millisecond))
+	if store != nil {
+		st := res.Stats
+		fmt.Fprintf(os.Stderr, "run store %s: %d hits, %d simulated (%.1f%% hit rate)\n",
+			store.Dir(), st.Hits, st.Simulated,
+			100*float64(st.Hits)/float64(st.Hits+st.Simulated))
+	}
+	fmt.Fprintln(os.Stderr)
+
+	fmt.Fprint(out, res.Render())
+	return nil
+}

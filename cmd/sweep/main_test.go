@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseValues(t *testing.T) {
+	got, err := parseValues(" 32, 64,128 ")
+	if err != nil || len(got) != 3 || got[0] != 32 || got[2] != 128 {
+		t.Errorf("parseValues: %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "a,b", "64,-1", "64,,128"} {
+		if _, err := parseValues(bad); err == nil {
+			t.Errorf("parseValues(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRealMainRejectsBadAxis(t *testing.T) {
+	err := realMain(&bytes.Buffer{}, "core2", "cores", "1,2", "cpu2000", 1000, 2, "")
+	if err == nil || !strings.Contains(err.Error(), "rob") {
+		t.Errorf("unknown axis should list valid ones: %v", err)
+	}
+	if err := realMain(&bytes.Buffer{}, "atom", "rob", "64", "cpu2000", 1000, 2, ""); err == nil {
+		t.Error("unknown base machine should fail")
+	}
+	if err := realMain(&bytes.Buffer{}, "core2", "rob", "", "cpu2000", 1000, 2, ""); err == nil {
+		t.Error("missing values should fail")
+	}
+}

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/stats"
-	"repro/internal/uarch"
 )
 
 // AblationResult quantifies one structural choice of the model: the
@@ -31,7 +30,7 @@ func (l *Lab) Ablations(machine string) ([]AblationResult, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	mc, err := uarch.ByName(machine)
+	mc, err := l.Machine(machine)
 	if err != nil {
 		return nil, "", err
 	}

@@ -249,14 +249,19 @@ func TestAblations(t *testing.T) {
 	}
 }
 
-func TestSuiteTagRoundTrip(t *testing.T) {
-	s, _ := NewLab(Options{}).Suite("cpu2000")
-	w := s.Workloads[0]
-	tagged := withSuiteTag(w, "cpu2000")
-	if tagged.Name != w.Name+"@cpu2000" {
-		t.Errorf("tag: %s", tagged.Name)
+func TestRunKeySeparatesSharedWorkloadNames(t *testing.T) {
+	// bzip2 variants exist in both suites; the struct key must keep the
+	// runs distinct per suite (the old name-tagging hack's job).
+	l := lab(t)
+	a, err := l.Run("core2", "cpu2000", "bzip2.1")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := stripSuiteTag(tagged); got.Name != w.Name {
-		t.Errorf("strip: %s", got.Name)
+	b, err := l.Run("core2", "cpu2006", "bzip2.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counters == b.Counters {
+		t.Error("cpu2000 and cpu2006 bzip2.1 runs should differ (different specs)")
 	}
 }

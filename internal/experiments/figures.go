@@ -20,11 +20,23 @@ import (
 func (l *Lab) Table1() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 1: simulated processor configurations\n")
-	fmt.Fprintf(&b, "  %-14s %10s %10s %10s\n", "", "pentium4", "core2", "corei7")
+	// Column width follows the longest campaign machine name (derived
+	// variants often exceed the stock names' 10 characters).
+	width := 10
+	for _, m := range l.machines {
+		if len(m.Name) > width {
+			width = len(m.Name)
+		}
+	}
+	fmt.Fprintf(&b, "  %-14s", "")
+	for _, m := range l.machines {
+		fmt.Fprintf(&b, " %*s", width, m.Name)
+	}
+	b.WriteByte('\n')
 	row := func(label string, f func(m *uarch.Machine) string) {
 		fmt.Fprintf(&b, "  %-14s", label)
 		for _, m := range l.machines {
-			fmt.Fprintf(&b, " %10s", f(m))
+			fmt.Fprintf(&b, " %*s", width, f(m))
 		}
 		b.WriteByte('\n')
 	}

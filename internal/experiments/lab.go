@@ -1,9 +1,11 @@
-// Package experiments orchestrates the paper's full evaluation: it runs
-// the two benchmark suites on the three simulated machines, fits
+// Package experiments orchestrates the paper's evaluation — and any
+// scenario beyond it. A Lab executes a declarative Campaign (machines ×
+// suites, resolved through the uarch and suites registries), fits
 // mechanistic-empirical models (plus the linear-regression and ANN
 // baselines), and regenerates every table and figure of the paper as
-// structured data with ASCII renderings. cmd/experiments and the
-// top-level benchmarks are thin wrappers around this package.
+// structured data with ASCII renderings; RunSweep adds one-axis
+// parameter sweeps over derived machines. cmd/experiments, cmd/sweep and
+// the top-level benchmarks are thin wrappers around this package.
 package experiments
 
 import (
@@ -53,21 +55,33 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// runKey identifies one (machine, workload) simulation.
-type runKey struct {
-	machine  string
-	workload string
+// RunKey identifies one (machine, suite, workload) simulation of a
+// campaign. Workloads sharing a name across suites (e.g. the bzip2
+// variants) stay distinct through the Suite field.
+type RunKey struct {
+	Machine  string
+	Suite    string
+	Workload string
 }
 
-// Lab owns the machines, suites, simulation results, and fitted models.
-// Construct with NewLab, populate with Simulate, then call the Table*/
-// Fig* methods in any order. Not safe for concurrent method calls.
+// modelKey identifies one fitted model.
+type modelKey struct {
+	machine string
+	suite   string
+}
+
+// Lab owns the campaign's machines and suites, its simulation results,
+// and the fitted models. Construct with NewLab (the paper campaign),
+// NewCampaignLab (a declarative scenario) or NewCustomLab (explicit
+// values), populate with Simulate, then call the Table*/Fig* methods in
+// any order. Not safe for concurrent method calls.
 type Lab struct {
 	opts     Options
 	machines []*uarch.Machine
+	suites   []suites.Suite // campaign order
 	suiteSet map[string]suites.Suite
-	runs     map[runKey]*sim.Result
-	models   map[string]*core.Model // key: machine + "/" + suite
+	runs     map[RunKey]*sim.Result
+	models   map[modelKey]*core.Model
 	stats    SimStats
 }
 
@@ -83,24 +97,36 @@ type SimStats struct {
 
 // NewLab builds a lab with the paper's three machines and two suites.
 func NewLab(opts Options) *Lab {
-	opts = opts.withDefaults()
-	return &Lab{
-		opts:     opts,
-		machines: uarch.StockMachines(),
-		suiteSet: map[string]suites.Suite{
-			"cpu2000": suites.CPU2000Like(suites.Options{NumOps: opts.NumOps}),
-			"cpu2006": suites.CPU2006Like(suites.Options{NumOps: opts.NumOps}),
-		},
-		runs:   map[runKey]*sim.Result{},
-		models: map[string]*core.Model{},
+	l, err := NewCampaignLab(PaperCampaign(), opts)
+	if err != nil {
+		// The paper campaign resolves entirely from init-registered
+		// machines and suites; failure is a programming bug.
+		panic(fmt.Sprintf("experiments: paper campaign: %v", err))
 	}
+	return l
 }
 
-// Machines returns the lab's machines in generation order.
+// Machines returns the lab's machines in campaign order.
 func (l *Lab) Machines() []*uarch.Machine { return l.machines }
 
-// SuiteNames returns the suite names in a fixed order.
-func (l *Lab) SuiteNames() []string { return []string{"cpu2000", "cpu2006"} }
+// Machine returns the campaign machine with the given name.
+func (l *Lab) Machine(name string) (*uarch.Machine, error) {
+	for _, m := range l.machines {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: machine %q not in this campaign", name)
+}
+
+// SuiteNames returns the suite names in campaign order.
+func (l *Lab) SuiteNames() []string {
+	names := make([]string, len(l.suites))
+	for i, s := range l.suites {
+		names[i] = s.Name
+	}
+	return names
+}
 
 // Suite returns a suite by name.
 func (l *Lab) Suite(name string) (suites.Suite, bool) {
@@ -108,35 +134,50 @@ func (l *Lab) Suite(name string) (suites.Suite, bool) {
 	return s, ok
 }
 
-// Simulate runs every workload of both suites on every machine. It is
-// idempotent: already-computed runs are kept, and when a run store is
-// configured every pending run is first looked up there — only misses
-// are dispatched to the worker pool, and their results are written back
-// atomically as workers finish. Results are deterministic regardless of
-// scheduling (every run is independent and seeded) and regardless of the
-// store (a cached Result is exactly what re-simulating would produce).
-// SimStats reports how many runs each path served.
+// NumOps returns the effective per-workload µop count after option and
+// campaign resolution.
+func (l *Lab) NumOps() int { return l.opts.NumOps }
+
+// NumWorkloads returns the total workload count across the campaign's
+// suites (each machine runs all of them).
+func (l *Lab) NumWorkloads() int {
+	n := 0
+	for _, s := range l.suites {
+		n += len(s.Workloads)
+	}
+	return n
+}
+
+// Simulate runs every workload of every campaign suite on every
+// campaign machine. It is idempotent: already-computed runs are kept,
+// and when a run store is configured every pending run is first looked
+// up there — only misses are dispatched to the worker pool, and their
+// results are written back atomically as workers finish. Results are
+// deterministic regardless of scheduling (every run is independent and
+// seeded) and regardless of the store (a cached Result is exactly what
+// re-simulating would produce). SimStats reports how many runs each path
+// served.
 func (l *Lab) Simulate() error {
 	type job struct {
 		m   *uarch.Machine
+		rk  RunKey
 		w   trace.Spec
 		key string // run-store key; "" when no store is configured
 	}
 	var jobs []job
 	for _, m := range l.machines {
-		for _, sname := range l.SuiteNames() {
-			for _, w := range l.suiteSet[sname].Workloads {
-				rk := runKey{m.Name, w.Name + "@" + sname}
+		for _, s := range l.suites {
+			for _, w := range s.Workloads {
+				rk := RunKey{Machine: m.Name, Suite: s.Name, Workload: w.Name}
 				if _, done := l.runs[rk]; done {
 					continue
 				}
-				j := job{m: m, w: withSuiteTag(w, sname)}
+				j := job{m: m, rk: rk, w: w}
 				if l.opts.Store != nil {
-					// Key on the spec the generator will actually see.
-					j.key = runstore.SimKey(m, stripSuiteTag(j.w))
+					j.key = runstore.SimKey(m, w)
 					res, ok, err := l.opts.Store.GetResult(j.key)
 					if err != nil {
-						return fmt.Errorf("experiments: %s on %s: %w", j.w.Name, m.Name, err)
+						return fmt.Errorf("experiments: %s on %s: %w", w.Name, m.Name, err)
 					}
 					if ok {
 						l.runs[rk] = res
@@ -182,7 +223,7 @@ func (l *Lab) Simulate() error {
 					}
 					sims[j.m.Name] = s
 				}
-				res, err := s.Run(trace.New(stripSuiteTag(j.w)))
+				res, err := s.Run(trace.New(j.w))
 				if err != nil {
 					fail(fmt.Errorf("experiments: %s on %s: %w", j.w.Name, j.m.Name, err))
 					continue
@@ -194,7 +235,7 @@ func (l *Lab) Simulate() error {
 					}
 				}
 				mu.Lock()
-				l.runs[runKey{j.m.Name, j.w.Name}] = res
+				l.runs[j.rk] = res
 				l.stats.Simulated++
 				mu.Unlock()
 			}
@@ -220,27 +261,10 @@ func (l *Lab) Simulate() error {
 // calls: store hits vs actually-dispatched simulations.
 func (l *Lab) SimStats() SimStats { return l.stats }
 
-// withSuiteTag/stripSuiteTag disambiguate workloads that exist in both
-// suites (e.g. bzip2 variants) without altering the generated stream.
-func withSuiteTag(w trace.Spec, suite string) trace.Spec {
-	w.Name = w.Name + "@" + suite
-	return w
-}
-
-func stripSuiteTag(w trace.Spec) trace.Spec {
-	for i := len(w.Name) - 1; i >= 0; i-- {
-		if w.Name[i] == '@' {
-			w.Name = w.Name[:i]
-			break
-		}
-	}
-	return w
-}
-
 // Run returns the cached simulation of workload w (of the named suite)
 // on machine m.
 func (l *Lab) Run(machine, suite, workload string) (*sim.Result, error) {
-	r, ok := l.runs[runKey{machine, workload + "@" + suite}]
+	r, ok := l.runs[RunKey{Machine: machine, Suite: suite, Workload: workload}]
 	if !ok {
 		return nil, fmt.Errorf("experiments: no run for %s/%s on %s (call Simulate first)",
 			suite, workload, machine)
@@ -291,13 +315,15 @@ func (l *Lab) MachineRuns(machine, suite string) ([]core.MachineRun, error) {
 // ResetModels drops all cached fitted models (simulation results are
 // kept). Benchmarks use this so every iteration re-runs the regression.
 func (l *Lab) ResetModels() {
-	l.models = map[string]*core.Model{}
+	l.models = map[modelKey]*core.Model{}
 }
 
 // Model fits (or returns the cached) mechanistic-empirical model for the
 // (machine, suite) pair — e.g. the paper's "CPU2006 model" for Core i7.
+// The machine parameters come from the campaign machine itself, so
+// derived variants fit against their own configuration.
 func (l *Lab) Model(machine, suite string) (*core.Model, error) {
-	key := machine + "/" + suite
+	key := modelKey{machine: machine, suite: suite}
 	if m, ok := l.models[key]; ok {
 		return m, nil
 	}
@@ -305,7 +331,7 @@ func (l *Lab) Model(machine, suite string) (*core.Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	mc, err := uarch.ByName(machine)
+	mc, err := l.Machine(machine)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/suites"
+	"repro/internal/uarch"
+)
+
+// SweepParam is one sweepable machine axis: a name, a reader for the
+// base value, and a translation of a swept value into machine overrides.
+type SweepParam struct {
+	Name string
+	Doc  string
+	Get  func(*uarch.Machine) int
+	Set  func(int) uarch.Overrides
+}
+
+// SweepParams lists the sweepable axes in display order.
+func SweepParams() []SweepParam {
+	return []SweepParam{
+		{"rob", "reorder-buffer entries",
+			func(m *uarch.Machine) int { return m.ROBSize },
+			func(v int) uarch.Overrides { return uarch.Overrides{ROBSize: v} }},
+		{"mshrs", "outstanding memory misses",
+			func(m *uarch.Machine) int { return m.MSHRs },
+			func(v int) uarch.Overrides { return uarch.Overrides{MSHRs: v} }},
+		{"memlat", "main-memory latency (cycles)",
+			func(m *uarch.Machine) int { return m.MemLat },
+			func(v int) uarch.Overrides { return uarch.Overrides{MemLat: v} }},
+		{"depth", "front-end pipeline depth",
+			func(m *uarch.Machine) int { return m.FrontEndDepth },
+			func(v int) uarch.Overrides { return uarch.Overrides{FrontEndDepth: v} }},
+		{"width", "dispatch/issue/commit width",
+			func(m *uarch.Machine) int { return m.DispatchWidth },
+			func(v int) uarch.Overrides {
+				return uarch.Overrides{DispatchWidth: v, IssueWidth: v, CommitWidth: v}
+			}},
+		{"l2kb", "L2 capacity (KB)",
+			func(m *uarch.Machine) int { return m.L2.SizeBytes >> 10 },
+			func(v int) uarch.Overrides {
+				return uarch.Overrides{L2: uarch.CacheOverrides{SizeBytes: v << 10}}
+			}},
+	}
+}
+
+// SweepParamByName resolves a sweep axis; unknown names list the valid
+// ones.
+func SweepParamByName(name string) (SweepParam, error) {
+	var known []string
+	for _, p := range SweepParams() {
+		if p.Name == name {
+			return p, nil
+		}
+		known = append(known, p.Name)
+	}
+	return SweepParam{}, fmt.Errorf("experiments: unknown sweep parameter %q (want one of %s)",
+		name, strings.Join(known, ", "))
+}
+
+// SweepPoint is one swept machine: its parameter value, the mean
+// simulated behaviour of the suite, and the extrapolated model's
+// prediction for the same point.
+type SweepPoint struct {
+	Value   int
+	Machine string
+	// SimCPI and ModelCPI are suite-mean CPIs: the simulator's measured
+	// value vs the base-fitted model extrapolated to this configuration.
+	SimCPI   float64
+	ModelCPI float64
+	// SimStack and ModelStack are suite-mean per-µop cycle stacks
+	// (ground-truth accounting vs model decomposition).
+	SimStack   sim.Stack
+	ModelStack sim.Stack
+}
+
+// Err returns the model's relative CPI error at this point.
+func (p SweepPoint) Err() float64 { return stats.RelErr(p.ModelCPI, p.SimCPI) }
+
+// SweepResult is a one-axis sensitivity experiment: the model is fitted
+// once at the base configuration and extrapolated — empirical
+// coefficients frozen, machine parameters and counters updated — to each
+// swept configuration, the model-extrapolation study the paper gestures
+// at but never runs.
+type SweepResult struct {
+	Base      string
+	Param     SweepParam
+	BaseValue int
+	Suite     string
+	NumOps    int
+	Points    []SweepPoint
+	Stats     SimStats
+}
+
+// RunSweep simulates base and one derived machine per value on the named
+// suite (through opts.Store when configured, so reruns are incremental),
+// fits the model at base, and evaluates it at every point.
+func RunSweep(base *uarch.Machine, param string, values []int, suiteName string, opts Options) (*SweepResult, error) {
+	p, err := SweepParamByName(param)
+	if err != nil {
+		return nil, err
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("experiments: sweep needs at least one value")
+	}
+	opts = opts.withDefaults()
+	suite, err := suites.ByName(suiteName, suites.Options{NumOps: opts.NumOps})
+	if err != nil {
+		return nil, err
+	}
+
+	machines := []*uarch.Machine{base}
+	seen := map[int]bool{}
+	for _, v := range values {
+		if v <= 0 {
+			// Overrides treat zero as "keep base", which would silently
+			// mislabel the point as a second base run.
+			return nil, fmt.Errorf("experiments: sweep value %d must be positive", v)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("experiments: sweep value %d listed twice", v)
+		}
+		seen[v] = true
+		d, err := uarch.Derive(base, fmt.Sprintf("%s-%s%d", base.Name, p.Name, v), p.Set(v))
+		if err != nil {
+			return nil, err
+		}
+		machines = append(machines, d)
+	}
+
+	lab, err := NewCustomLab(machines, []suites.Suite{suite}, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := lab.Simulate(); err != nil {
+		return nil, err
+	}
+
+	fitted, err := lab.Model(base.Name, suiteName)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SweepResult{
+		Base:      base.Name,
+		Param:     p,
+		BaseValue: p.Get(base),
+		Suite:     suiteName,
+		NumOps:    opts.NumOps,
+		Stats:     lab.SimStats(),
+	}
+	for _, m := range machines[1:] {
+		// Extrapolate: frozen empirical coefficients, this point's
+		// machine parameters, this point's measured counters.
+		extrap := &core.Model{Machine: m.Params(), P: fitted.P}
+		obs, err := lab.Observations(m.Name, suiteName)
+		if err != nil {
+			return nil, err
+		}
+		pt := SweepPoint{Value: p.Get(m), Machine: m.Name}
+		n := float64(len(obs))
+		for _, o := range obs {
+			pt.SimCPI += o.MeasuredCPI / n
+			pt.ModelCPI += extrap.PredictCPI(o.Feat) / n
+			ms := extrap.Stack(o.Feat)
+			r, err := lab.Run(m.Name, suiteName, o.Name)
+			if err != nil {
+				return nil, err
+			}
+			ts := r.Truth.CPIStack(r.Counters.Uops)
+			for _, c := range sim.Components() {
+				pt.SimStack.Cycles[c] += ts.Cycles[c] / n
+				pt.ModelStack.Cycles[c] += ms.Cycles[c] / n
+			}
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Render returns the sensitivity tables as text: suite-mean simulated vs
+// model-predicted CPI per swept value, then the per-component breakdown.
+func (r *SweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: %s %s on %s (%d µops/workload; model fitted at %s=%d)\n",
+		r.Base, r.Param.Name, r.Suite, r.NumOps, r.Param.Name, r.BaseValue)
+	fmt.Fprintf(&b, "  %8s %9s %10s %7s\n", r.Param.Name, "sim-CPI", "model-CPI", "err")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %8d %9.4f %10.4f %6.1f%%\n", p.Value, p.SimCPI, p.ModelCPI, 100*p.Err())
+	}
+	b.WriteString("\ncomponent sensitivity (suite-mean cycles/µop, simulated vs model):\n")
+	// Only components that matter somewhere in the sweep get a column.
+	var comps []sim.Component
+	for _, c := range sim.Components() {
+		for _, p := range r.Points {
+			if p.SimStack.Cycles[c] >= 0.001 || p.ModelStack.Cycles[c] >= 0.001 {
+				comps = append(comps, c)
+				break
+			}
+		}
+	}
+	fmt.Fprintf(&b, "  %8s", r.Param.Name)
+	for _, c := range comps {
+		fmt.Fprintf(&b, " %17s", c)
+	}
+	b.WriteByte('\n')
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %8d", p.Value)
+		for _, c := range comps {
+			fmt.Fprintf(&b, "   %7.4f|%7.4f", p.SimStack.Cycles[c], p.ModelStack.Cycles[c])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("  (format: simulated|model)\n")
+	return b.String()
+}

@@ -54,7 +54,8 @@ func DecodeResult(data []byte) (*Result, error) {
 type Simulator struct {
 	m    *uarch.Machine
 	hier *cache.Hierarchy
-	pred branch.Predictor
+	pred branch.Predictor // built fresh per Run; runs must be independent
+	mshr mshrHeap
 
 	// Issue-bandwidth ring: counts issues per future cycle.
 	issueTag []uint64
@@ -80,7 +81,10 @@ const (
 	seqRingMask = seqRingSize - 1
 )
 
-// New builds a simulator for machine m.
+// New builds a simulator for machine m. The branch predictor is not
+// built here: Run constructs a fresh one per run anyway (runs must be
+// independent), and a predictor-configuration error surfaces on the
+// first Run.
 func New(m *uarch.Machine) (*Simulator, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -89,14 +93,10 @@ func New(m *uarch.Machine) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	pred, err := branch.New(m.Predictor)
-	if err != nil {
-		return nil, err
-	}
 	return &Simulator{
 		m:        m,
 		hier:     hier,
-		pred:     pred,
+		mshr:     mshrHeap{a: make([]uint64, m.MSHRs)},
 		issueTag: make([]uint64, issueRingSize),
 		issueCnt: make([]uint8, issueRingSize),
 	}, nil
@@ -154,7 +154,7 @@ func (s *Simulator) Run(g *trace.Generator) (*Result, error) {
 	// Window state.
 	rob := make([]robMeta, m.ROBSize)
 	iq := newMinHeap(m.IQSize + 1)
-	mshr := make([]uint64, m.MSHRs)
+	s.mshr.reset()
 
 	var (
 		cycle      uint64 // current dispatch cycle
@@ -366,17 +366,11 @@ func (s *Simulator) Run(g *trace.Generator) (*Result, error) {
 				if r.MemTrip {
 					meta.memTrip = true
 					// Acquire the least-soon-free MSHR; stall issue if none.
-					best := 0
-					for i := 1; i < len(mshr); i++ {
-						if mshr[i] < mshr[best] {
-							best = i
-						}
-					}
-					if mshr[best] > execStart {
-						execStart = findIssueSlot(mshr[best])
+					if free := s.mshr.min(); free > execStart {
+						execStart = findIssueSlot(free)
 					}
 					end := execStart + uint64(r.Lat)
-					mshr[best] = end
+					s.mshr.replaceMin(end)
 					memBusySum += uint64(r.Lat)
 					start := execStart
 					if start < coveredUntil {
@@ -508,6 +502,50 @@ func (s *Simulator) Run(g *trace.Generator) (*Result, error) {
 			g.Spec().Name, m.Name, err)
 	}
 	return res, nil
+}
+
+// mshrHeap tracks the free times of the machine's MSHRs as a binary
+// min-heap, so a memory trip finds the least-soon-free MSHR at the root
+// in O(1) and commits its new free time in O(log MSHRs) — replacing the
+// linear least-soon-free scan per trip. The occupancy pattern only ever
+// replaces the minimum with a later time (the trip starts no earlier
+// than the MSHR frees), so a single sift-down maintains the invariant.
+type mshrHeap struct {
+	a []uint64
+}
+
+func (h *mshrHeap) reset() {
+	for i := range h.a {
+		h.a[i] = 0
+	}
+}
+
+// min returns the earliest free time across all MSHRs.
+func (h *mshrHeap) min() uint64 { return h.a[0] }
+
+// replaceMin overwrites the earliest free time with v (which must be
+// ≥ the current minimum) and restores heap order.
+func (h *mshrHeap) replaceMin(v uint64) {
+	a := h.a
+	n := len(a)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		sv := v
+		if l < n && a[l] < sv {
+			small, sv = l, a[l]
+		}
+		if r < n && a[r] < sv {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		a[i] = a[small]
+		i = small
+	}
+	a[i] = v
 }
 
 // minHeap is a binary min-heap of uint64 (issue-queue departure times).

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/rng"
 	"repro/internal/trace"
 	"repro/internal/uarch"
 )
@@ -477,5 +478,49 @@ func TestResultEncodeRoundTripAndDeterminism(t *testing.T) {
 	}
 	if _, err := DecodeResult([]byte("{")); err == nil {
 		t.Error("want error for truncated encoding")
+	}
+}
+
+func TestMSHRHeapMatchesLinearScan(t *testing.T) {
+	// The heap must hand out exactly the values a least-soon-free linear
+	// scan would: replaceMin always replaces the minimum, and the minimum
+	// sequence matches a reference slice implementation.
+	h := mshrHeap{a: make([]uint64, 5)}
+	h.reset()
+	ref := make([]uint64, 5)
+	r := rng.New(7)
+	var now uint64
+	for i := 0; i < 2000; i++ {
+		now += r.Uint64() % 50
+		best := 0
+		for j := 1; j < len(ref); j++ {
+			if ref[j] < ref[best] {
+				best = j
+			}
+		}
+		if got := h.min(); got != ref[best] {
+			t.Fatalf("step %d: heap min %d, scan min %d", i, got, ref[best])
+		}
+		start := now
+		if ref[best] > start {
+			start = ref[best]
+		}
+		end := start + 1 + r.Uint64()%300
+		ref[best] = end
+		h.replaceMin(end)
+	}
+}
+
+func TestBadPredictorConfigFailsAtRun(t *testing.T) {
+	// New no longer builds a predictor (Run constructs a fresh one per
+	// run), so a broken predictor config surfaces on the first Run.
+	m := uarch.CoreTwo()
+	m.Predictor.Kind = uarch.PredictorKind(99)
+	s, err := New(m)
+	if err != nil {
+		t.Fatalf("New should defer predictor validation to Run: %v", err)
+	}
+	if _, err := s.Run(trace.New(baseSpec("badpred", 3))); err == nil {
+		t.Error("Run should reject an unknown predictor kind")
 	}
 }

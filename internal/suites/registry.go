@@ -1,0 +1,78 @@
+package suites
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The suite registry maps names to suite builders, mirroring the machine
+// registry in internal/uarch: experiments name suites declaratively and
+// the registry resolves them, so new workload collections plug in
+// without touching the experiment stack. The two paper suites
+// self-register in init.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Builder{}
+)
+
+// Builder instantiates a suite with the given options.
+type Builder func(Options) Suite
+
+// Register adds a named suite builder. The builder must produce suites
+// whose Name matches the registered name. Registering a name twice is an
+// error.
+func Register(name string, b Builder) error {
+	if name == "" {
+		return fmt.Errorf("suites: cannot register suite with empty name")
+	}
+	if b == nil {
+		return fmt.Errorf("suites: nil builder for suite %q", name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("suites: suite %q already registered", name)
+	}
+	registry[name] = b
+	return nil
+}
+
+// MustRegister is Register, panicking on error.
+func MustRegister(name string, b Builder) {
+	if err := Register(name, b); err != nil {
+		panic(err)
+	}
+}
+
+// Names returns all registered suite names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName instantiates the registered suite with the given options.
+func ByName(name string, opts Options) (Suite, error) {
+	regMu.RLock()
+	b, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return Suite{}, fmt.Errorf("suites: unknown suite %q (registered: %v)", name, Names())
+	}
+	s := b(opts)
+	if s.Name != name {
+		return Suite{}, fmt.Errorf("suites: builder for %q produced suite named %q", name, s.Name)
+	}
+	return s, nil
+}
+
+func init() {
+	MustRegister("cpu2000", CPU2000Like)
+	MustRegister("cpu2006", CPU2006Like)
+}

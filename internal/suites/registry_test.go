@@ -1,0 +1,81 @@
+package suites
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	if err := Register("cpu2000", CPU2000Like); err == nil ||
+		!strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate registration: got %v", err)
+	}
+	if err := Register("", CPU2000Like); err == nil {
+		t.Error("empty name should not register")
+	}
+	if err := Register("nilbuilder", nil); err == nil {
+		t.Error("nil builder should not register")
+	}
+}
+
+func TestNamesContainsPaperSuites(t *testing.T) {
+	names := Names()
+	for i, n := range names {
+		if i > 0 && names[i-1] >= n {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	if !found["cpu2000"] || !found["cpu2006"] {
+		t.Errorf("paper suites missing from registry: %v", names)
+	}
+}
+
+func TestByNameUnknownListsRegistered(t *testing.T) {
+	_, err := ByName("cpu2017", Options{})
+	if err == nil || !strings.Contains(err.Error(), "unknown suite") {
+		t.Fatalf("expected unknown suite error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "cpu2006") {
+		t.Errorf("error should list registered names: %v", err)
+	}
+}
+
+func TestRegisterCustomSuite(t *testing.T) {
+	build := func(opts Options) Suite {
+		opts = opts.withDefaults()
+		return Suite{Name: "registry-micro", Workloads: []trace.Spec{{
+			Name: "loopy", Seed: 42, NumOps: opts.NumOps,
+			LoadFrac: 0.2, StoreFrac: 0.1,
+			CodeFootprint: 4096, CodeLocality: 0.9,
+			DataFootprint: 8192, DataLocality: 0.9,
+			DepDistMean: 5,
+		}}}
+	}
+	if err := Register("registry-micro", build); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ByName("registry-micro", Options{NumOps: 777})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Workloads) != 1 || s.Workloads[0].NumOps != 777 {
+		t.Errorf("custom suite not built with options: %+v", s)
+	}
+}
+
+func TestByNameRejectsMisnamedBuilder(t *testing.T) {
+	if err := Register("liar", func(opts Options) Suite {
+		return Suite{Name: "something-else"}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("liar", Options{}); err == nil {
+		t.Error("builder producing a differently named suite should fail")
+	}
+}

@@ -218,18 +218,6 @@ func CPU2000Like(opts Options) Suite { return build("cpu2000", cpu2000Profiles, 
 // CPU2006Like returns the 55-workload CPU2006 stand-in suite.
 func CPU2006Like(opts Options) Suite { return build("cpu2006", cpu2006Profiles, opts) }
 
-// ByName returns the named suite ("cpu2000" or "cpu2006").
-func ByName(name string, opts Options) (Suite, error) {
-	switch name {
-	case "cpu2000":
-		return CPU2000Like(opts), nil
-	case "cpu2006":
-		return CPU2006Like(opts), nil
-	default:
-		return Suite{}, fmt.Errorf("suites: unknown suite %q (want cpu2000 or cpu2006)", name)
-	}
-}
-
 // Find returns the workload spec with the given name, if present.
 func (s *Suite) Find(name string) (trace.Spec, bool) {
 	for _, w := range s.Workloads {

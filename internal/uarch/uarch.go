@@ -345,12 +345,9 @@ func StockMachines() []*Machine {
 	return []*Machine{PentiumFour(), CoreTwo(), CoreI7()}
 }
 
-// ByName returns the stock machine with the given name, or an error.
-func ByName(name string) (*Machine, error) {
-	for _, m := range StockMachines() {
-		if m.Name == name {
-			return m, nil
-		}
-	}
-	return nil, fmt.Errorf("uarch: unknown machine %q (want pentium4, core2 or corei7)", name)
+// The paper's machines are the registry's built-ins.
+func init() {
+	MustRegister("pentium4", PentiumFour)
+	MustRegister("core2", CoreTwo)
+	MustRegister("corei7", CoreI7)
 }
