@@ -67,8 +67,35 @@ sweep-smoke:
 		-ops $(SMOKE_OPS) -starts 2 -store $(RUNSTORE) 2>&1 >/dev/null \
 		| grep "0 simulated (100.0% hit rate)"
 
+fuzz-smoke:
+	@echo "Fuzzing campaign parsing for 20s..."
+	@go test ./internal/experiments -run '^$$' -fuzz '^FuzzParseCampaign$$' -fuzztime 20s
+
+# serve-smoke depends on sim-smoke/sweep-smoke so the run store is warm:
+# the whole point of the assertion is that a warm store lets the daemon
+# answer predict and sweep requests without dispatching one simulation.
+serve-smoke: sim-smoke sweep-smoke
+	@echo "Starting mecpid on a random port against the run store at $(RUNSTORE)..."
+	@mkdir -p $(CURDIR)/.bin
+	@go build -o $(CURDIR)/.bin/mecpid ./cmd/mecpid
+	@rm -f $(CURDIR)/.bin/mecpid.addr
+	@$(CURDIR)/.bin/mecpid -addr 127.0.0.1:0 -addrfile $(CURDIR)/.bin/mecpid.addr \
+		-store $(RUNSTORE) -ops $(SMOKE_OPS) -starts 2 & \
+	pid=$$!; \
+	trap "kill $$pid 2>/dev/null" EXIT; \
+	for i in $$(seq 1 100); do [ -s $(CURDIR)/.bin/mecpid.addr ] && break; sleep 0.1; done; \
+	addr=$$(cat $(CURDIR)/.bin/mecpid.addr); \
+	echo "daemon at $$addr; hitting healthz, predict, sweep..." && \
+	curl -fsS "http://$$addr/healthz" > /dev/null && \
+	curl -fsS -X POST "http://$$addr/v1/predict" \
+		-d '{"machine": {"name": "core2"}, "suite": "cpu2006", "workload": "mcf"}' > /dev/null && \
+	curl -fsS -X POST "http://$$addr/v1/sweep" \
+		-d '{"base": {"name": "core2"}, "param": "rob", "values": [48, 96, 192], "suite": "cpu2000"}' > /dev/null && \
+	echo "Asserting the warm store dispatched zero simulations..." && \
+	curl -fsS "http://$$addr/v1/stats" | grep -q '"simulated": 0'
+
 clean-store:
 	@echo "Removing the run store at $(RUNSTORE)..."
 	@rm -rf $(RUNSTORE)
 
-.PHONY: all build test test-short race lint bench-smoke bench-full sim-smoke sweep-smoke clean-store
+.PHONY: all build test test-short race lint bench-smoke bench-full sim-smoke sweep-smoke fuzz-smoke serve-smoke clean-store

@@ -21,12 +21,11 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/runstore"
-	"repro/internal/sim"
 	"repro/internal/stack"
 	"repro/internal/stats"
 	"repro/internal/suites"
-	"repro/internal/trace"
 	"repro/internal/uarch"
 )
 
@@ -56,10 +55,6 @@ func realMain(machineName, suiteName, workload string, ops, starts int, truth, c
 	if err != nil {
 		return err
 	}
-	s, err := sim.New(m)
-	if err != nil {
-		return err
-	}
 	var store *runstore.Store
 	if storeDir != "" {
 		if store, err = runstore.Open(storeDir); err != nil {
@@ -67,48 +62,21 @@ func realMain(machineName, suiteName, workload string, ops, starts int, truth, c
 		}
 	}
 
+	// The provider is the same simulate+fit path the mecpid daemon
+	// serves from, so this one-shot answer is bit-identical to the
+	// daemon's for identical options.
+	prov := experiments.NewProvider(experiments.Options{NumOps: ops, FitStarts: starts, Store: store})
+
 	fmt.Fprintf(os.Stderr, "running %d workloads on %s...\n", len(suite.Workloads), m.Name)
-	obs := make([]core.Observation, 0, len(suite.Workloads))
-	runs := map[string]*sim.Result{}
-	for _, w := range suite.Workloads {
-		var r *sim.Result
-		var key string
-		if store != nil {
-			key = runstore.SimKey(m, w)
-			cached, ok, err := store.GetResult(key)
-			if err != nil {
-				return err
-			}
-			if ok {
-				r = cached
-			}
-		}
-		if r == nil {
-			if r, err = s.Run(trace.New(w)); err != nil {
-				return err
-			}
-			if store != nil {
-				if err := store.PutResult(key, r); err != nil {
-					return err
-				}
-			}
-		}
-		o, err := core.ObservationFrom(w.Name, &r.Counters)
-		if err != nil {
-			return err
-		}
-		obs = append(obs, o)
-		runs[w.Name] = r
+	fmt.Fprintf(os.Stderr, "fitting the mechanistic-empirical model...\n")
+	f, err := prov.Fitted(m, suiteName)
+	if err != nil {
+		return err
 	}
+	obs, model, runs := f.Obs, f.Model, f.Runs
 	if store != nil {
 		st := store.Stats()
 		fmt.Fprintf(os.Stderr, "run store %s: %d hits, %d misses\n", store.Dir(), st.Hits, st.Misses)
-	}
-
-	fmt.Fprintf(os.Stderr, "fitting the mechanistic-empirical model...\n")
-	model, err := core.Fit(m.Params(), obs, core.FitOptions{Starts: starts})
-	if err != nil {
-		return err
 	}
 
 	if characterize {

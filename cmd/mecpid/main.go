@@ -1,0 +1,122 @@
+// Command mecpid is the model-serving daemon: the paper's fitted
+// mechanistic-empirical model behind an HTTP/JSON API, answering the
+// CPI and CPI-stack questions a simulator needs minutes for in
+// microseconds once a model is fitted. Fitted models are cached
+// content-addressed per (machine configuration, suite, fit options)
+// with singleflight deduplication — N concurrent requests for an
+// unfitted pair trigger exactly one simulate+fit — and simulations are
+// warm-started from the same run store the batch CLIs use, so a warm
+// store means the daemon never dispatches a simulation.
+//
+// Usage:
+//
+//	mecpid [-addr 127.0.0.1:8080] [-addrfile FILE] [-store DIR]
+//	       [-ops N] [-starts N] [-workers N] [-drain DURATION]
+//
+// See internal/serve for the endpoint reference. On SIGINT/SIGTERM the
+// daemon stops accepting connections and drains in-flight requests for
+// up to -drain (default 2m — a cold predict simulates a whole suite, so
+// draining can legitimately take a while); whatever is still running
+// then is cut off and the daemon exits cleanly either way.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/runstore"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	addrFile := flag.String("addrfile", "", "write the bound address to this file once listening (for scripts)")
+	storeDir := flag.String("store", "", "run-store directory for cached simulation results (empty = no cache)")
+	ops := flag.Int("ops", 300000, "µops per workload")
+	starts := flag.Int("starts", 12, "regression multi-start count")
+	workers := flag.Int("workers", 0, "simulation worker bound (default: NumCPU)")
+	drain := flag.Duration("drain", 2*time.Minute, "how long to drain in-flight requests on shutdown")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := realMain(ctx, os.Stderr, *addr, *addrFile, *storeDir, *ops, *starts, *workers, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "mecpid:", err)
+		os.Exit(1)
+	}
+}
+
+// realMain runs the daemon until ctx is cancelled (graceful shutdown) or
+// the listener fails. It logs the bound address to log — and to
+// addrFile when given — once the socket is open, so scripts can start
+// the daemon on port 0 and discover where it landed.
+func realMain(ctx context.Context, log io.Writer, addr, addrFile, storeDir string, ops, starts, workers int, drain time.Duration) error {
+	var store *runstore.Store
+	if storeDir != "" {
+		var err error
+		if store, err = runstore.Open(storeDir); err != nil {
+			return err
+		}
+	}
+	prov := experiments.NewProvider(experiments.Options{
+		NumOps:    ops,
+		FitStarts: starts,
+		Workers:   workers,
+		Store:     store,
+	})
+	srv := serve.New(prov)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	storeDesc := "none"
+	if store != nil {
+		storeDesc = store.Dir()
+	}
+	fmt.Fprintf(log, "mecpid: listening on http://%s (ops=%d, starts=%d, store=%s)\n",
+		bound, prov.Opts().NumOps, prov.Opts().FitStarts, storeDesc)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			if !errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
+			// Requests still running after the drain window (a cold fit
+			// can take minutes) are cut off; that is a forced but clean
+			// exit, not a daemon failure.
+			hs.Close()
+			fmt.Fprintf(log, "mecpid: drain window (%v) elapsed; forcing exit\n", drain)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		fmt.Fprintln(log, "mecpid: shut down")
+		return nil
+	}
+}

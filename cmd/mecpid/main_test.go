@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDaemonLifecycle boots the daemon on port 0, discovers the bound
+// address through -addrfile exactly as the serve-smoke script does, hits
+// /healthz, and verifies context cancellation shuts it down cleanly.
+func TestDaemonLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var log bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- realMain(ctx, &log, "127.0.0.1:0", addrFile, "", 1500, 2, 0, 5*time.Second)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never wrote its address file")
+		}
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			addr = string(data)
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" {
+		t.Errorf("healthz: status %d, body %+v", resp.StatusCode, health)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("daemon exited with %v, want clean shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down after cancellation")
+	}
+	if !strings.Contains(log.String(), "listening on http://") {
+		t.Errorf("log missing listen line:\n%s", log.String())
+	}
+	if !strings.Contains(log.String(), "shut down") {
+		t.Errorf("log missing shutdown line:\n%s", log.String())
+	}
+}
+
+func TestDaemonRejectsBadListenAddress(t *testing.T) {
+	if err := realMain(context.Background(), bytes.NewBuffer(nil), "256.256.256.256:99999", "", "", 1000, 2, 0, time.Second); err == nil {
+		t.Error("invalid listen address should fail")
+	}
+}

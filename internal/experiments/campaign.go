@@ -76,29 +76,35 @@ func LoadCampaign(path string) (Campaign, error) {
 	return c, nil
 }
 
+// Resolve materializes the spec through the uarch registry: a registered
+// machine looked up by name, or a validated derivation from a registered
+// base. This is the one spec-to-machine path, shared by campaign
+// resolution and the serving layer's request decoding.
+func (ms MachineSpec) Resolve() (*uarch.Machine, error) {
+	if ms.Name == "" {
+		return nil, fmt.Errorf("experiments: machine spec with empty name")
+	}
+	if ms.Base == "" {
+		return uarch.ByName(ms.Name)
+	}
+	base, err := uarch.ByName(ms.Base)
+	if err != nil {
+		return nil, err
+	}
+	return uarch.Derive(base, ms.Name, ms.Overrides)
+}
+
 // resolveMachines materializes the campaign's machine list through the
 // uarch registry, derivations included.
 func (c Campaign) resolveMachines() ([]*uarch.Machine, error) {
 	out := make([]*uarch.Machine, 0, len(c.Machines))
 	seen := map[string]bool{}
 	for _, ms := range c.Machines {
-		if ms.Name == "" {
-			return nil, fmt.Errorf("experiments: campaign machine with empty name")
-		}
 		if seen[ms.Name] {
 			return nil, fmt.Errorf("experiments: campaign lists machine %q twice", ms.Name)
 		}
 		seen[ms.Name] = true
-		var m *uarch.Machine
-		var err error
-		if ms.Base == "" {
-			m, err = uarch.ByName(ms.Name)
-		} else {
-			var base *uarch.Machine
-			if base, err = uarch.ByName(ms.Base); err == nil {
-				m, err = uarch.Derive(base, ms.Name, ms.Overrides)
-			}
-		}
+		m, err := ms.Resolve()
 		if err != nil {
 			return nil, err
 		}

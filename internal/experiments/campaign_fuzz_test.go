@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseCampaign asserts two invariants over arbitrary scenario
+// bytes: ParseCampaign never panics, and every accepted campaign
+// round-trips — marshalling it and parsing the result yields the same
+// campaign, so nothing a user can express is lost or mutated by the
+// strict decoder. The seed corpus is every example scenario plus the
+// malformed shapes the decoder is supposed to reject loudly (unknown
+// fields, trailing documents, negative overrides, type confusion).
+func FuzzParseCampaign(f *testing.F) {
+	scenarios, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(scenarios) == 0 {
+		f.Fatal("no example scenarios found for the seed corpus")
+	}
+	for _, path := range scenarios {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	for _, seed := range []string{
+		``,
+		`{}`,
+		`not json at all`,
+		`{"machines": [{"name": "core2"}], "suites": ["cpu2000"]}`,
+		`{"machines": [{"name": "core2"}], "suites": ["cpu2000"], "typo": 1}`,
+		`{"machines": [{"name": "core2", "overrides": {"robSize": -5}}], "suites": ["cpu2000"]}`,
+		`{"machines": [{"name": "x", "base": "core2", "overrides": {"fusionRate": 0}}], "suites": ["cpu2000"]}`,
+		`{"machines": [{"name": "core2"}], "suites": ["cpu2000"]} {"trailing": "doc"}`,
+		`{"machines": [], "suites": []}`,
+		`{"machines": [{"name": "core2"}], "suites": ["cpu2000"], "ops": 1.5}`,
+		`{"machines": [{"name": "core2"}], "suites": ["cpu2000"], "ops": -3, "seed": 7}`,
+		`{"machines": [{"name": "core2", "overrides": {"l2": {"sizeBytes": 1048576}}}], "suites": ["cpu2000", "cpu2000"]}`,
+		`[{"name": "core2"}]`,
+		`{"machines": "core2", "suites": "cpu2000"}`,
+	} {
+		f.Add([]byte(seed))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ParseCampaign(data)
+		if err != nil {
+			return // rejection is fine; panicking or corrupting is not
+		}
+		out, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("accepted campaign does not marshal: %v\n%s", err, data)
+		}
+		c2, err := ParseCampaign(out)
+		if err != nil {
+			t.Fatalf("marshalled campaign does not re-parse: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(c, c2) {
+			t.Fatalf("campaign round-trip mutated the value:\n in  %+v\n out %+v\n(json %s)", c, c2, out)
+		}
+	})
+}

@@ -12,13 +12,11 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/runstore"
 	"repro/internal/sim"
 	"repro/internal/suites"
-	"repro/internal/trace"
 	"repro/internal/uarch"
 )
 
@@ -152,19 +150,11 @@ func (l *Lab) NumWorkloads() int {
 // campaign machine. It is idempotent: already-computed runs are kept,
 // and when a run store is configured every pending run is first looked
 // up there — only misses are dispatched to the worker pool, and their
-// results are written back atomically as workers finish. Results are
-// deterministic regardless of scheduling (every run is independent and
-// seeded) and regardless of the store (a cached Result is exactly what
-// re-simulating would produce). SimStats reports how many runs each path
-// served.
+// results are written back atomically as workers finish (the shared
+// runSimJobs path, which the Provider's on-demand fits also use).
+// SimStats reports how many runs each path served.
 func (l *Lab) Simulate() error {
-	type job struct {
-		m   *uarch.Machine
-		rk  RunKey
-		w   trace.Spec
-		key string // run-store key; "" when no store is configured
-	}
-	var jobs []job
+	var jobs []simJob
 	for _, m := range l.machines {
 		for _, s := range l.suites {
 			for _, w := range s.Workloads {
@@ -172,89 +162,16 @@ func (l *Lab) Simulate() error {
 				if _, done := l.runs[rk]; done {
 					continue
 				}
-				j := job{m: m, rk: rk, w: w}
-				if l.opts.Store != nil {
-					j.key = runstore.SimKey(m, w)
-					res, ok, err := l.opts.Store.GetResult(j.key)
-					if err != nil {
-						return fmt.Errorf("experiments: %s on %s: %w", w.Name, m.Name, err)
-					}
-					if ok {
-						l.runs[rk] = res
-						l.stats.Hits++
-						continue
-					}
-				}
-				jobs = append(jobs, j)
+				jobs = append(jobs, simJob{machine: m, spec: w, run: rk})
 			}
 		}
 	}
-	if len(jobs) == 0 {
-		return nil
-	}
-
-	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-	}
-	ch := make(chan job)
-	for i := 0; i < l.opts.Workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One simulator per machine per worker, lazily built.
-			sims := map[string]*sim.Simulator{}
-			for j := range ch {
-				s, ok := sims[j.m.Name]
-				if !ok {
-					var err error
-					s, err = sim.New(j.m)
-					if err != nil {
-						fail(err)
-						continue
-					}
-					sims[j.m.Name] = s
-				}
-				res, err := s.Run(trace.New(j.w))
-				if err != nil {
-					fail(fmt.Errorf("experiments: %s on %s: %w", j.w.Name, j.m.Name, err))
-					continue
-				}
-				if j.key != "" {
-					if err := l.opts.Store.PutResult(j.key, res); err != nil {
-						fail(fmt.Errorf("experiments: %s on %s: %w", j.w.Name, j.m.Name, err))
-						continue
-					}
-				}
-				mu.Lock()
-				l.runs[j.rk] = res
-				l.stats.Simulated++
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, j := range jobs {
-		// Stop feeding once a worker has failed: the campaign is doomed
-		// anyway, and the remaining simulations would waste minutes.
-		mu.Lock()
-		stop := firstErr != nil
-		mu.Unlock()
-		if stop {
-			break
-		}
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
-	return firstErr
+	st, err := runSimJobs(jobs, l.opts.Workers, l.opts.Store, func(rk RunKey, r *sim.Result) {
+		l.runs[rk] = r
+	})
+	l.stats.Hits += st.Hits
+	l.stats.Simulated += st.Simulated
+	return err
 }
 
 // SimStats returns cumulative run-sourcing counts over all Simulate
@@ -279,15 +196,25 @@ func (l *Lab) Observations(machine, suite string) ([]core.Observation, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown suite %q", suite)
 	}
+	return observationsFor(machine, s, func(workload string) (*sim.Result, error) {
+		return l.Run(machine, suite, workload)
+	})
+}
+
+// observationsFor converts one (machine, suite) run set into model
+// observations, sorted by workload name for determinism. The run lookup
+// is abstracted so the Lab (RunKey map) and the Provider (per-fit map)
+// share one conversion — and therefore one fit input ordering.
+func observationsFor(machine string, s suites.Suite, run func(workload string) (*sim.Result, error)) ([]core.Observation, error) {
 	obs := make([]core.Observation, 0, len(s.Workloads))
 	for _, w := range s.Workloads {
-		r, err := l.Run(machine, suite, w.Name)
+		r, err := run(w.Name)
 		if err != nil {
 			return nil, err
 		}
 		o, err := core.ObservationFrom(w.Name, &r.Counters)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s/%s on %s: %w", suite, w.Name, machine, err)
+			return nil, fmt.Errorf("experiments: %s/%s on %s: %w", s.Name, w.Name, machine, err)
 		}
 		obs = append(obs, o)
 	}
@@ -335,13 +262,31 @@ func (l *Lab) Model(machine, suite string) (*core.Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := core.Fit(mc.Params(), obs, core.FitOptions{
-		Starts: l.opts.FitStarts,
-		Seed:   l.opts.Seed,
-	})
+	m, err := fitModel(mc, obs, l.opts)
 	if err != nil {
 		return nil, err
 	}
 	l.models[key] = m
 	return m, nil
+}
+
+// fitModel fits the mechanistic-empirical model for one machine over one
+// observation set with the campaign-level fit options — the single fit
+// entry point under Lab.Model and the Provider, so batch and serving
+// paths produce bit-identical models for identical inputs.
+func fitModel(m *uarch.Machine, obs []core.Observation, opts Options) (*core.Model, error) {
+	return core.Fit(m.Params(), obs, core.FitOptions{
+		Starts: opts.FitStarts,
+		Seed:   opts.Seed,
+	})
+}
+
+// adopt seeds the lab with a provider-fitted (machine, suite) pair: its
+// runs and its model. Provider.Sweep uses this so the sweep's base point
+// neither re-simulates nor re-fits.
+func (l *Lab) adopt(machine, suite string, f *Fitted) {
+	for w, r := range f.Runs {
+		l.runs[RunKey{Machine: machine, Suite: suite, Workload: w}] = r
+	}
+	l.models[modelKey{machine: machine, suite: suite}] = f.Model
 }

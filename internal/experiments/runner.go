@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/runstore"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// simJob is one (machine, workload) simulation request, tagged with the
+// caller's RunKey so results can be recorded wherever the caller keeps
+// them.
+type simJob struct {
+	machine *uarch.Machine
+	spec    trace.Spec
+	run     RunKey
+}
+
+// runSimJobs is the shared simulation path under Lab.Simulate (batch
+// campaigns) and Provider fits (on-demand serving): every job is first
+// resolved against the run store (when one is configured), and only the
+// misses are dispatched to a bounded worker pool, their results written
+// back to the store as workers finish. record is invoked once per
+// completed job; calls are never concurrent, so record may touch shared
+// state without further locking. Results are deterministic regardless of
+// scheduling (every run is independent and seeded) and regardless of the
+// store (a cached Result is exactly what re-simulating would produce).
+// The returned SimStats reports how many runs each path served.
+func runSimJobs(jobs []simJob, workers int, store *runstore.Store, record func(RunKey, *sim.Result)) (SimStats, error) {
+	var st SimStats
+	type missJob struct {
+		simJob
+		key string // run-store key; "" when no store is configured
+	}
+	var misses []missJob
+	for _, j := range jobs {
+		mj := missJob{simJob: j}
+		if store != nil {
+			mj.key = runstore.SimKey(j.machine, j.spec)
+			res, ok, err := store.GetResult(mj.key)
+			if err != nil {
+				return st, fmt.Errorf("experiments: %s on %s: %w", j.spec.Name, j.machine.Name, err)
+			}
+			if ok {
+				record(j.run, res)
+				st.Hits++
+				continue
+			}
+		}
+		misses = append(misses, mj)
+	}
+	if len(misses) == 0 {
+		return st, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	ch := make(chan missJob)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One simulator per machine per worker, lazily built.
+			sims := map[string]*sim.Simulator{}
+			for j := range ch {
+				s, ok := sims[j.machine.Name]
+				if !ok {
+					var err error
+					s, err = sim.New(j.machine)
+					if err != nil {
+						fail(err)
+						continue
+					}
+					sims[j.machine.Name] = s
+				}
+				res, err := s.Run(trace.New(j.spec))
+				if err != nil {
+					fail(fmt.Errorf("experiments: %s on %s: %w", j.spec.Name, j.machine.Name, err))
+					continue
+				}
+				if j.key != "" {
+					if err := store.PutResult(j.key, res); err != nil {
+						fail(fmt.Errorf("experiments: %s on %s: %w", j.spec.Name, j.machine.Name, err))
+						continue
+					}
+				}
+				mu.Lock()
+				record(j.run, res)
+				st.Simulated++
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range misses {
+		// Stop feeding once a worker has failed: the campaign is doomed
+		// anyway, and the remaining simulations would waste minutes.
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	return st, firstErr
+}

@@ -98,40 +98,20 @@ type SweepResult struct {
 
 // RunSweep simulates base and one derived machine per value on the named
 // suite (through opts.Store when configured, so reruns are incremental),
-// fits the model at base, and evaluates it at every point.
+// fits the model at base, and evaluates it at every point. For a
+// long-running caller that wants the base fit cached and deduplicated
+// across sweeps, use Provider.Sweep, which shares the extrapolation
+// below.
 func RunSweep(base *uarch.Machine, param string, values []int, suiteName string, opts Options) (*SweepResult, error) {
-	p, err := SweepParamByName(param)
+	opts = opts.withDefaults()
+	p, machines, err := sweepMachines(base, param, values)
 	if err != nil {
 		return nil, err
 	}
-	if len(values) == 0 {
-		return nil, fmt.Errorf("experiments: sweep needs at least one value")
-	}
-	opts = opts.withDefaults()
 	suite, err := suites.ByName(suiteName, suites.Options{NumOps: opts.NumOps})
 	if err != nil {
 		return nil, err
 	}
-
-	machines := []*uarch.Machine{base}
-	seen := map[int]bool{}
-	for _, v := range values {
-		if v <= 0 {
-			// Overrides treat zero as "keep base", which would silently
-			// mislabel the point as a second base run.
-			return nil, fmt.Errorf("experiments: sweep value %d must be positive", v)
-		}
-		if seen[v] {
-			return nil, fmt.Errorf("experiments: sweep value %d listed twice", v)
-		}
-		seen[v] = true
-		d, err := uarch.Derive(base, fmt.Sprintf("%s-%s%d", base.Name, p.Name, v), p.Set(v))
-		if err != nil {
-			return nil, err
-		}
-		machines = append(machines, d)
-	}
-
 	lab, err := NewCustomLab(machines, []suites.Suite{suite}, opts)
 	if err != nil {
 		return nil, err
@@ -139,21 +119,68 @@ func RunSweep(base *uarch.Machine, param string, values []int, suiteName string,
 	if err := lab.Simulate(); err != nil {
 		return nil, err
 	}
-
 	fitted, err := lab.Model(base.Name, suiteName)
 	if err != nil {
 		return nil, err
 	}
+	return sweepResult(lab, base, p, suiteName, fitted)
+}
 
+// ValidateSweepValues rejects value lists a sweep cannot run: empty,
+// non-positive (overrides treat zero as "keep base", which would
+// silently mislabel the point as a second base run), or duplicated.
+// This is the single validation source for RunSweep, Provider.Sweep and
+// the serving layer's request checking.
+func ValidateSweepValues(values []int) error {
+	if len(values) == 0 {
+		return fmt.Errorf("experiments: sweep needs at least one value")
+	}
+	seen := map[int]bool{}
+	for _, v := range values {
+		if v <= 0 {
+			return fmt.Errorf("experiments: sweep value %d must be positive", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("experiments: sweep value %d listed twice", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// sweepMachines validates the swept values and derives one machine per
+// value from base; machines[0] is base itself.
+func sweepMachines(base *uarch.Machine, param string, values []int) (SweepParam, []*uarch.Machine, error) {
+	p, err := SweepParamByName(param)
+	if err != nil {
+		return SweepParam{}, nil, err
+	}
+	if err := ValidateSweepValues(values); err != nil {
+		return SweepParam{}, nil, err
+	}
+	machines := []*uarch.Machine{base}
+	for _, v := range values {
+		d, err := uarch.Derive(base, fmt.Sprintf("%s-%s%d", base.Name, p.Name, v), p.Set(v))
+		if err != nil {
+			return SweepParam{}, nil, err
+		}
+		machines = append(machines, d)
+	}
+	return p, machines, nil
+}
+
+// sweepResult extrapolates the base-fitted model to every swept point of
+// a simulated lab — the shared back half of RunSweep and Provider.Sweep.
+func sweepResult(lab *Lab, base *uarch.Machine, p SweepParam, suiteName string, fitted *core.Model) (*SweepResult, error) {
 	res := &SweepResult{
 		Base:      base.Name,
 		Param:     p,
 		BaseValue: p.Get(base),
 		Suite:     suiteName,
-		NumOps:    opts.NumOps,
+		NumOps:    lab.NumOps(),
 		Stats:     lab.SimStats(),
 	}
-	for _, m := range machines[1:] {
+	for _, m := range lab.Machines()[1:] {
 		// Extrapolate: frozen empirical coefficients, this point's
 		// machine parameters, this point's measured counters.
 		extrap := &core.Model{Machine: m.Params(), P: fitted.P}

@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the predict golden from live output")
+
+// TestPredictGoldenResponse pins the /v1/predict wire format
+// byte-for-byte (ops=2000, starts=2, seed=1), in the style of the fig2
+// golden: field names, field order, indentation, float formatting and
+// the numbers themselves must not drift silently. Regenerate with
+//
+//	go test ./internal/serve -run TestPredictGoldenResponse -update-golden
+//
+// only for an intentional wire-format or simulator/model change.
+func TestPredictGoldenResponse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end fit is slow")
+	}
+	ts, _ := newTestServer(t, experiments.Options{})
+	code, body := postJSON(t, ts.URL+"/v1/predict",
+		`{"machine": {"name": "core2"}, "suite": "cpu2000", "workload": "mcf"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+
+	path := filepath.Join("testdata", "predict_core2_cpu2000_ops2000.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("/v1/predict response drifted from golden (%d vs %d bytes):\n%s", len(body), len(want), body)
+	}
+}

@@ -1,0 +1,444 @@
+// Package serve implements the HTTP/JSON layer of the mecpid daemon:
+// the paper's fitted mechanistic-empirical model, exposed as a
+// long-running prediction service. Handlers are thin translations from
+// wire requests to the experiments.Provider — the concurrent model
+// cache with singleflight fitting — so N identical in-flight predict
+// requests cost one simulate+fit, and a warm run store costs zero
+// simulations. All responses are JSON; errors come back as
+// {"error": "..."} with a 4xx/5xx status.
+//
+// Endpoints:
+//
+//	GET  /healthz      liveness + simulator version
+//	GET  /v1/machines  registered machine names
+//	GET  /v1/suites    registered suites and their workloads
+//	POST /v1/predict   CPI + CPI stack for a machine spec × suite[/workload]
+//	POST /v1/sweep     one-axis what-if sweep over a derived machine
+//	GET  /v1/stats     request, model-cache, simulation and store counters
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/suites"
+	"repro/internal/uarch"
+)
+
+// maxBodyBytes bounds request bodies; predict and sweep requests are a
+// few hundred bytes of JSON.
+const maxBodyBytes = 1 << 20
+
+// Server translates HTTP requests into provider calls. Construct with
+// New; all methods are safe for concurrent use.
+type Server struct {
+	prov *experiments.Provider
+	mux  *http.ServeMux
+
+	inflight atomic.Int64
+	reqs     struct {
+		healthz, machines, suites, predict, sweep, stats atomic.Int64
+	}
+}
+
+// New builds a server around the given provider.
+func New(prov *experiments.Provider) *Server {
+	s := &Server{prov: prov, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/machines", s.handleMachines)
+	s.mux.HandleFunc("GET /v1/suites", s.handleSuites)
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the daemon's root handler: the route mux wrapped with
+// the in-flight gauge.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// writeJSON emits v indented, so responses read well from curl and pin
+// down a stable golden wire format.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// decodeStrict parses a request body with the same strictness as
+// scenario files: unknown fields and trailing documents are errors.
+func decodeStrict(r *http.Request, w http.ResponseWriter, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("parse request: %w", err)
+	}
+	if dec.More() {
+		return errors.New("parse request: trailing data after JSON document")
+	}
+	return nil
+}
+
+// HealthzResponse is the GET /healthz body.
+type HealthzResponse struct {
+	Status     string `json:"status"`
+	SimVersion string `json:"simVersion"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.reqs.healthz.Add(1)
+	writeJSON(w, http.StatusOK, HealthzResponse{Status: "ok", SimVersion: sim.Version})
+}
+
+// MachinesResponse is the GET /v1/machines body.
+type MachinesResponse struct {
+	Machines []string `json:"machines"`
+}
+
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	s.reqs.machines.Add(1)
+	writeJSON(w, http.StatusOK, MachinesResponse{Machines: uarch.Names()})
+}
+
+// SuiteInfo describes one registered suite at the daemon's µop count.
+type SuiteInfo struct {
+	Name      string   `json:"name"`
+	Workloads []string `json:"workloads"`
+}
+
+// SuitesResponse is the GET /v1/suites body.
+type SuitesResponse struct {
+	Ops    int         `json:"ops"`
+	Suites []SuiteInfo `json:"suites"`
+}
+
+func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
+	s.reqs.suites.Add(1)
+	ops := s.prov.Opts().NumOps
+	resp := SuitesResponse{Ops: ops}
+	for _, name := range suites.Names() {
+		suite, err := suites.ByName(name, suites.Options{NumOps: ops})
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		info := SuiteInfo{Name: name}
+		for _, wl := range suite.Workloads {
+			info.Workloads = append(info.Workloads, wl.Name)
+		}
+		resp.Suites = append(resp.Suites, info)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// PredictRequest asks for CPI predictions of a machine spec (a
+// registered name, or base + overrides exactly as in scenario files) on
+// a suite. With Workload set, the response carries that workload alone;
+// otherwise every workload plus the suite-wide accuracy.
+type PredictRequest struct {
+	Machine  experiments.MachineSpec `json:"machine"`
+	Suite    string                  `json:"suite"`
+	Workload string                  `json:"workload,omitempty"`
+}
+
+// StackEntry is one CPI-stack component, in stack order (base first).
+type StackEntry struct {
+	Component string  `json:"component"`
+	CPI       float64 `json:"cpi"`
+}
+
+func stackEntries(st sim.Stack) []StackEntry {
+	out := make([]StackEntry, 0, sim.NumComponents)
+	for _, c := range sim.Components() {
+		out = append(out, StackEntry{Component: c.String(), CPI: st.Cycles[c]})
+	}
+	return out
+}
+
+// WorkloadPrediction is the model's answer for one workload: measured
+// (counter-derived) CPI, the model's prediction, and the predicted
+// per-component CPI stack — the paper's headline deliverable, over HTTP.
+// RelErr is signed — negative means the model under-predicts — the
+// convention every relErr field on this wire follows; the accuracy
+// aggregates are magnitudes.
+type WorkloadPrediction struct {
+	Workload     string       `json:"workload"`
+	MeasuredCPI  float64      `json:"measuredCPI"`
+	PredictedCPI float64      `json:"predictedCPI"`
+	RelErr       float64      `json:"relErr"`
+	Stack        []StackEntry `json:"stack"`
+}
+
+// SuiteAccuracy summarizes suite-wide model error, as cmd/mecpi prints.
+type SuiteAccuracy struct {
+	AvgRelErr      float64 `json:"avgRelErr"`
+	MaxRelErr      float64 `json:"maxRelErr"`
+	FracBelow20Pct float64 `json:"fracBelow20pct"`
+}
+
+// PredictResponse is the POST /v1/predict body.
+type PredictResponse struct {
+	Machine    string               `json:"machine"`
+	ConfigHash string               `json:"configHash"`
+	Suite      string               `json:"suite"`
+	Ops        int                  `json:"ops"`
+	FitStarts  int                  `json:"fitStarts"`
+	Seed       uint64               `json:"seed"`
+	Params     core.Params          `json:"params"`
+	Workloads  []WorkloadPrediction `json:"workloads"`
+	Accuracy   *SuiteAccuracy       `json:"accuracy,omitempty"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.reqs.predict.Add(1)
+	var req PredictRequest
+	if err := decodeStrict(r, w, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := req.Machine.Resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	suite, err := suites.ByName(req.Suite, suites.Options{NumOps: s.prov.Opts().NumOps})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Reject a typoed workload before the expensive simulate+fit, not
+	// after: the suite listing is already in hand.
+	if req.Workload != "" {
+		found := false
+		for _, wl := range suite.Workloads {
+			if wl.Name == req.Workload {
+				found = true
+				break
+			}
+		}
+		if !found {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("workload %q not in suite %s", req.Workload, suite.Name))
+			return
+		}
+	}
+	f, err := s.prov.Fitted(m, req.Suite)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	opts := s.prov.Opts()
+	resp := PredictResponse{
+		Machine:    m.Name,
+		ConfigHash: m.ConfigHash(),
+		Suite:      req.Suite,
+		Ops:        opts.NumOps,
+		FitStarts:  opts.FitStarts,
+		Seed:       opts.Seed,
+		Params:     f.Model.P,
+	}
+	if req.Workload != "" {
+		o, err := f.Observation(req.Workload)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp.Workloads = []WorkloadPrediction{predictWorkload(f.Model, o)}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	errs := make([]float64, 0, len(f.Obs))
+	for i := range f.Obs {
+		wp := predictWorkload(f.Model, &f.Obs[i])
+		resp.Workloads = append(resp.Workloads, wp)
+		errs = append(errs, stats.RelErr(wp.PredictedCPI, wp.MeasuredCPI))
+	}
+	resp.Accuracy = &SuiteAccuracy{
+		AvgRelErr:      stats.Mean(errs),
+		MaxRelErr:      stats.Max(errs),
+		FracBelow20Pct: stats.FractionBelow(errs, 0.20),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func predictWorkload(m *core.Model, o *core.Observation) WorkloadPrediction {
+	pred := m.PredictCPI(o.Feat)
+	return WorkloadPrediction{
+		Workload:     o.Name,
+		MeasuredCPI:  o.MeasuredCPI,
+		PredictedCPI: pred,
+		RelErr:       (pred - o.MeasuredCPI) / o.MeasuredCPI,
+		Stack:        stackEntries(m.Stack(o.Feat)),
+	}
+}
+
+// SweepRequest asks for a one-axis sensitivity sweep: the model is
+// fitted at the base machine and extrapolated to each derived value.
+type SweepRequest struct {
+	Base   experiments.MachineSpec `json:"base"`
+	Param  string                  `json:"param"`
+	Values []int                   `json:"values"`
+	Suite  string                  `json:"suite"`
+}
+
+// SweepPointResponse is one swept configuration: simulated vs
+// model-extrapolated suite-mean CPI and stacks. RelErr is signed,
+// matching WorkloadPrediction (negative = model under-predicts).
+type SweepPointResponse struct {
+	Value      int          `json:"value"`
+	Machine    string       `json:"machine"`
+	SimCPI     float64      `json:"simCPI"`
+	ModelCPI   float64      `json:"modelCPI"`
+	RelErr     float64      `json:"relErr"`
+	SimStack   []StackEntry `json:"simStack"`
+	ModelStack []StackEntry `json:"modelStack"`
+}
+
+// SweepResponse is the POST /v1/sweep body.
+type SweepResponse struct {
+	Base      string               `json:"base"`
+	Param     string               `json:"param"`
+	BaseValue int                  `json:"baseValue"`
+	Suite     string               `json:"suite"`
+	Ops       int                  `json:"ops"`
+	Points    []SweepPointResponse `json:"points"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.reqs.sweep.Add(1)
+	var req SweepRequest
+	if err := decodeStrict(r, w, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	base, err := req.Base.Resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := experiments.SweepParamByName(req.Param); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := suites.ByName(req.Suite, suites.Options{NumOps: s.prov.Opts().NumOps}); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := experiments.ValidateSweepValues(req.Values); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.prov.Sweep(base, req.Param, req.Values, req.Suite)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := SweepResponse{
+		Base:      res.Base,
+		Param:     res.Param.Name,
+		BaseValue: res.BaseValue,
+		Suite:     res.Suite,
+		Ops:       res.NumOps,
+	}
+	for _, p := range res.Points {
+		resp.Points = append(resp.Points, SweepPointResponse{
+			Value:      p.Value,
+			Machine:    p.Machine,
+			SimCPI:     p.SimCPI,
+			ModelCPI:   p.ModelCPI,
+			RelErr:     (p.ModelCPI - p.SimCPI) / p.SimCPI,
+			SimStack:   stackEntries(p.SimStack),
+			ModelStack: stackEntries(p.ModelStack),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RequestStats counts handled requests per endpoint.
+type RequestStats struct {
+	Healthz  int64 `json:"healthz"`
+	Machines int64 `json:"machines"`
+	Suites   int64 `json:"suites"`
+	Predict  int64 `json:"predict"`
+	Sweep    int64 `json:"sweep"`
+	Stats    int64 `json:"stats"`
+}
+
+// ModelStats reports the provider's model cache.
+type ModelStats struct {
+	Cached int `json:"cached"`
+	Fits   int `json:"fits"`
+	Hits   int `json:"hits"`
+}
+
+// SimSourcing reports where simulation runs came from.
+type SimSourcing struct {
+	StoreHits int `json:"storeHits"`
+	Simulated int `json:"simulated"`
+}
+
+// StoreStats mirrors the run store's counters (present only when the
+// daemon runs with a store).
+type StoreStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Puts   int64 `json:"puts"`
+}
+
+// StatsResponse is the GET /v1/stats body.
+type StatsResponse struct {
+	Inflight int64        `json:"inflight"`
+	Requests RequestStats `json:"requests"`
+	Models   ModelStats   `json:"models"`
+	Sims     SimSourcing  `json:"sims"`
+	Store    *StoreStats  `json:"store,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.reqs.stats.Add(1)
+	ps := s.prov.Stats()
+	resp := StatsResponse{
+		Inflight: s.inflight.Load(),
+		Requests: RequestStats{
+			Healthz:  s.reqs.healthz.Load(),
+			Machines: s.reqs.machines.Load(),
+			Suites:   s.reqs.suites.Load(),
+			Predict:  s.reqs.predict.Load(),
+			Sweep:    s.reqs.sweep.Load(),
+			Stats:    s.reqs.stats.Load(),
+		},
+		Models: ModelStats{Cached: s.prov.CachedModels(), Fits: ps.Fits, Hits: ps.ModelHits},
+		Sims:   SimSourcing{StoreHits: ps.Sim.Hits, Simulated: ps.Sim.Simulated},
+	}
+	if store := s.prov.Opts().Store; store != nil {
+		st := store.Stats()
+		resp.Store = &StoreStats{Hits: st.Hits, Misses: st.Misses, Puts: st.Puts}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

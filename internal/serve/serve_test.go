@@ -1,0 +1,406 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/runstore"
+	"repro/internal/uarch"
+)
+
+// testOps keeps end-to-end fits fast: the suites still carry their full
+// workload populations, each workload just runs few µops.
+const testOps = 2000
+
+func newTestServer(t *testing.T, opts experiments.Options) (*httptest.Server, *experiments.Provider) {
+	t.Helper()
+	if opts.NumOps == 0 {
+		opts.NumOps = testOps
+	}
+	if opts.FitStarts == 0 {
+		opts.FitStarts = 2
+	}
+	prov := experiments.NewProvider(opts)
+	ts := httptest.NewServer(New(prov).Handler())
+	t.Cleanup(ts.Close)
+	return ts, prov
+}
+
+// postJSONErr is the goroutine-safe POST helper: no t.Fatal, so it may
+// be called off the test goroutine.
+func postJSONErr(url, body string) (int, []byte, error) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+func postJSON(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	code, data, err := postJSONErr(url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, data
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealthzAndListings(t *testing.T) {
+	ts, _ := newTestServer(t, experiments.Options{})
+
+	var h HealthzResponse
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.Status != "ok" || h.SimVersion == "" {
+		t.Errorf("healthz = %+v", h)
+	}
+
+	var m MachinesResponse
+	getJSON(t, ts.URL+"/v1/machines", &m)
+	for _, want := range []string{"pentium4", "core2", "corei7"} {
+		found := false
+		for _, name := range m.Machines {
+			found = found || name == want
+		}
+		if !found {
+			t.Errorf("machines listing missing %q: %v", want, m.Machines)
+		}
+	}
+
+	var s SuitesResponse
+	getJSON(t, ts.URL+"/v1/suites", &s)
+	if s.Ops != testOps {
+		t.Errorf("suites ops = %d, want %d", s.Ops, testOps)
+	}
+	names := map[string]int{}
+	for _, info := range s.Suites {
+		names[info.Name] = len(info.Workloads)
+	}
+	if names["cpu2000"] != 48 || names["cpu2006"] != 55 {
+		t.Errorf("suite workload counts = %v, want cpu2000:48 cpu2006:55", names)
+	}
+}
+
+// TestConcurrentPredictSingleflight is the singleflight proof: N
+// identical concurrent predict requests against a cold daemon must
+// produce byte-identical responses and exactly one model fit.
+func TestConcurrentPredictSingleflight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end fit is slow")
+	}
+	ts, _ := newTestServer(t, experiments.Options{})
+	req := `{"machine": {"name": "core2"}, "suite": "cpu2000", "workload": "mcf"}`
+
+	const callers = 8
+	bodies := make([][]byte, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, body, err := postJSONErr(ts.URL+"/v1/predict", req)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			if code != http.StatusOK {
+				t.Errorf("caller %d: status %d: %s", i, code, body)
+				return
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < callers; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("caller %d got a different response body", i)
+		}
+	}
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Models.Fits != 1 {
+		t.Errorf("%d concurrent predicts fitted %d models, want exactly 1", callers, st.Models.Fits)
+	}
+	if st.Models.Hits != callers-1 {
+		t.Errorf("model hits = %d, want %d", st.Models.Hits, callers-1)
+	}
+	if st.Requests.Predict != callers {
+		t.Errorf("predict request count = %d, want %d", st.Requests.Predict, callers)
+	}
+	if st.Inflight < 1 {
+		t.Errorf("inflight gauge = %d, want >= 1 (the stats request itself)", st.Inflight)
+	}
+}
+
+// TestPredictMatchesOfflineMecpi asserts the daemon's numbers are
+// bit-for-bit the offline cmd/mecpi answer: both run the exact same
+// provider path (simulate → sorted observations → fit → predict), and
+// Go's JSON float encoding round-trips exactly.
+func TestPredictMatchesOfflineMecpi(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end fit is slow")
+	}
+	ts, _ := newTestServer(t, experiments.Options{})
+
+	code, body := postJSON(t, ts.URL+"/v1/predict",
+		`{"machine": {"name": "core2"}, "suite": "cpu2000"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp PredictResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+
+	// The offline path: a fresh provider with the same options, exactly
+	// as cmd/mecpi constructs it.
+	m, err := uarch.ByName("core2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := experiments.NewProvider(experiments.Options{NumOps: testOps, FitStarts: 2})
+	f, err := offline.Fitted(m, "cpu2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resp.Params != f.Model.P {
+		t.Errorf("served params diverged from offline fit:\n  served  %+v\n  offline %+v", resp.Params, f.Model.P)
+	}
+	if len(resp.Workloads) != len(f.Obs) {
+		t.Fatalf("served %d workloads, offline has %d", len(resp.Workloads), len(f.Obs))
+	}
+	for i, wp := range resp.Workloads {
+		o := f.Obs[i]
+		if wp.Workload != o.Name {
+			t.Fatalf("workload order diverged at %d: %s vs %s", i, wp.Workload, o.Name)
+		}
+		if math.Float64bits(wp.MeasuredCPI) != math.Float64bits(o.MeasuredCPI) {
+			t.Errorf("%s: measured CPI %v != offline %v", o.Name, wp.MeasuredCPI, o.MeasuredCPI)
+		}
+		want := f.Model.PredictCPI(o.Feat)
+		if math.Float64bits(wp.PredictedCPI) != math.Float64bits(want) {
+			t.Errorf("%s: predicted CPI %v != offline %v (bit mismatch)", o.Name, wp.PredictedCPI, want)
+		}
+		stack := f.Model.Stack(o.Feat)
+		var sum float64
+		for j, e := range wp.Stack {
+			if math.Float64bits(e.CPI) != math.Float64bits(stack.Cycles[j]) {
+				t.Errorf("%s: stack[%s] %v != offline %v", o.Name, e.Component, e.CPI, stack.Cycles[j])
+			}
+			sum += e.CPI
+		}
+		if rel := math.Abs(sum-wp.PredictedCPI) / wp.PredictedCPI; rel > 1e-9 {
+			t.Errorf("%s: stack sums to %v, predicted CPI %v", o.Name, sum, wp.PredictedCPI)
+		}
+	}
+}
+
+// TestPredictWarmStoreDispatchesZeroSimulations is the serve-smoke
+// assertion as a unit test: against a pre-warmed run store the daemon
+// answers without a single simulation.
+func TestPredictWarmStoreDispatchesZeroSimulations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end fit is slow")
+	}
+	dir := t.TempDir()
+	store, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmup := experiments.NewProvider(experiments.Options{NumOps: testOps, FitStarts: 2, Store: store})
+	m, err := uarch.ByName("core2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warmup.Fitted(m, "cpu2000"); err != nil {
+		t.Fatal(err)
+	}
+
+	daemonStore, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := newTestServer(t, experiments.Options{NumOps: testOps, FitStarts: 2, Store: daemonStore})
+	code, body := postJSON(t, ts.URL+"/v1/predict",
+		`{"machine": {"name": "core2"}, "suite": "cpu2000", "workload": "mcf"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Sims.Simulated != 0 {
+		t.Errorf("warm daemon dispatched %d simulations, want 0", st.Sims.Simulated)
+	}
+	if st.Sims.StoreHits == 0 {
+		t.Error("warm daemon should have served runs from the store")
+	}
+	if st.Store == nil || st.Store.Misses != 0 {
+		t.Errorf("warm daemon store stats = %+v, want zero misses", st.Store)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end sweep is slow")
+	}
+	ts, _ := newTestServer(t, experiments.Options{})
+	code, body := postJSON(t, ts.URL+"/v1/sweep",
+		`{"base": {"name": "core2"}, "param": "rob", "values": [48, 96], "suite": "cpu2000"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Base != "core2" || resp.Param != "rob" || len(resp.Points) != 2 {
+		t.Errorf("sweep response = %+v", resp)
+	}
+	for _, p := range resp.Points {
+		if p.SimCPI <= 0 || p.ModelCPI <= 0 {
+			t.Errorf("point %d has degenerate CPIs: %+v", p.Value, p)
+		}
+		if len(p.SimStack) == 0 || len(p.ModelStack) == 0 {
+			t.Errorf("point %d missing stacks", p.Value)
+		}
+	}
+
+	// The sweep's base fit lands in the shared model cache: a predict
+	// for the same machine and suite must not re-fit.
+	code, body = postJSON(t, ts.URL+"/v1/predict",
+		`{"machine": {"name": "core2"}, "suite": "cpu2000", "workload": "mcf"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Models.Fits != 1 {
+		t.Errorf("sweep+predict fitted %d models, want 1 shared fit", st.Models.Fits)
+	}
+	if st.Requests.Sweep != 1 {
+		t.Errorf("sweep request count = %d, want 1", st.Requests.Sweep)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	ts, _ := newTestServer(t, experiments.Options{})
+	cases := []struct {
+		name, path, body string
+		wantCode         int
+		wantErr          string
+	}{
+		{"malformed JSON", "/v1/predict", `{`, http.StatusBadRequest, "parse request"},
+		{"unknown field", "/v1/predict", `{"machine": {"name": "core2"}, "suite": "cpu2000", "typo": 1}`, http.StatusBadRequest, "typo"},
+		{"trailing document", "/v1/predict", `{"machine": {"name": "core2"}, "suite": "cpu2000"} {}`, http.StatusBadRequest, "trailing"},
+		{"unknown machine", "/v1/predict", `{"machine": {"name": "core9"}, "suite": "cpu2000"}`, http.StatusBadRequest, "unknown machine"},
+		{"empty machine", "/v1/predict", `{"suite": "cpu2000"}`, http.StatusBadRequest, "empty name"},
+		{"unknown suite", "/v1/predict", `{"machine": {"name": "core2"}, "suite": "cpu2017"}`, http.StatusBadRequest, "unknown suite"},
+		{"unknown workload rejected pre-fit", "/v1/predict", `{"machine": {"name": "core2"}, "suite": "cpu2000", "workload": "mfc"}`, http.StatusBadRequest, "not in suite"},
+		{"invalid derivation", "/v1/predict", `{"machine": {"name": "x", "base": "core2", "overrides": {"iqSize": 9999}}, "suite": "cpu2000"}`, http.StatusBadRequest, "derive"},
+		{"unknown sweep param", "/v1/sweep", `{"base": {"name": "core2"}, "param": "cores", "values": [2], "suite": "cpu2000"}`, http.StatusBadRequest, "unknown sweep parameter"},
+		{"no sweep values", "/v1/sweep", `{"base": {"name": "core2"}, "param": "rob", "values": [], "suite": "cpu2000"}`, http.StatusBadRequest, "at least one value"},
+		{"negative sweep value", "/v1/sweep", `{"base": {"name": "core2"}, "param": "rob", "values": [-8], "suite": "cpu2000"}`, http.StatusBadRequest, "must be positive"},
+		{"duplicate sweep value", "/v1/sweep", `{"base": {"name": "core2"}, "param": "rob", "values": [64, 64], "suite": "cpu2000"}`, http.StatusBadRequest, "listed twice"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := postJSON(t, ts.URL+tc.path, tc.body)
+			if code != tc.wantCode {
+				t.Errorf("status %d, want %d (%s)", code, tc.wantCode, body)
+			}
+			var e errorResponse
+			if err := json.Unmarshal(body, &e); err != nil {
+				t.Fatalf("error body is not JSON: %s", body)
+			}
+			if !strings.Contains(e.Error, tc.wantErr) {
+				t.Errorf("error %q should mention %q", e.Error, tc.wantErr)
+			}
+		})
+	}
+
+	// Wrong methods get 405 from the method-scoped mux patterns.
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/predict"},
+		{http.MethodGet, "/v1/sweep"},
+		{http.MethodPost, "/v1/stats"},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+	}
+}
+
+// TestDerivedMachinePredict exercises the base+overrides spec path the
+// scenario files use, over the wire.
+func TestDerivedMachinePredict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end fit is slow")
+	}
+	ts, _ := newTestServer(t, experiments.Options{})
+	code, body := postJSON(t, ts.URL+"/v1/predict",
+		`{"machine": {"name": "core2-rob48", "base": "core2", "overrides": {"robSize": 48}}, "suite": "cpu2000", "workload": "mcf"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp PredictResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Machine != "core2-rob48" {
+		t.Errorf("machine = %q, want the derived name", resp.Machine)
+	}
+	base, err := uarch.ByName("core2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ConfigHash == base.ConfigHash() {
+		t.Error("derived machine served with the base machine's config hash")
+	}
+	if len(resp.Workloads) != 1 || resp.Workloads[0].Workload != "mcf" {
+		t.Errorf("workloads = %+v, want just mcf", resp.Workloads)
+	}
+	if len(resp.Workloads[0].Stack) != 9 {
+		t.Errorf("stack has %d components, want 9", len(resp.Workloads[0].Stack))
+	}
+}

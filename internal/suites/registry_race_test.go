@@ -1,0 +1,87 @@
+package suites
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentAccess contends Register, ByName and Names at
+// once so the registry's RWMutex discipline is exercised under -race.
+// Registrations are process-global and permanent, so test names are
+// namespaced.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("racetest-suite-%d", i)
+			err := Register(name, func(opts Options) Suite {
+				s := CPU2000Like(opts)
+				s.Name = name
+				return s
+			})
+			if err != nil {
+				t.Errorf("Register(%s): %v", name, err)
+			}
+		}(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := ByName("cpu2006", Options{NumOps: 1000}); err != nil {
+				t.Errorf("ByName(cpu2006): %v", err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if names := Names(); len(names) < 2 {
+				t.Errorf("Names() lost the stock suites: %v", names)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("racetest-suite-%d", i)
+		s, err := ByName(name, Options{NumOps: 1000})
+		if err != nil {
+			t.Errorf("registration lost: %v", err)
+			continue
+		}
+		if len(s.Workloads) == 0 {
+			t.Errorf("suite %s instantiated empty", name)
+		}
+	}
+}
+
+// TestByNameConcurrentDuplicates races duplicate registrations: exactly
+// one wins, the rest error.
+func TestByNameConcurrentDuplicates(t *testing.T) {
+	const n = 12
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = Register("racetest-dup-suite", func(opts Options) Suite {
+				s := CPU2006Like(opts)
+				s.Name = "racetest-dup-suite"
+				return s
+			})
+		}(i)
+	}
+	wg.Wait()
+	won := 0
+	for _, err := range errs {
+		if err == nil {
+			won++
+		}
+	}
+	if won != 1 {
+		t.Errorf("%d registrations of the same name succeeded, want exactly 1", won)
+	}
+}
