@@ -34,6 +34,8 @@ race:
 	@echo "Running unit tests under the race detector..."
 	@go test -race ./...
 
+# The offline-safe checks; CI additionally runs `make staticcheck`,
+# which needs the module proxy to fetch the pinned tool.
 lint:
 	@echo "Checking gofmt..."
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -41,11 +43,48 @@ lint:
 	@echo "Running go vet..."
 	@go vet ./...
 
+# Pinned so CI runs stay reproducible; bump deliberately.
+STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1
+
+staticcheck:
+	@echo "Running staticcheck ($(STATICCHECK))..."
+	@go run $(STATICCHECK) ./...
+
 bench-smoke:
 	@echo "Running benchmark smoke (ops=$(BENCH_OPS)) against the run store at $(RUNSTORE)..."
 	@REPRO_RUNSTORE=$(RUNSTORE) REPRO_BENCH_OPS=$(BENCH_OPS) \
 		go test -run '^$$' -bench 'Fig2ModelAccuracy|SimulatorThroughput|TraceGeneration|ModelPredict' \
 		-benchtime 1x -benchmem .
+
+# The committed benchmark baseline this PR's trajectory point lives in;
+# regenerate with `make bench-baseline-update` after an intentional
+# performance change.
+BENCH_BASELINE ?= BENCH_4.json
+
+# bench-baseline re-runs the benchmark smoke, converts the output into a
+# machine-readable JSON snapshot (.bin/bench-current.json, uploaded as a
+# CI artifact), and fails when SimulatorThroughput lost more than 20% of
+# its Mops/s versus the committed baseline.
+# The bench run's own exit status is captured through the tee pipe
+# (plain `cmd | tee` would report tee's status and mask a failed or
+# panicking benchmark), so the gate never judges partial output.
+bench-baseline:
+	@mkdir -p $(CURDIR)/.bin
+	@{ $(MAKE) --no-print-directory bench-smoke; echo $$? > $(CURDIR)/.bin/bench.exit; } \
+		| tee $(CURDIR)/.bin/bench.out; \
+	[ "$$(cat $(CURDIR)/.bin/bench.exit)" = "0" ]
+	@go run ./cmd/benchjson -in $(CURDIR)/.bin/bench.out -out $(CURDIR)/.bin/bench-current.json
+	@echo "Gating SimulatorThroughput against $(BENCH_BASELINE)..."
+	@go run ./cmd/benchjson -check -in $(CURDIR)/.bin/bench.out -baseline $(BENCH_BASELINE) \
+		-bench SimulatorThroughput -metric Mops/s -max-regress 0.20
+
+bench-baseline-update:
+	@mkdir -p $(CURDIR)/.bin
+	@{ $(MAKE) --no-print-directory bench-smoke; echo $$? > $(CURDIR)/.bin/bench.exit; } \
+		| tee $(CURDIR)/.bin/bench.out; \
+	[ "$$(cat $(CURDIR)/.bin/bench.exit)" = "0" ]
+	@go run ./cmd/benchjson -in $(CURDIR)/.bin/bench.out -out $(BENCH_BASELINE)
+	@echo "Baseline rewritten: $(BENCH_BASELINE)"
 
 bench-full:
 	@echo "Running the full paper benchmark campaign. This may take awhile!"
@@ -94,8 +133,43 @@ serve-smoke: sim-smoke sweep-smoke
 	echo "Asserting the warm store dispatched zero simulations..." && \
 	curl -fsS "http://$$addr/v1/stats" | grep -q '"simulated": 0'
 
+# jobs-smoke depends on sim-smoke so the run store is warm: the daemon
+# must answer a whole background campaign job without dispatching one
+# simulation. It submits the paper campaign as an async job, polls it to
+# the done state, and asserts the job's progress reports zero simulated
+# runs.
+jobs-smoke: sim-smoke
+	@echo "Starting mecpid on a random port against the run store at $(RUNSTORE)..."
+	@mkdir -p $(CURDIR)/.bin
+	@go build -o $(CURDIR)/.bin/mecpid ./cmd/mecpid
+	@rm -f $(CURDIR)/.bin/mecpid.addr
+	@$(CURDIR)/.bin/mecpid -addr 127.0.0.1:0 -addrfile $(CURDIR)/.bin/mecpid.addr \
+		-store $(RUNSTORE) -ops $(SMOKE_OPS) -starts 2 & \
+	pid=$$!; \
+	trap "kill $$pid 2>/dev/null" EXIT; \
+	for i in $$(seq 1 100); do [ -s $(CURDIR)/.bin/mecpid.addr ] && break; sleep 0.1; done; \
+	addr=$$(cat $(CURDIR)/.bin/mecpid.addr); \
+	echo "daemon at $$addr; submitting a campaign job..." && \
+	id=$$(curl -fsS -X POST "http://$$addr/v1/jobs" \
+		-d '{"kind": "campaign", "campaign": {"machines": [{"name": "pentium4"}, {"name": "core2"}, {"name": "corei7"}], "suites": ["cpu2000", "cpu2006"]}}' \
+		| sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+	[ -n "$$id" ] || { echo "job submission returned no id"; exit 1; }; \
+	echo "job $$id accepted; polling to completion..."; \
+	body=""; \
+	for i in $$(seq 1 600); do \
+		body=$$(curl -fsS "http://$$addr/v1/jobs/$$id"); \
+		case "$$body" in \
+			*'"state": "done"'*) break;; \
+			*'"state": "failed"'*|*'"state": "cancelled"'*) echo "$$body"; exit 1;; \
+		esac; \
+		sleep 0.2; \
+	done; \
+	echo "$$body" | grep -q '"state": "done"' && \
+	echo "Asserting the warm store dispatched zero simulations..." && \
+	echo "$$body" | grep -q '"simulated": 0'
+
 clean-store:
 	@echo "Removing the run store at $(RUNSTORE)..."
 	@rm -rf $(RUNSTORE)
 
-.PHONY: all build test test-short race lint bench-smoke bench-full sim-smoke sweep-smoke fuzz-smoke serve-smoke clean-store
+.PHONY: all build test test-short race lint staticcheck bench-smoke bench-full bench-baseline bench-baseline-update sim-smoke sweep-smoke fuzz-smoke serve-smoke jobs-smoke clean-store

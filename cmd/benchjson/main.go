@@ -1,0 +1,206 @@
+// Command benchjson turns `go test -bench` text output into a
+// machine-readable JSON baseline and gates benchmark regressions against
+// a committed one — the tooling behind the bench-baseline CI job and the
+// repository's BENCH_*.json trajectory.
+//
+// Usage:
+//
+//	# Convert bench output (stdin or -in) to JSON (stdout or -out):
+//	go test -bench . -benchmem | benchjson -out BENCH_4.json
+//
+//	# Gate: fail (exit 1) when the named benchmark's metric regressed
+//	# more than -max-regress versus the committed baseline:
+//	benchjson -check -in bench.out -baseline BENCH_4.json \
+//	    -bench SimulatorThroughput -metric Mops/s -max-regress 0.20
+//
+// The JSON maps benchmark name (GOMAXPROCS suffix stripped, so
+// baselines compare across core counts) to its metrics: the standard
+// ns/op, B/op and allocs/op plus every custom b.ReportMetric unit, e.g.
+// the simulator's Mops/s. For -check, throughput-style metrics (higher
+// is better, the default) fail when new < (1-maxRegress)*old; pass
+// -lower-better for latency-style metrics, which fail when
+// new > (1+maxRegress)*old.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FormatVersion is the baseline file format.
+const FormatVersion = 1
+
+// Baseline is the persisted shape of one benchmark run.
+type Baseline struct {
+	Format     int                  `json:"format"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one benchmark's measurements: the iteration count and
+// every (value, unit) pair of its output line.
+type Benchmark struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default: stdin)")
+	out := flag.String("out", "", "JSON output file (default: stdout; ignored with -check)")
+	check := flag.Bool("check", false, "gate mode: compare -in against -baseline instead of converting")
+	baseline := flag.String("baseline", "", "committed baseline JSON (required with -check)")
+	bench := flag.String("bench", "", "benchmark to gate, without the Benchmark prefix (required with -check)")
+	metric := flag.String("metric", "ns/op", "metric to gate")
+	maxRegress := flag.Float64("max-regress", 0.20, "allowed fractional regression")
+	lowerBetter := flag.Bool("lower-better", false, "the gated metric improves downward (latency-style)")
+	flag.Parse()
+
+	if err := realMain(*in, *out, *check, *baseline, *bench, *metric, *maxRegress, *lowerBetter); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(in, out string, check bool, baselinePath, bench, metric string, maxRegress float64, lowerBetter bool) error {
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	current, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	if len(current.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines in input")
+	}
+
+	if check {
+		if baselinePath == "" || bench == "" {
+			return fmt.Errorf("-check needs -baseline and -bench")
+		}
+		data, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return err
+		}
+		var base Baseline
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("parse %s: %w", baselinePath, err)
+		}
+		verdict, err := Compare(base, current, bench, metric, maxRegress, lowerBetter)
+		fmt.Println(verdict)
+		return err
+	}
+
+	data, err := json.MarshalIndent(current, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// Parse extracts every benchmark result line from go test -bench output.
+// Non-benchmark lines (the make banner, PASS, pkg: headers) are skipped.
+func Parse(r io.Reader) (Baseline, error) {
+	out := Baseline{Format: FormatVersion, Benchmarks: map[string]Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// A result line is: BenchmarkName-N  iterations  value unit [value unit ...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark...: output" noise
+		}
+		name := strings.TrimPrefix(trimCPUSuffix(fields[0]), "Benchmark")
+		b := Benchmark{Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return Baseline{}, fmt.Errorf("benchmark %s: bad value %q", name, fields[i])
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out.Benchmarks[name] = b
+	}
+	return out, sc.Err()
+}
+
+// trimCPUSuffix drops the trailing -GOMAXPROCS from a benchmark name.
+// Dashed names with a non-numeric tail pass through untouched; a
+// *numeric*-tailed sub-benchmark name ("Sweep/rob-192") is
+// indistinguishable from a CPU suffix when GOMAXPROCS=1 omits it, so
+// such names would be mis-trimmed — keep numeric size tails out of
+// benchmark names that feed a baseline (none of this repo's do).
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Compare gates one metric of one benchmark and returns a human-readable
+// verdict; a regression beyond maxRegress is an error.
+func Compare(base, current Baseline, bench, metric string, maxRegress float64, lowerBetter bool) (string, error) {
+	oldB, ok := base.Benchmarks[bench]
+	if !ok {
+		return "", fmt.Errorf("benchmark %q not in baseline (has: %s)", bench, names(base))
+	}
+	newB, ok := current.Benchmarks[bench]
+	if !ok {
+		return "", fmt.Errorf("benchmark %q not in current run (has: %s)", bench, names(current))
+	}
+	oldV, ok := oldB.Metrics[metric]
+	if !ok {
+		return "", fmt.Errorf("metric %q not in baseline for %s", metric, bench)
+	}
+	newV, ok := newB.Metrics[metric]
+	if !ok {
+		return "", fmt.Errorf("metric %q not in current run for %s", metric, bench)
+	}
+	if oldV <= 0 {
+		return "", fmt.Errorf("baseline %s %s is %v; cannot gate on it", bench, metric, oldV)
+	}
+	change := newV/oldV - 1
+	verdict := fmt.Sprintf("%s %s: baseline %g, current %g (%+.1f%%; allowed regression %.0f%%)",
+		bench, metric, oldV, newV, 100*change, 100*maxRegress)
+	regressed := change < -maxRegress
+	if lowerBetter {
+		regressed = change > maxRegress
+	}
+	if regressed {
+		return verdict, fmt.Errorf("%s %s regressed beyond the %.0f%% gate", bench, metric, 100*maxRegress)
+	}
+	return verdict + ": OK", nil
+}
+
+func names(b Baseline) string {
+	out := make([]string, 0, len(b.Benchmarks))
+	for name := range b.Benchmarks {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ", ")
+}

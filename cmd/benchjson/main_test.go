@@ -1,0 +1,113 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// sample is genuine `make bench-smoke` output shape: a make banner,
+// go test headers, result lines with custom metrics, and the trailer.
+const sample = `Running benchmark smoke (ops=120000) against the run store at /repo/.runstore...
+goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkFig2ModelAccuracy-8         	       1	 252947132 ns/op	        10.21 avg-err-2000-%	         9.847 avg-err-2006-%	 1443184 B/op	    8120 allocs/op
+BenchmarkSimulatorThroughput-8       	       1	  22969141 ns/op	         4.354 Mops/s	    2112 B/op	      27 allocs/op
+BenchmarkTraceGeneration-8           	       1	   4969141 ns/op	        20.12 Mops/s	       0 B/op	       0 allocs/op
+BenchmarkModelPredict-16             	35608032	        33.63 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	1.334s
+`
+
+func TestParse(t *testing.T) {
+	b, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(b.Benchmarks), b)
+	}
+	st, ok := b.Benchmarks["SimulatorThroughput"]
+	if !ok {
+		t.Fatal("SimulatorThroughput missing (CPU suffix not stripped?)")
+	}
+	if st.Iterations != 1 || st.Metrics["ns/op"] != 22969141 || st.Metrics["Mops/s"] != 4.354 ||
+		st.Metrics["allocs/op"] != 27 {
+		t.Errorf("SimulatorThroughput = %+v", st)
+	}
+	if b.Benchmarks["ModelPredict"].Metrics["ns/op"] != 33.63 {
+		t.Errorf("ModelPredict = %+v", b.Benchmarks["ModelPredict"])
+	}
+	if fig2 := b.Benchmarks["Fig2ModelAccuracy"]; fig2.Metrics["avg-err-2000-%"] != 10.21 {
+		t.Errorf("custom percent metric lost: %+v", fig2)
+	}
+}
+
+func mustParse(t *testing.T, s string) Baseline {
+	t.Helper()
+	b, err := Parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCompareGate(t *testing.T) {
+	base := mustParse(t, "BenchmarkSimulatorThroughput-8 1 22969141 ns/op 4.000 Mops/s\n")
+	cases := []struct {
+		name        string
+		current     string
+		metric      string
+		lowerBetter bool
+		wantFail    bool
+	}{
+		{"within gate", "BenchmarkSimulatorThroughput-8 1 25000000 ns/op 3.500 Mops/s\n", "Mops/s", false, false},
+		{"improvement", "BenchmarkSimulatorThroughput-4 1 20000000 ns/op 8.000 Mops/s\n", "Mops/s", false, false},
+		{"regression", "BenchmarkSimulatorThroughput-8 1 40000000 ns/op 3.100 Mops/s\n", "Mops/s", false, true},
+		{"exact boundary passes", "BenchmarkSimulatorThroughput-8 1 25000000 ns/op 3.200 Mops/s\n", "Mops/s", false, false},
+		{"latency regression", "BenchmarkSimulatorThroughput-8 1 40000000 ns/op 4.000 Mops/s\n", "ns/op", true, true},
+		{"latency within gate", "BenchmarkSimulatorThroughput-8 1 24000000 ns/op 4.000 Mops/s\n", "ns/op", true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			verdict, err := Compare(base, mustParse(t, tc.current), "SimulatorThroughput",
+				tc.metric, 0.20, tc.lowerBetter)
+			if (err != nil) != tc.wantFail {
+				t.Errorf("Compare error = %v, wantFail = %v (verdict %q)", err, tc.wantFail, verdict)
+			}
+			if verdict == "" {
+				t.Error("empty verdict")
+			}
+		})
+	}
+}
+
+func TestCompareMissing(t *testing.T) {
+	base := mustParse(t, "BenchmarkSimulatorThroughput-8 1 22969141 ns/op 4.000 Mops/s\n")
+	cur := mustParse(t, "BenchmarkTraceGeneration-8 1 22969141 ns/op 20.0 Mops/s\n")
+	if _, err := Compare(base, cur, "SimulatorThroughput", "Mops/s", 0.2, false); err == nil {
+		t.Error("missing benchmark in current run should fail")
+	}
+	if _, err := Compare(base, base, "SimulatorThroughput", "speedup-x", 0.2, false); err == nil {
+		t.Error("missing metric should fail")
+	}
+	if _, err := Compare(cur, cur, "SimulatorThroughput", "Mops/s", 0.2, false); err == nil {
+		t.Error("missing benchmark in baseline should fail")
+	}
+}
+
+func TestTrimCPUSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":        "BenchmarkFoo",
+		"BenchmarkFoo-128":      "BenchmarkFoo",
+		"BenchmarkFoo":          "BenchmarkFoo",
+		"BenchmarkSweep-rob-16": "BenchmarkSweep-rob",
+		"BenchmarkFoo-bar":      "BenchmarkFoo-bar",
+	}
+	for in, want := range cases {
+		if got := trimCPUSuffix(in); got != want {
+			t.Errorf("trimCPUSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

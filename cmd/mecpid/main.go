@@ -8,16 +8,26 @@
 // warm-started from the same run store the batch CLIs use, so a warm
 // store means the daemon never dispatches a simulation.
 //
+// Beyond the blocking predict/sweep calls, the daemon runs an async job
+// engine: POST /v1/jobs executes whole campaigns and sweeps in the
+// background through the same entry points as cmd/experiments and
+// cmd/sweep (so batch and daemon answers stay bit-identical), with
+// per-job progress counters, cancellation via DELETE, and terminal
+// states persisted as JSON artifacts next to the run store.
+//
 // Usage:
 //
 //	mecpid [-addr 127.0.0.1:8080] [-addrfile FILE] [-store DIR]
-//	       [-ops N] [-starts N] [-workers N] [-drain DURATION]
+//	       [-jobs DIR] [-jobworkers N] [-ops N] [-starts N]
+//	       [-workers N] [-drain DURATION]
 //
 // See internal/serve for the endpoint reference. On SIGINT/SIGTERM the
-// daemon stops accepting connections and drains in-flight requests for
-// up to -drain (default 2m — a cold predict simulates a whole suite, so
-// draining can legitimately take a while); whatever is still running
-// then is cut off and the daemon exits cleanly either way.
+// daemon stops accepting connections and drains in-flight requests and
+// jobs for up to -drain (default 2m — a cold predict simulates a whole
+// suite, so draining can legitimately take a while); whatever is still
+// running then is cut off — jobs by cancellation, which stops the
+// dispatch of new simulations and leaves the run store consistent — and
+// the daemon exits cleanly either way.
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -42,15 +53,17 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 	addrFile := flag.String("addrfile", "", "write the bound address to this file once listening (for scripts)")
 	storeDir := flag.String("store", "", "run-store directory for cached simulation results (empty = no cache)")
+	jobsDir := flag.String("jobs", "", "directory for terminal job artifacts (default: <store>.jobs next to the run store; empty without -store = in-memory only)")
+	jobWorkers := flag.Int("jobworkers", 1, "concurrent background jobs")
 	ops := flag.Int("ops", 300000, "µops per workload")
 	starts := flag.Int("starts", 12, "regression multi-start count")
 	workers := flag.Int("workers", 0, "simulation worker bound (default: NumCPU)")
-	drain := flag.Duration("drain", 2*time.Minute, "how long to drain in-flight requests on shutdown")
+	drain := flag.Duration("drain", 2*time.Minute, "how long to drain in-flight requests and jobs on shutdown")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := realMain(ctx, os.Stderr, *addr, *addrFile, *storeDir, *ops, *starts, *workers, *drain); err != nil {
+	if err := realMain(ctx, os.Stderr, *addr, *addrFile, *storeDir, *jobsDir, *ops, *starts, *workers, *jobWorkers, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "mecpid:", err)
 		os.Exit(1)
 	}
@@ -60,7 +73,7 @@ func main() {
 // the listener fails. It logs the bound address to log — and to
 // addrFile when given — once the socket is open, so scripts can start
 // the daemon on port 0 and discover where it landed.
-func realMain(ctx context.Context, log io.Writer, addr, addrFile, storeDir string, ops, starts, workers int, drain time.Duration) error {
+func realMain(ctx context.Context, log io.Writer, addr, addrFile, storeDir, jobsDir string, ops, starts, workers, jobWorkers int, drain time.Duration) error {
 	var store *runstore.Store
 	if storeDir != "" {
 		var err error
@@ -68,13 +81,23 @@ func realMain(ctx context.Context, log io.Writer, addr, addrFile, storeDir strin
 			return err
 		}
 	}
-	prov := experiments.NewProvider(experiments.Options{
+	opts := experiments.Options{
 		NumOps:    ops,
 		FitStarts: starts,
 		Workers:   workers,
 		Store:     store,
+	}
+	prov := experiments.NewProvider(opts)
+	if jobsDir == "" && storeDir != "" {
+		// Terminal job artifacts land next to the run store by default,
+		// so one -store flag configures the daemon's whole disk footprint.
+		jobsDir = filepath.Clean(storeDir) + ".jobs"
+	}
+	jobs := experiments.NewJobs(opts, experiments.JobsConfig{
+		Workers:     jobWorkers,
+		ArtifactDir: jobsDir,
 	})
-	srv := serve.New(prov)
+	srv := serve.New(prov, jobs)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -91,20 +114,37 @@ func realMain(ctx context.Context, log io.Writer, addr, addrFile, storeDir strin
 	if store != nil {
 		storeDesc = store.Dir()
 	}
-	fmt.Fprintf(log, "mecpid: listening on http://%s (ops=%d, starts=%d, store=%s)\n",
-		bound, prov.Opts().NumOps, prov.Opts().FitStarts, storeDesc)
+	jobsDesc := jobsDir
+	if jobsDesc == "" {
+		jobsDesc = "memory"
+	}
+	fmt.Fprintf(log, "mecpid: listening on http://%s (ops=%d, starts=%d, store=%s, jobs=%s)\n",
+		bound, prov.Opts().NumOps, prov.Opts().FitStarts, storeDesc, jobsDesc)
 
 	hs := &http.Server{Handler: srv.Handler()}
+	// drainJobsNow cancels whatever jobs are in flight so the engine's
+	// workers exit before realMain returns — every exit path, error
+	// paths included, must not orphan job goroutines.
+	drainJobsNow := func() {
+		cancelled, cancel := context.WithCancel(context.Background())
+		cancel()
+		jobs.Drain(cancelled)
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 	select {
 	case err := <-errCh:
+		drainJobsNow() // the listener failed
 		return err
 	case <-ctx.Done():
+		// One drain window covers both the HTTP requests and the job
+		// engine: requests first (they are what clients are blocked on),
+		// jobs with whatever budget remains.
 		shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		if err := hs.Shutdown(shutCtx); err != nil {
 			if !errors.Is(err, context.DeadlineExceeded) {
+				drainJobsNow()
 				return err
 			}
 			// Requests still running after the drain window (a cold fit
@@ -114,8 +154,11 @@ func realMain(ctx context.Context, log io.Writer, addr, addrFile, storeDir strin
 			fmt.Fprintf(log, "mecpid: drain window (%v) elapsed; forcing exit\n", drain)
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			drainJobsNow()
 			return err
 		}
+		fmt.Fprintln(log, "mecpid: draining jobs...")
+		jobs.Drain(shutCtx)
 		fmt.Fprintln(log, "mecpid: shut down")
 		return nil
 	}

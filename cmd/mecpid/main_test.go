@@ -24,7 +24,7 @@ func TestDaemonLifecycle(t *testing.T) {
 	var log bytes.Buffer
 	done := make(chan error, 1)
 	go func() {
-		done <- realMain(ctx, &log, "127.0.0.1:0", addrFile, "", 1500, 2, 0, 5*time.Second)
+		done <- realMain(ctx, &log, "127.0.0.1:0", addrFile, "", "", 1500, 2, 0, 1, 5*time.Second)
 	}()
 
 	var addr string
@@ -55,6 +55,22 @@ func TestDaemonLifecycle(t *testing.T) {
 		t.Errorf("healthz: status %d, body %+v", resp.StatusCode, health)
 	}
 
+	// The job engine is wired in: an empty listing answers 200.
+	resp, err = http.Get("http://" + addr + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Jobs []json.RawMessage `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(listing.Jobs) != 0 {
+		t.Errorf("jobs listing: status %d, body %+v", resp.StatusCode, listing)
+	}
+
 	cancel()
 	select {
 	case err := <-done:
@@ -73,7 +89,7 @@ func TestDaemonLifecycle(t *testing.T) {
 }
 
 func TestDaemonRejectsBadListenAddress(t *testing.T) {
-	if err := realMain(context.Background(), bytes.NewBuffer(nil), "256.256.256.256:99999", "", "", 1000, 2, 0, time.Second); err == nil {
+	if err := realMain(context.Background(), bytes.NewBuffer(nil), "256.256.256.256:99999", "", "", "", 1000, 2, 0, 1, time.Second); err == nil {
 		t.Error("invalid listen address should fail")
 	}
 }

@@ -1,0 +1,746 @@
+package experiments
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/suites"
+)
+
+// Job kinds: a declarative campaign (machines × suites, the
+// cmd/experiments grid) or a one-axis sensitivity sweep (the cmd/sweep
+// experiment).
+const (
+	JobKindCampaign = "campaign"
+	JobKindSweep    = "sweep"
+)
+
+// JobState is a job's lifecycle position. Jobs move
+// queued → running → one of the terminal states (done, failed,
+// cancelled); a queued job cancelled before a worker picks it up goes
+// straight to cancelled.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// SweepSpec declares a sweep job: the base machine spec, the swept axis,
+// the swept values, and the suite — exactly cmd/sweep's flags as JSON.
+type SweepSpec struct {
+	Base   MachineSpec `json:"base"`
+	Param  string      `json:"param"`
+	Values []int       `json:"values"`
+	Suite  string      `json:"suite"`
+}
+
+// JobSpec is the submitted description of an asynchronous job: the kind
+// plus exactly one matching payload. It is the JSON schema of the
+// POST /v1/jobs body.
+//
+// A campaign job's explicit fit options (ops, fitStarts, seed) win over
+// the engine's defaults — a job is fully declarative, unlike
+// NewCampaignLab where the caller's explicit options model CLI flags —
+// and unset fields inherit the engine's. Sweep jobs always use the
+// engine's options, as cmd/sweep's flags do.
+type JobSpec struct {
+	Kind     string     `json:"kind"`
+	Campaign *Campaign  `json:"campaign,omitempty"`
+	Sweep    *SweepSpec `json:"sweep,omitempty"`
+}
+
+// JobProgress counts a job's simulation runs. Counters only ever
+// increase; DoneRuns == StoreHits + Simulated, and a finished job that
+// ran to completion has DoneRuns == TotalRuns.
+type JobProgress struct {
+	TotalRuns int `json:"totalRuns"`
+	DoneRuns  int `json:"doneRuns"`
+	StoreHits int `json:"storeHits"`
+	Simulated int `json:"simulated"`
+}
+
+// JobStatus is an immutable snapshot of one job: what the GET /v1/jobs
+// endpoints serve and what terminal-state artifacts persist. Result is
+// set only in state done: a CampaignJobResult or SweepJobResult,
+// matching the job's kind.
+type JobStatus struct {
+	ID        string          `json:"id"`
+	Kind      string          `json:"kind"`
+	State     JobState        `json:"state"`
+	Spec      JobSpec         `json:"spec"`
+	Progress  JobProgress     `json:"progress"`
+	Error     string          `json:"error,omitempty"`
+	Submitted time.Time       `json:"submitted"`
+	Started   *time.Time      `json:"started,omitempty"`
+	Finished  *time.Time      `json:"finished,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+// WorkloadCPI is one workload's measured vs model-predicted CPI. RelErr
+// is signed (negative = the model under-predicts), matching the serving
+// wire convention.
+type WorkloadCPI struct {
+	Workload     string  `json:"workload"`
+	MeasuredCPI  float64 `json:"measuredCPI"`
+	PredictedCPI float64 `json:"predictedCPI"`
+	RelErr       float64 `json:"relErr"`
+}
+
+// CampaignModelResult is one fitted (machine, suite) cell of a campaign
+// job: the fitted parameters, every workload's prediction, and the
+// suite-wide accuracy aggregates (error magnitudes).
+type CampaignModelResult struct {
+	Machine        string        `json:"machine"`
+	ConfigHash     string        `json:"configHash"`
+	Suite          string        `json:"suite"`
+	Params         core.Params   `json:"params"`
+	Workloads      []WorkloadCPI `json:"workloads"`
+	AvgRelErr      float64       `json:"avgRelErr"`
+	MaxRelErr      float64       `json:"maxRelErr"`
+	FracBelow20Pct float64       `json:"fracBelow20pct"`
+}
+
+// CampaignJobResult is a campaign job's terminal result: one fitted
+// model per machine × suite, in campaign order. The numbers are
+// bit-identical to what the equivalent blocking cmd/experiments run
+// computes — both paths share Lab.Simulate, observationsFor and
+// fitModel.
+type CampaignJobResult struct {
+	Ops       int                   `json:"ops"`
+	FitStarts int                   `json:"fitStarts"`
+	Seed      uint64                `json:"seed"`
+	Models    []CampaignModelResult `json:"models"`
+}
+
+// StackCPI is one CPI-stack component, in stack order (base first).
+type StackCPI struct {
+	Component string  `json:"component"`
+	CPI       float64 `json:"cpi"`
+}
+
+func stackCPIs(st sim.Stack) []StackCPI {
+	out := make([]StackCPI, 0, sim.NumComponents)
+	for _, c := range sim.Components() {
+		out = append(out, StackCPI{Component: c.String(), CPI: st.Cycles[c]})
+	}
+	return out
+}
+
+// SweepJobPoint is one swept configuration: simulated vs
+// model-extrapolated suite-mean CPI and stacks. RelErr is signed.
+type SweepJobPoint struct {
+	Value      int        `json:"value"`
+	Machine    string     `json:"machine"`
+	SimCPI     float64    `json:"simCPI"`
+	ModelCPI   float64    `json:"modelCPI"`
+	RelErr     float64    `json:"relErr"`
+	SimStack   []StackCPI `json:"simStack"`
+	ModelStack []StackCPI `json:"modelStack"`
+}
+
+// SweepJobResult is a sweep job's terminal result, bit-identical to the
+// equivalent blocking RunSweep (cmd/sweep) computation.
+type SweepJobResult struct {
+	Base      string          `json:"base"`
+	Param     string          `json:"param"`
+	BaseValue int             `json:"baseValue"`
+	Suite     string          `json:"suite"`
+	Ops       int             `json:"ops"`
+	Points    []SweepJobPoint `json:"points"`
+}
+
+// Backpressure sentinels: Submit failures that are about the engine's
+// state, not the spec. Callers (the HTTP layer) match with errors.Is to
+// answer 503-retry-later instead of 400 — never by error text, which a
+// submitted machine or suite name could collide with.
+var (
+	// ErrJobQueueFull reports a backlog at its QueueDepth bound.
+	ErrJobQueueFull = errors.New("experiments: job queue full")
+	// ErrJobsDraining reports an engine that is shutting down.
+	ErrJobsDraining = errors.New("experiments: job engine is draining, not accepting jobs")
+)
+
+// JobCounts are the engine's lifecycle gauges, as served by /v1/stats.
+type JobCounts struct {
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+}
+
+// JobsConfig tunes the Jobs engine.
+type JobsConfig struct {
+	// Workers is the number of jobs executed concurrently (default 1:
+	// each job already parallelizes its simulations across
+	// Options.Workers CPU workers, so more job workers oversubscribe).
+	Workers int
+	// QueueDepth bounds the backlog of unstarted jobs (default 64);
+	// Submit fails once it is full.
+	QueueDepth int
+	// ArtifactDir, when non-empty, is where terminal job states are
+	// persisted as <id>.json files (conventionally next to the run
+	// store). Empty keeps jobs in memory only.
+	ArtifactDir string
+	// RetainTerminal bounds how many terminal jobs stay queryable in
+	// memory (default 256): a long-running daemon must not grow with
+	// every campaign it ever ran. Beyond the bound the oldest terminal
+	// jobs are evicted from the API; their artifacts, when configured,
+	// remain on disk.
+	RetainTerminal int
+}
+
+func (c JobsConfig) withDefaults() JobsConfig {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RetainTerminal <= 0 {
+		c.RetainTerminal = 256
+	}
+	return c
+}
+
+// Jobs executes campaigns and sweeps asynchronously: Submit validates
+// and enqueues, a bounded worker pool executes through the same
+// Lab.Simulate / RunSweep entry points the blocking CLIs use (so batch
+// and daemon answers stay bit-identical, and the run store is shared),
+// per-job progress counters are fed from the store-hit/simulated
+// callbacks, Cancel stops a job mid-flight via context cancellation,
+// and terminal states are persisted as JSON artifacts. Safe for
+// concurrent use.
+type Jobs struct {
+	opts Options
+	cfg  JobsConfig
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	closed bool
+
+	queue chan *job
+	wg    sync.WaitGroup
+}
+
+// job is the engine's mutable record; all fields past the immutable
+// header are guarded by Jobs.mu.
+type job struct {
+	id        string
+	spec      JobSpec
+	submitted time.Time
+	ctx       context.Context
+	cancel    context.CancelFunc
+
+	state    JobState
+	progress JobProgress
+	err      error
+	result   json.RawMessage
+	started  time.Time
+	finished time.Time
+}
+
+// NewJobs builds a job engine executing with the given simulation
+// options (defaults applied as in Lab; Store shared with whatever else
+// uses it) and starts its workers. Callers must Drain it on shutdown.
+func NewJobs(opts Options, cfg JobsConfig) *Jobs {
+	cfg = cfg.withDefaults()
+	j := &Jobs{
+		opts:  opts.withDefaults(),
+		cfg:   cfg,
+		jobs:  map[string]*job{},
+		queue: make(chan *job, cfg.QueueDepth),
+	}
+	for i := 0; i < j.cfg.Workers; i++ {
+		j.wg.Add(1)
+		go j.worker()
+	}
+	return j
+}
+
+// newJobID returns a fresh random job identifier. Randomness (rather
+// than a counter) keeps artifacts from distinct daemon runs in one
+// directory from colliding.
+func newJobID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("experiments: job id entropy: %v", err))
+	}
+	return "job-" + hex.EncodeToString(b[:])
+}
+
+// validate checks a spec without running anything and returns the total
+// run count its execution will dispatch or serve from the store.
+func (j *Jobs) validate(spec JobSpec) (int, error) {
+	switch spec.Kind {
+	case JobKindCampaign:
+		if spec.Campaign == nil {
+			return 0, fmt.Errorf("experiments: campaign job without a campaign payload")
+		}
+		if spec.Sweep != nil {
+			return 0, fmt.Errorf("experiments: campaign job with a sweep payload")
+		}
+		lab, err := campaignJobLab(*spec.Campaign, j.opts)
+		if err != nil {
+			return 0, err
+		}
+		return len(lab.Machines()) * lab.NumWorkloads(), nil
+	case JobKindSweep:
+		if spec.Sweep == nil {
+			return 0, fmt.Errorf("experiments: sweep job without a sweep payload")
+		}
+		if spec.Campaign != nil {
+			return 0, fmt.Errorf("experiments: sweep job with a campaign payload")
+		}
+		sw := spec.Sweep
+		base, err := sw.Base.Resolve()
+		if err != nil {
+			return 0, err
+		}
+		if _, _, err := sweepMachines(base, sw.Param, sw.Values); err != nil {
+			return 0, err
+		}
+		suite, err := suites.ByName(sw.Suite, suites.Options{NumOps: j.opts.NumOps})
+		if err != nil {
+			return 0, err
+		}
+		return (1 + len(sw.Values)) * len(suite.Workloads), nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown job kind %q (want %q or %q)",
+			spec.Kind, JobKindCampaign, JobKindSweep)
+	}
+}
+
+// campaignJobLab builds the lab a campaign job executes in. The
+// campaign's explicit fit options take precedence over the engine's (see
+// JobSpec); zeroing the engine fields makes NewCampaignLab inherit the
+// campaign's values.
+func campaignJobLab(c Campaign, opts Options) (*Lab, error) {
+	if c.NumOps > 0 {
+		opts.NumOps = 0
+	}
+	if c.FitStarts > 0 {
+		opts.FitStarts = 0
+	}
+	if c.Seed > 0 {
+		opts.Seed = 0
+	}
+	return NewCampaignLab(c, opts)
+}
+
+// Submit validates spec, enqueues it, and returns the queued snapshot.
+// It fails fast — without enqueuing — on an invalid spec, a full queue,
+// or an engine that is draining.
+func (j *Jobs) Submit(spec JobSpec) (JobStatus, error) {
+	total, err := j.validate(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	jb := &job{
+		id:        newJobID(),
+		spec:      spec,
+		submitted: time.Now().UTC(),
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     JobQueued,
+		progress:  JobProgress{TotalRuns: total},
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		cancel()
+		return JobStatus{}, ErrJobsDraining
+	}
+	select {
+	case j.queue <- jb:
+	default:
+		j.mu.Unlock()
+		cancel()
+		return JobStatus{}, fmt.Errorf("%w (%d pending)", ErrJobQueueFull, j.cfg.QueueDepth)
+	}
+	j.jobs[jb.id] = jb
+	j.order = append(j.order, jb.id)
+	st := jb.snapshotLocked()
+	j.mu.Unlock()
+	return st, nil
+}
+
+// Get returns a snapshot of the identified job.
+func (j *Jobs) Get(id string) (JobStatus, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	jb, ok := j.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return jb.snapshotLocked(), true
+}
+
+// List returns snapshots of every job in submission order.
+func (j *Jobs) List() []JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]JobStatus, 0, len(j.order))
+	for _, id := range j.order {
+		out = append(out, j.jobs[id].snapshotLocked())
+	}
+	return out
+}
+
+// Counts returns the lifecycle gauges.
+func (j *Jobs) Counts() JobCounts {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var c JobCounts
+	for _, jb := range j.jobs {
+		switch jb.state {
+		case JobQueued:
+			c.Queued++
+		case JobRunning:
+			c.Running++
+		case JobDone:
+			c.Done++
+		case JobFailed:
+			c.Failed++
+		case JobCancelled:
+			c.Cancelled++
+		}
+	}
+	return c
+}
+
+// Cancel cancels the identified job and returns its snapshot. A queued
+// job goes terminal immediately; a running job stops dispatching new
+// simulations and goes terminal once its worker observes the
+// cancellation (poll Get for the transition). Cancelling a job that is
+// already terminal is a no-op returning its current state.
+func (j *Jobs) Cancel(id string) (JobStatus, bool) {
+	j.mu.Lock()
+	jb, ok := j.jobs[id]
+	if !ok {
+		j.mu.Unlock()
+		return JobStatus{}, false
+	}
+	jb.cancel()
+	if jb.state == JobQueued {
+		j.finishLocked(jb, JobCancelled, nil, nil)
+	}
+	st := jb.snapshotLocked()
+	j.mu.Unlock()
+	return st, true
+}
+
+// Drain stops accepting new jobs and waits for the queued and running
+// ones to finish. When ctx expires first, every remaining job is
+// cancelled and Drain waits for the workers to observe that (bounded:
+// cancellation stops new simulation dispatch, so a worker returns after
+// at most its in-flight simulations). Safe to call more than once.
+func (j *Jobs) Drain(ctx context.Context) {
+	j.mu.Lock()
+	if !j.closed {
+		j.closed = true
+		close(j.queue)
+	}
+	j.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		j.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		j.cancelAll()
+		<-done
+	}
+}
+
+// cancelAll cancels every non-terminal job.
+func (j *Jobs) cancelAll() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, jb := range j.jobs {
+		if jb.state.Terminal() {
+			continue
+		}
+		jb.cancel()
+		if jb.state == JobQueued {
+			j.finishLocked(jb, JobCancelled, nil, nil)
+		}
+	}
+}
+
+func (j *Jobs) worker() {
+	defer j.wg.Done()
+	for jb := range j.queue {
+		j.run(jb)
+	}
+}
+
+func (j *Jobs) run(jb *job) {
+	j.mu.Lock()
+	if jb.state != JobQueued { // cancelled while waiting in the queue
+		j.mu.Unlock()
+		return
+	}
+	jb.state = JobRunning
+	jb.started = time.Now().UTC()
+	j.mu.Unlock()
+
+	result, err := j.execute(jb)
+	var raw json.RawMessage
+	if err == nil {
+		raw, err = json.Marshal(result)
+	}
+
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		// A completed job stays done even if a cancel raced the last
+		// simulation: the work exists, hiding it helps nobody.
+		j.finishLocked(jb, JobDone, raw, nil)
+	case jb.ctx.Err() != nil:
+		j.finishLocked(jb, JobCancelled, nil, nil)
+	default:
+		j.finishLocked(jb, JobFailed, nil, err)
+	}
+	j.mu.Unlock()
+}
+
+// execute runs the job's spec under its cancellation context, with the
+// job's progress counters hooked into the shared runSimJobs path.
+func (j *Jobs) execute(jb *job) (any, error) {
+	opts := j.opts
+	opts.Progress = func(hit bool) {
+		j.mu.Lock()
+		jb.progress.DoneRuns++
+		if hit {
+			jb.progress.StoreHits++
+		} else {
+			jb.progress.Simulated++
+		}
+		j.mu.Unlock()
+	}
+	switch jb.spec.Kind {
+	case JobKindCampaign:
+		return runCampaignJob(jb.ctx, *jb.spec.Campaign, opts)
+	case JobKindSweep:
+		return runSweepJob(jb.ctx, *jb.spec.Sweep, opts)
+	default:
+		return nil, fmt.Errorf("experiments: unknown job kind %q", jb.spec.Kind) // unreachable past Submit
+	}
+}
+
+// runCampaignJob executes a campaign exactly as cmd/experiments does —
+// NewCampaignLab, Simulate, Model per (machine, suite) — and condenses
+// the fits into the job result.
+func runCampaignJob(ctx context.Context, c Campaign, opts Options) (*CampaignJobResult, error) {
+	lab, err := campaignJobLab(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := lab.SimulateContext(ctx); err != nil {
+		return nil, err
+	}
+	out := &CampaignJobResult{
+		Ops:       lab.opts.NumOps,
+		FitStarts: lab.opts.FitStarts,
+		Seed:      lab.opts.Seed,
+	}
+	for _, m := range lab.Machines() {
+		for _, suiteName := range lab.SuiteNames() {
+			// Fits are not individually cancellable, but a cancelled job
+			// stops between them.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			model, err := lab.Model(m.Name, suiteName)
+			if err != nil {
+				return nil, err
+			}
+			obs, err := lab.Observations(m.Name, suiteName)
+			if err != nil {
+				return nil, err
+			}
+			mr := CampaignModelResult{
+				Machine:    m.Name,
+				ConfigHash: m.ConfigHash(),
+				Suite:      suiteName,
+				Params:     model.P,
+			}
+			errs := make([]float64, 0, len(obs))
+			for i := range obs {
+				o := &obs[i]
+				pred := model.PredictCPI(o.Feat)
+				mr.Workloads = append(mr.Workloads, WorkloadCPI{
+					Workload:     o.Name,
+					MeasuredCPI:  o.MeasuredCPI,
+					PredictedCPI: pred,
+					RelErr:       (pred - o.MeasuredCPI) / o.MeasuredCPI,
+				})
+				errs = append(errs, stats.RelErr(pred, o.MeasuredCPI))
+			}
+			mr.AvgRelErr = stats.Mean(errs)
+			mr.MaxRelErr = stats.Max(errs)
+			mr.FracBelow20Pct = stats.FractionBelow(errs, 0.20)
+			out.Models = append(out.Models, mr)
+		}
+	}
+	return out, nil
+}
+
+// runSweepJob executes a sweep exactly as cmd/sweep does (RunSweep) and
+// flattens the result into its serializable form.
+func runSweepJob(ctx context.Context, sw SweepSpec, opts Options) (*SweepJobResult, error) {
+	base, err := sw.Base.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunSweepContext(ctx, base, sw.Param, sw.Values, sw.Suite, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepJobResult{
+		Base:      res.Base,
+		Param:     res.Param.Name,
+		BaseValue: res.BaseValue,
+		Suite:     res.Suite,
+		Ops:       res.NumOps,
+	}
+	for _, p := range res.Points {
+		out.Points = append(out.Points, SweepJobPoint{
+			Value:      p.Value,
+			Machine:    p.Machine,
+			SimCPI:     p.SimCPI,
+			ModelCPI:   p.ModelCPI,
+			RelErr:     (p.ModelCPI - p.SimCPI) / p.SimCPI,
+			SimStack:   stackCPIs(p.SimStack),
+			ModelStack: stackCPIs(p.ModelStack),
+		})
+	}
+	return out, nil
+}
+
+// finishLocked moves jb to a terminal state and persists its artifact
+// before the new state becomes observable (the caller holds j.mu, which
+// every snapshot takes): a client that polls a job to completion can
+// rely on the artifact already being on disk. The file is a few KB, so
+// briefly holding the lock across the write is cheaper than the
+// artifact-after-terminal race it removes.
+func (j *Jobs) finishLocked(jb *job, state JobState, result json.RawMessage, err error) {
+	jb.state = state
+	jb.result = result
+	jb.err = err
+	jb.finished = time.Now().UTC()
+	j.persist(jb.snapshotLocked())
+	j.pruneLocked()
+}
+
+// pruneLocked evicts the oldest terminal jobs beyond the retention
+// bound. Caller holds j.mu.
+func (j *Jobs) pruneLocked() {
+	terminal := 0
+	for _, jb := range j.jobs {
+		if jb.state.Terminal() {
+			terminal++
+		}
+	}
+	excess := terminal - j.cfg.RetainTerminal
+	if excess <= 0 {
+		return
+	}
+	kept := j.order[:0]
+	for _, id := range j.order {
+		if excess > 0 && j.jobs[id].state.Terminal() {
+			delete(j.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	j.order = kept
+}
+
+// snapshotLocked builds the job's immutable status. Caller holds j.mu.
+func (jb *job) snapshotLocked() JobStatus {
+	st := JobStatus{
+		ID:        jb.id,
+		Kind:      jb.spec.Kind,
+		State:     jb.state,
+		Spec:      jb.spec,
+		Progress:  jb.progress,
+		Submitted: jb.submitted,
+		Result:    jb.result,
+	}
+	if jb.err != nil {
+		st.Error = jb.err.Error()
+	}
+	if !jb.started.IsZero() {
+		t := jb.started
+		st.Started = &t
+	}
+	if !jb.finished.IsZero() {
+		t := jb.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// persist writes a terminal snapshot as a JSON artifact under the
+// configured directory, with the run store's atomic temp+rename
+// discipline so readers never observe a torn file. Persistence is best
+// effort: an unwritable artifact directory must not fail the job whose
+// result is still served from memory.
+func (j *Jobs) persist(st JobStatus) {
+	if j.cfg.ArtifactDir == "" || !st.State.Terminal() {
+		return
+	}
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	if err := os.MkdirAll(j.cfg.ArtifactDir, 0o755); err != nil {
+		return
+	}
+	dst := filepath.Join(j.cfg.ArtifactDir, st.ID+".json")
+	tmp, err := os.CreateTemp(j.cfg.ArtifactDir, "."+st.ID+".tmp-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

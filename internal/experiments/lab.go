@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -35,6 +36,11 @@ type Options struct {
 	// processes: a warm store satisfies the whole campaign without
 	// dispatching a single job.
 	Store *runstore.Store
+	// Progress, when non-nil, is invoked once per completed run with its
+	// sourcing (true = store hit, false = simulated). Calls are never
+	// concurrent. The async Jobs engine feeds its per-job progress
+	// counters through this hook.
+	Progress func(hit bool)
 }
 
 func (o Options) withDefaults() Options {
@@ -154,6 +160,15 @@ func (l *Lab) NumWorkloads() int {
 // runSimJobs path, which the Provider's on-demand fits also use).
 // SimStats reports how many runs each path served.
 func (l *Lab) Simulate() error {
+	return l.SimulateContext(context.Background())
+}
+
+// SimulateContext is Simulate with cancellation: cancelling ctx stops
+// the dispatch of new simulations (in-flight ones finish and are
+// recorded and stored) and returns ctx.Err(). The lab keeps every run
+// completed before the cancellation, so a later Simulate call resumes
+// incrementally.
+func (l *Lab) SimulateContext(ctx context.Context) error {
 	var jobs []simJob
 	for _, m := range l.machines {
 		for _, s := range l.suites {
@@ -166,7 +181,7 @@ func (l *Lab) Simulate() error {
 			}
 		}
 	}
-	st, err := runSimJobs(jobs, l.opts.Workers, l.opts.Store, func(rk RunKey, r *sim.Result) {
+	st, err := runSimJobs(ctx, jobs, l.opts, func(rk RunKey, r *sim.Result) {
 		l.runs[rk] = r
 	})
 	l.stats.Hits += st.Hits

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -171,7 +172,7 @@ func (p *Provider) fit(m *uarch.Machine, suiteName string) (*Fitted, error) {
 			run: RunKey{Machine: m.Name, Suite: suiteName, Workload: w.Name}})
 	}
 	runs := make(map[string]*sim.Result, len(jobs))
-	st, err := runSimJobs(jobs, p.opts.Workers, p.opts.Store, func(rk RunKey, r *sim.Result) {
+	st, err := runSimJobs(context.Background(), jobs, p.opts, func(rk RunKey, r *sim.Result) {
 		runs[rk.Workload] = r
 	})
 	p.addSimStats(st)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -20,23 +21,41 @@ type simJob struct {
 }
 
 // runSimJobs is the shared simulation path under Lab.Simulate (batch
-// campaigns) and Provider fits (on-demand serving): every job is first
-// resolved against the run store (when one is configured), and only the
-// misses are dispatched to a bounded worker pool, their results written
-// back to the store as workers finish. record is invoked once per
-// completed job; calls are never concurrent, so record may touch shared
-// state without further locking. Results are deterministic regardless of
+// campaigns), Provider fits (on-demand serving) and the async Jobs
+// engine: every job is first resolved against the run store (when one is
+// configured in opts), and only the misses are dispatched to a bounded
+// worker pool, their results written back to the store as workers
+// finish. record is invoked once per completed job; calls are never
+// concurrent, so record may touch shared state without further locking.
+// opts.Progress, when set, is additionally invoked once per completed
+// job with its sourcing (store hit vs simulated), under the same
+// serialization guarantee. Results are deterministic regardless of
 // scheduling (every run is independent and seeded) and regardless of the
 // store (a cached Result is exactly what re-simulating would produce).
+//
+// Cancelling ctx stops the dispatch of new simulations: jobs already
+// running on a worker finish (and are recorded and stored), everything
+// still pending is abandoned, and ctx.Err() is returned. A partially
+// cancelled run therefore leaves the store consistent — every persisted
+// entry is a complete, exact result — so a follow-up run resumes warm.
 // The returned SimStats reports how many runs each path served.
-func runSimJobs(jobs []simJob, workers int, store *runstore.Store, record func(RunKey, *sim.Result)) (SimStats, error) {
+func runSimJobs(ctx context.Context, jobs []simJob, opts Options, record func(RunKey, *sim.Result)) (SimStats, error) {
 	var st SimStats
+	store := opts.Store
+	progress := func(hit bool) {
+		if opts.Progress != nil {
+			opts.Progress(hit)
+		}
+	}
 	type missJob struct {
 		simJob
 		key string // run-store key; "" when no store is configured
 	}
 	var misses []missJob
 	for _, j := range jobs {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
 		mj := missJob{simJob: j}
 		if store != nil {
 			mj.key = runstore.SimKey(j.machine, j.spec)
@@ -47,6 +66,7 @@ func runSimJobs(jobs []simJob, workers int, store *runstore.Store, record func(R
 			if ok {
 				record(j.run, res)
 				st.Hits++
+				progress(true)
 				continue
 			}
 		}
@@ -69,7 +89,7 @@ func runSimJobs(jobs []simJob, workers int, store *runstore.Store, record func(R
 		mu.Unlock()
 	}
 	ch := make(chan missJob)
-	for i := 0; i < workers; i++ {
+	for i := 0; i < opts.Workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -100,10 +120,12 @@ func runSimJobs(jobs []simJob, workers int, store *runstore.Store, record func(R
 				mu.Lock()
 				record(j.run, res)
 				st.Simulated++
+				progress(false)
 				mu.Unlock()
 			}
 		}()
 	}
+feed:
 	for _, j := range misses {
 		// Stop feeding once a worker has failed: the campaign is doomed
 		// anyway, and the remaining simulations would waste minutes.
@@ -113,9 +135,16 @@ func runSimJobs(jobs []simJob, workers int, store *runstore.Store, record func(R
 		if stop {
 			break
 		}
-		ch <- j
+		select {
+		case ch <- j:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(ch)
 	wg.Wait()
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
 	return st, firstErr
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -103,6 +104,14 @@ type SweepResult struct {
 // across sweeps, use Provider.Sweep, which shares the extrapolation
 // below.
 func RunSweep(base *uarch.Machine, param string, values []int, suiteName string, opts Options) (*SweepResult, error) {
+	return RunSweepContext(context.Background(), base, param, values, suiteName, opts)
+}
+
+// RunSweepContext is RunSweep with cancellation: cancelling ctx stops
+// the dispatch of new point simulations and skips the fit, returning
+// ctx.Err(). Completed simulations stay in the store, so a rerun
+// resumes warm. The async Jobs engine runs sweep jobs through here.
+func RunSweepContext(ctx context.Context, base *uarch.Machine, param string, values []int, suiteName string, opts Options) (*SweepResult, error) {
 	opts = opts.withDefaults()
 	p, machines, err := sweepMachines(base, param, values)
 	if err != nil {
@@ -116,7 +125,7 @@ func RunSweep(base *uarch.Machine, param string, values []int, suiteName string,
 	if err != nil {
 		return nil, err
 	}
-	if err := lab.Simulate(); err != nil {
+	if err := lab.SimulateContext(ctx); err != nil {
 		return nil, err
 	}
 	fitted, err := lab.Model(base.Name, suiteName)

@@ -9,12 +9,16 @@
 //
 // Endpoints:
 //
-//	GET  /healthz      liveness + simulator version
-//	GET  /v1/machines  registered machine names
-//	GET  /v1/suites    registered suites and their workloads
-//	POST /v1/predict   CPI + CPI stack for a machine spec × suite[/workload]
-//	POST /v1/sweep     one-axis what-if sweep over a derived machine
-//	GET  /v1/stats     request, model-cache, simulation and store counters
+//	GET    /healthz        liveness + simulator version
+//	GET    /v1/machines    registered machine names
+//	GET    /v1/suites      registered suites and their workloads
+//	POST   /v1/predict     CPI + CPI stack for a machine spec × suite[/workload]
+//	POST   /v1/sweep       one-axis what-if sweep over a derived machine
+//	POST   /v1/jobs        submit an async campaign or sweep job
+//	GET    /v1/jobs        list jobs (submission order)
+//	GET    /v1/jobs/{id}   one job's state, progress and result
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	GET    /v1/stats       request, model-cache, simulation, store and job counters
 package serve
 
 import (
@@ -36,26 +40,33 @@ import (
 // few hundred bytes of JSON.
 const maxBodyBytes = 1 << 20
 
-// Server translates HTTP requests into provider calls. Construct with
-// New; all methods are safe for concurrent use.
+// Server translates HTTP requests into provider and job-engine calls.
+// Construct with New; all methods are safe for concurrent use.
 type Server struct {
 	prov *experiments.Provider
+	jobs *experiments.Jobs
 	mux  *http.ServeMux
 
 	inflight atomic.Int64
 	reqs     struct {
 		healthz, machines, suites, predict, sweep, stats atomic.Int64
+		jobSubmit, jobList, jobGet, jobCancel            atomic.Int64
 	}
 }
 
-// New builds a server around the given provider.
-func New(prov *experiments.Provider) *Server {
-	s := &Server{prov: prov, mux: http.NewServeMux()}
+// New builds a server around the given provider and job engine. jobs may
+// be nil, in which case the /v1/jobs endpoints answer 503.
+func New(prov *experiments.Provider, jobs *experiments.Jobs) *Server {
+	s := &Server{prov: prov, jobs: jobs, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/machines", s.handleMachines)
 	s.mux.HandleFunc("GET /v1/suites", s.handleSuites)
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
 }
@@ -380,14 +391,98 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// JobSubmitRequest is the POST /v1/jobs body: a job spec, strict-decoded
+// with exactly the scenario-file rules (unknown fields are errors, down
+// into the nested campaign).
+type JobSubmitRequest = experiments.JobSpec
+
+// JobListResponse is the GET /v1/jobs body, in submission order.
+type JobListResponse struct {
+	Jobs []experiments.JobStatus `json:"jobs"`
+}
+
+// jobsEnabled answers 503 and returns false when no job engine is
+// configured.
+func (s *Server) jobsEnabled(w http.ResponseWriter) bool {
+	if s.jobs == nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("job engine not configured"))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	s.reqs.jobSubmit.Add(1)
+	if !s.jobsEnabled(w) {
+		return
+	}
+	var req JobSubmitRequest
+	if err := decodeStrict(r, w, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.jobs.Submit(req)
+	if err != nil {
+		// A full queue or a draining engine is backpressure, not a bad
+		// request.
+		if errors.Is(err, experiments.ErrJobQueueFull) || errors.Is(err, experiments.ErrJobsDraining) {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.reqs.jobList.Add(1)
+	if !s.jobsEnabled(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, JobListResponse{Jobs: s.jobs.List()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	s.reqs.jobGet.Add(1)
+	if !s.jobsEnabled(w) {
+		return
+	}
+	st, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	s.reqs.jobCancel.Add(1)
+	if !s.jobsEnabled(w) {
+		return
+	}
+	st, ok := s.jobs.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	// Cancelling a terminal job is an idempotent no-op; the snapshot
+	// tells the caller what actually happened either way.
+	writeJSON(w, http.StatusOK, st)
+}
+
 // RequestStats counts handled requests per endpoint.
 type RequestStats struct {
-	Healthz  int64 `json:"healthz"`
-	Machines int64 `json:"machines"`
-	Suites   int64 `json:"suites"`
-	Predict  int64 `json:"predict"`
-	Sweep    int64 `json:"sweep"`
-	Stats    int64 `json:"stats"`
+	Healthz   int64 `json:"healthz"`
+	Machines  int64 `json:"machines"`
+	Suites    int64 `json:"suites"`
+	Predict   int64 `json:"predict"`
+	Sweep     int64 `json:"sweep"`
+	JobSubmit int64 `json:"jobSubmit"`
+	JobList   int64 `json:"jobList"`
+	JobGet    int64 `json:"jobGet"`
+	JobCancel int64 `json:"jobCancel"`
+	Stats     int64 `json:"stats"`
 }
 
 // ModelStats reports the provider's model cache.
@@ -411,13 +506,16 @@ type StoreStats struct {
 	Puts   int64 `json:"puts"`
 }
 
-// StatsResponse is the GET /v1/stats body.
+// StatsResponse is the GET /v1/stats body. Jobs is present only when the
+// daemon runs a job engine; Sims covers the provider's synchronous
+// requests only — each job carries its own progress counters.
 type StatsResponse struct {
-	Inflight int64        `json:"inflight"`
-	Requests RequestStats `json:"requests"`
-	Models   ModelStats   `json:"models"`
-	Sims     SimSourcing  `json:"sims"`
-	Store    *StoreStats  `json:"store,omitempty"`
+	Inflight int64                  `json:"inflight"`
+	Requests RequestStats           `json:"requests"`
+	Models   ModelStats             `json:"models"`
+	Sims     SimSourcing            `json:"sims"`
+	Store    *StoreStats            `json:"store,omitempty"`
+	Jobs     *experiments.JobCounts `json:"jobs,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -426,12 +524,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		Inflight: s.inflight.Load(),
 		Requests: RequestStats{
-			Healthz:  s.reqs.healthz.Load(),
-			Machines: s.reqs.machines.Load(),
-			Suites:   s.reqs.suites.Load(),
-			Predict:  s.reqs.predict.Load(),
-			Sweep:    s.reqs.sweep.Load(),
-			Stats:    s.reqs.stats.Load(),
+			Healthz:   s.reqs.healthz.Load(),
+			Machines:  s.reqs.machines.Load(),
+			Suites:    s.reqs.suites.Load(),
+			Predict:   s.reqs.predict.Load(),
+			Sweep:     s.reqs.sweep.Load(),
+			JobSubmit: s.reqs.jobSubmit.Load(),
+			JobList:   s.reqs.jobList.Load(),
+			JobGet:    s.reqs.jobGet.Load(),
+			JobCancel: s.reqs.jobCancel.Load(),
+			Stats:     s.reqs.stats.Load(),
 		},
 		Models: ModelStats{Cached: s.prov.CachedModels(), Fits: ps.Fits, Hits: ps.ModelHits},
 		Sims:   SimSourcing{StoreHits: ps.Sim.Hits, Simulated: ps.Sim.Simulated},
@@ -439,6 +541,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if store := s.prov.Opts().Store; store != nil {
 		st := store.Stats()
 		resp.Store = &StoreStats{Hits: st.Hits, Misses: st.Misses, Puts: st.Puts}
+	}
+	if s.jobs != nil {
+		jc := s.jobs.Counts()
+		resp.Jobs = &jc
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

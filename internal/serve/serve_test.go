@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"math"
@@ -10,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/runstore"
@@ -21,6 +23,13 @@ import (
 const testOps = 2000
 
 func newTestServer(t *testing.T, opts experiments.Options) (*httptest.Server, *experiments.Provider) {
+	ts, prov, _ := newTestServerJobs(t, opts, experiments.JobsConfig{})
+	return ts, prov
+}
+
+// newTestServerJobs is newTestServer with control over the job engine's
+// configuration; every test server runs one, as the daemon does.
+func newTestServerJobs(t *testing.T, opts experiments.Options, cfg experiments.JobsConfig) (*httptest.Server, *experiments.Provider, *experiments.Jobs) {
 	t.Helper()
 	if opts.NumOps == 0 {
 		opts.NumOps = testOps
@@ -29,9 +38,15 @@ func newTestServer(t *testing.T, opts experiments.Options) (*httptest.Server, *e
 		opts.FitStarts = 2
 	}
 	prov := experiments.NewProvider(opts)
-	ts := httptest.NewServer(New(prov).Handler())
-	t.Cleanup(ts.Close)
-	return ts, prov
+	jobs := experiments.NewJobs(opts, cfg)
+	ts := httptest.NewServer(New(prov, jobs).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		jobs.Drain(ctx)
+	})
+	return ts, prov, jobs
 }
 
 // postJSONErr is the goroutine-safe POST helper: no t.Fatal, so it may
