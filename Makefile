@@ -53,13 +53,13 @@ staticcheck:
 bench-smoke:
 	@echo "Running benchmark smoke (ops=$(BENCH_OPS)) against the run store at $(RUNSTORE)..."
 	@REPRO_RUNSTORE=$(RUNSTORE) REPRO_BENCH_OPS=$(BENCH_OPS) \
-		go test -run '^$$' -bench 'Fig2ModelAccuracy|SimulatorThroughput|TraceGeneration|ModelPredict' \
+		go test -run '^$$' -bench 'Fig2ModelAccuracy|SimulatorThroughput|TraceGeneration|TraceReplay|GridPlan|ModelPredict' \
 		-benchtime 1x -benchmem .
 
 # The committed benchmark baseline this PR's trajectory point lives in;
 # regenerate with `make bench-baseline-update` after an intentional
 # performance change.
-BENCH_BASELINE ?= BENCH_4.json
+BENCH_BASELINE ?= BENCH_5.json
 
 # bench-baseline re-runs the benchmark smoke, converts the output into a
 # machine-readable JSON snapshot (.bin/bench-current.json, uploaded as a
@@ -77,6 +77,9 @@ bench-baseline:
 	@echo "Gating SimulatorThroughput against $(BENCH_BASELINE)..."
 	@go run ./cmd/benchjson -check -in $(CURDIR)/.bin/bench.out -baseline $(BENCH_BASELINE) \
 		-bench SimulatorThroughput -metric Mops/s -max-regress 0.20
+	@echo "Gating TraceReplay against $(BENCH_BASELINE)..."
+	@go run ./cmd/benchjson -check -in $(CURDIR)/.bin/bench.out -baseline $(BENCH_BASELINE) \
+		-bench TraceReplay -metric Mops/s -max-regress 0.20
 
 bench-baseline-update:
 	@mkdir -p $(CURDIR)/.bin
@@ -105,6 +108,20 @@ sweep-smoke:
 	@go run ./cmd/sweep -base core2 -param rob -values 48,96,192 -suite cpu2000 \
 		-ops $(SMOKE_OPS) -starts 2 -store $(RUNSTORE) 2>&1 >/dev/null \
 		| grep "0 simulated (100.0% hit rate)"
+
+# plan-smoke is the grid-plan counterpart of sweep-smoke: a cold 2×2
+# rob×mshrs plan through cmd/sweep's repeated -param/-values grid mode,
+# then a warm rerun that must be pure store hits with zero trace
+# regenerations (the stats line counts actual µop-stream generations;
+# a fully warm plan touches neither the simulator nor the generator).
+plan-smoke:
+	@echo "Running a cold 2x2 grid plan (ops=$(SMOKE_OPS)) against the run store..."
+	@go run ./cmd/sweep -base core2 -param rob -values 48,96 -param mshrs -values 4,8 \
+		-suite cpu2000 -ops $(SMOKE_OPS) -starts 2 -store $(RUNSTORE) > /dev/null
+	@echo "Re-running warm: must be pure store hits and zero trace regenerations..."
+	@go run ./cmd/sweep -base core2 -param rob -values 48,96 -param mshrs -values 4,8 \
+		-suite cpu2000 -ops $(SMOKE_OPS) -starts 2 -store $(RUNSTORE) 2>&1 >/dev/null \
+		| grep "0 simulated (100.0% hit rate), 0 traces generated"
 
 fuzz-smoke:
 	@echo "Fuzzing campaign parsing for 20s..."
@@ -172,4 +189,4 @@ clean-store:
 	@echo "Removing the run store at $(RUNSTORE)..."
 	@rm -rf $(RUNSTORE)
 
-.PHONY: all build test test-short race lint staticcheck bench-smoke bench-full bench-baseline bench-baseline-update sim-smoke sweep-smoke fuzz-smoke serve-smoke jobs-smoke clean-store
+.PHONY: all build test test-short race lint staticcheck bench-smoke bench-full bench-baseline bench-baseline-update sim-smoke sweep-smoke plan-smoke fuzz-smoke serve-smoke jobs-smoke clean-store

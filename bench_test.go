@@ -349,6 +349,66 @@ func BenchmarkTraceGeneration(b *testing.B) {
 	b.ReportMetric(float64(w.NumOps)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mops/s")
 }
 
+// BenchmarkTraceReplay is BenchmarkTraceGeneration's counterpart for
+// the materialized path: replaying a buffered stream instead of
+// regenerating it. The ratio between the two is the per-machine cost a
+// grid plan's shared buffers remove; the bench-baseline CI job gates
+// this throughput alongside SimulatorThroughput.
+func BenchmarkTraceReplay(b *testing.B) {
+	suite := suites.CPU2000Like(suites.Options{NumOps: 100000})
+	w, _ := suite.Find("mcf")
+	buf := trace.Materialize(w)
+	var op trace.MicroOp
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := buf.Replay()
+		for r.Next(&op) {
+		}
+	}
+	b.ReportMetric(float64(w.NumOps)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mops/s")
+}
+
+// --- Extension: multi-axis grid plans (the plan engine). The benchmark
+// measures the plan's simulation phase over a 2×2 rob×mshrs grid (base
+// + 4 cells × the cpu2000 workloads) with trace sharing on (replay, the
+// default) and off (regen): the Mops/s gap is the wall-clock win from
+// materializing each workload's µop stream once per plan instead of
+// once per cell. No run store, so every iteration honestly simulates;
+// the fit is identical either way and measured by the figure benches. ---
+
+func benchGridPlan(b *testing.B, noShare bool) {
+	plan, err := experiments.NewPlan(uarch.CoreTwo(), []experiments.PlanAxis{
+		{Param: "rob", Values: []int{48, 96}},
+		{Param: "mshrs", Values: []int{4, 8}},
+	}, "cpu2000")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := benchOps()
+	suite := suites.CPU2000Like(suites.Options{NumOps: ops})
+	opts := experiments.Options{NumOps: ops, NoSharedTraces: noShare}
+	var stats experiments.SimStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lab, err := experiments.NewCustomLab(plan.Machines, []suites.Suite{suite}, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := lab.Simulate(); err != nil {
+			b.Fatal(err)
+		}
+		stats = lab.SimStats()
+	}
+	perIter := float64(len(plan.Machines)*len(suite.Workloads)) * float64(ops)
+	b.ReportMetric(perIter*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mops/s")
+	b.ReportMetric(float64(stats.TraceGens), "trace-gens")
+}
+
+func BenchmarkGridPlan(b *testing.B) {
+	b.Run("replay", func(b *testing.B) { benchGridPlan(b, false) })
+	b.Run("regen", func(b *testing.B) { benchGridPlan(b, true) })
+}
+
 func BenchmarkCalibrateCore2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := calibrator.Calibrate(uarch.CoreTwo()); err != nil {

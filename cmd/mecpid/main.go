@@ -8,12 +8,16 @@
 // warm-started from the same run store the batch CLIs use, so a warm
 // store means the daemon never dispatches a simulation.
 //
-// Beyond the blocking predict/sweep calls, the daemon runs an async job
-// engine: POST /v1/jobs executes whole campaigns and sweeps in the
-// background through the same entry points as cmd/experiments and
-// cmd/sweep (so batch and daemon answers stay bit-identical), with
-// per-job progress counters, cancellation via DELETE, and terminal
-// states persisted as JSON artifacts next to the run store.
+// Beyond the blocking predict/sweep/plan calls (POST /v1/plan crosses
+// several exploration axes — discoverable via GET /v1/params — into a
+// grid of derived machines, fitted once and extrapolated per cell, with
+// each workload's µop trace materialized once and replayed across the
+// whole grid), the daemon runs an async job engine: POST /v1/jobs
+// executes whole campaigns, sweeps and plans in the background through
+// the same entry points as cmd/experiments and cmd/sweep (so batch and
+// daemon answers stay bit-identical), with per-job progress counters —
+// per-run and, for plans, per-cell — cancellation via DELETE, and
+// terminal states persisted as JSON artifacts next to the run store.
 //
 // Usage:
 //

@@ -1,21 +1,29 @@
-// Command sweep runs one-axis micro-architecture parameter sweeps: it
-// derives one machine per swept value from a registered base machine,
-// simulates a suite on every point (incrementally, through the run
-// store), fits the mechanistic-empirical model at the base
-// configuration, and prints sensitivity tables of simulated vs
-// model-predicted CPI — overall and per CPI-stack component. This is the
-// model-extrapolation experiment the paper gestures at but never runs:
-// the empirical coefficients are frozen at the fit point, so the tables
-// show exactly where the fitted model keeps tracking the hardware as a
-// parameter scales and where it falls off.
+// Command sweep runs micro-architecture parameter explorations: it
+// derives machines from a registered base, simulates a suite on every
+// point (incrementally, through the run store), fits the
+// mechanistic-empirical model at the base configuration, and prints
+// sensitivity tables of simulated vs model-predicted CPI.
+//
+// With one -param/-values pair it is the classic one-axis sweep,
+// overall and per CPI-stack component — the model-extrapolation
+// experiment the paper gestures at but never runs. Repeating
+// -param/-values crosses the axes into a multi-axis exploration plan: a
+// full grid of derived machines, fitted once at the base point and
+// extrapolated per cell, with every workload's µop trace materialized
+// once and replayed across all grid machines. -plan loads the same grid
+// from a strict-JSON plan file ({"base": ..., "axes": [...], "suite":
+// ...}), the format POST /v1/plan accepts over the wire.
 //
 // Usage:
 //
 //	sweep -base core2 -param rob -values 32,64,128,256
 //	      [-suite cpu2006] [-ops N] [-starts N] [-store DIR]
+//	sweep -base core2 -param rob -values 64,128 -param memlat -values 150,300
+//	sweep -plan grid.json [-ops N] [-starts N] [-store DIR]
 //
-// Everything is deterministic; with -store DIR a repeated sweep
-// dispatches zero simulations (100% run-store hits).
+// Everything is deterministic; with -store DIR a repeated run
+// dispatches zero simulations (100% run-store hits) and regenerates
+// zero traces.
 package main
 
 import (
@@ -32,21 +40,30 @@ import (
 	"repro/internal/uarch"
 )
 
+// multiFlag collects repeated occurrences of one flag, so -param and
+// -values can be given once per grid axis.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, " ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
 func main() {
 	var paramDocs []string
 	for _, p := range experiments.SweepParams() {
 		paramDocs = append(paramDocs, p.Name)
 	}
-	base := flag.String("base", "core2", "base machine to derive sweep points from")
-	param := flag.String("param", "rob", "parameter to sweep: "+strings.Join(paramDocs, ", "))
-	values := flag.String("values", "", "comma-separated parameter values, e.g. 32,64,128,256")
+	base := flag.String("base", "core2", "base machine to derive exploration points from")
+	var params, valueLists multiFlag
+	flag.Var(&params, "param", "parameter to explore, repeatable for a grid: "+strings.Join(paramDocs, ", "))
+	flag.Var(&valueLists, "values", "comma-separated values for the matching -param (repeat once per axis), e.g. 32,64,128,256")
+	planFile := flag.String("plan", "", "plan file (strict JSON {base, axes, suite}); replaces -base/-param/-values/-suite")
 	suite := flag.String("suite", "cpu2006", "suite to simulate and fit on")
 	ops := flag.Int("ops", 300000, "µops per workload")
 	starts := flag.Int("starts", 12, "regression multi-start count")
 	storeDir := flag.String("store", "", "run-store directory for cached simulation results (empty = no cache)")
 	flag.Parse()
 
-	if err := realMain(os.Stdout, *base, *param, *values, *suite, *ops, *starts, *storeDir); err != nil {
+	if err := realMain(os.Stdout, *base, params, valueLists, *suite, *ops, *starts, *storeDir, *planFile); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
@@ -70,40 +87,122 @@ func parseValues(s string) ([]int, error) {
 	return out, nil
 }
 
-func realMain(out io.Writer, baseName, param, valueList, suiteName string, ops, starts int, storeDir string) error {
-	vals, err := parseValues(valueList)
-	if err != nil {
-		return err
+// parseAxes pairs each -param occurrence with the -values occurrence at
+// the same position.
+func parseAxes(params, valueLists []string) ([]experiments.PlanAxis, error) {
+	if len(params) != len(valueLists) {
+		return nil, fmt.Errorf("%d -param flags but %d -values flags (give one -values per -param)",
+			len(params), len(valueLists))
 	}
-	if _, err := experiments.SweepParamByName(param); err != nil {
+	axes := make([]experiments.PlanAxis, 0, len(params))
+	for i, p := range params {
+		vals, err := parseValues(valueLists[i])
+		if err != nil {
+			return nil, err
+		}
+		axes = append(axes, experiments.PlanAxis{Param: p, Values: vals})
+	}
+	return axes, nil
+}
+
+func realMain(out io.Writer, baseName string, params, valueLists []string, suiteName string, ops, starts int, storeDir, planFile string) error {
+	opts := experiments.Options{NumOps: ops, FitStarts: starts}
+	if storeDir != "" {
+		store, err := runstore.Open(storeDir)
+		if err != nil {
+			return err
+		}
+		opts.Store = store
+	}
+
+	// A plan file carries its own base, axes and suite; otherwise the
+	// axes come from the repeated -param/-values pairs.
+	if planFile != "" {
+		if len(params) > 0 || len(valueLists) > 0 {
+			return fmt.Errorf("-plan replaces -param/-values; give one or the other")
+		}
+		ps, err := experiments.LoadPlanSpec(planFile)
+		if err != nil {
+			return err
+		}
+		plan, err := ps.Resolve()
+		if err != nil {
+			return err
+		}
+		return runGrid(out, plan, opts)
+	}
+
+	if len(params) == 0 {
+		params = []string{"rob"}
+		if len(valueLists) == 0 {
+			return fmt.Errorf("no -values given (want e.g. -values 32,64,128)")
+		}
+	}
+	axes, err := parseAxes(params, valueLists)
+	if err != nil {
 		return err
 	}
 	base, err := uarch.ByName(baseName)
 	if err != nil {
 		return err
 	}
-	var store *runstore.Store
-	if storeDir != "" {
-		if store, err = runstore.Open(storeDir); err != nil {
+
+	if len(axes) == 1 {
+		// The classic one-axis sweep, with its original output format.
+		if _, err := experiments.SweepParamByName(axes[0].Param); err != nil {
 			return err
 		}
+		fmt.Fprintf(os.Stderr, "sweeping %s %s over %v on %s (%d µops/workload)...\n",
+			baseName, axes[0].Param, axes[0].Values, suiteName, ops)
+		t0 := time.Now()
+		res, err := experiments.RunSweep(base, axes[0].Param, axes[0].Values, suiteName, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sweep done in %v\n", time.Since(t0).Round(time.Millisecond))
+		if opts.Store != nil {
+			st := res.Stats
+			fmt.Fprintf(os.Stderr, "run store %s: %d hits, %d simulated (%.1f%% hit rate)\n",
+				opts.Store.Dir(), st.Hits, st.Simulated,
+				100*float64(st.Hits)/float64(st.Hits+st.Simulated))
+		}
+		fmt.Fprintln(os.Stderr)
+
+		fmt.Fprint(out, res.Render())
+		return nil
 	}
 
-	fmt.Fprintf(os.Stderr, "sweeping %s %s over %v on %s (%d µops/workload)...\n",
-		baseName, param, vals, suiteName, ops)
-	t0 := time.Now()
-	res, err := experiments.RunSweep(base, param, vals, suiteName, experiments.Options{
-		NumOps: ops, FitStarts: starts, Store: store,
-	})
+	plan, err := experiments.NewPlan(base, axes, suiteName)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "sweep done in %v\n", time.Since(t0).Round(time.Millisecond))
-	if store != nil {
-		st := res.Stats
-		fmt.Fprintf(os.Stderr, "run store %s: %d hits, %d simulated (%.1f%% hit rate)\n",
-			store.Dir(), st.Hits, st.Simulated,
-			100*float64(st.Hits)/float64(st.Hits+st.Simulated))
+	return runGrid(out, plan, opts)
+}
+
+// runGrid executes a validated multi-axis plan and prints the grid
+// table plus sourcing statistics (including how many µop traces were
+// actually generated — a warm store regenerates none, and a cold grid
+// generates one per workload, not one per cell).
+func runGrid(out io.Writer, plan *experiments.Plan, opts experiments.Options) error {
+	var axisNames []string
+	for _, ax := range plan.Axes {
+		axisNames = append(axisNames, ax.Param)
+	}
+	fmt.Fprintf(os.Stderr, "planning %s over %s on %s: %d cells (%d µops/workload)...\n",
+		plan.Base.Name, strings.Join(axisNames, "×"), plan.Suite, len(plan.Cells), opts.NumOps)
+	t0 := time.Now()
+	res, err := experiments.RunPlan(plan, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "plan done in %v\n", time.Since(t0).Round(time.Millisecond))
+	st := res.Stats
+	if opts.Store != nil {
+		fmt.Fprintf(os.Stderr, "run store %s: %d hits, %d simulated (%.1f%% hit rate), %d traces generated\n",
+			opts.Store.Dir(), st.Hits, st.Simulated,
+			100*float64(st.Hits)/float64(st.Hits+st.Simulated), st.TraceGens)
+	} else {
+		fmt.Fprintf(os.Stderr, "%d simulated, %d traces generated\n", st.Simulated, st.TraceGens)
 	}
 	fmt.Fprintln(os.Stderr)
 

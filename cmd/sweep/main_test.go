@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -18,15 +20,71 @@ func TestParseValues(t *testing.T) {
 	}
 }
 
+func TestParseAxesPairsFlags(t *testing.T) {
+	axes, err := parseAxes([]string{"rob", "memlat"}, []string{"64,128", "150"})
+	if err != nil || len(axes) != 2 || axes[1].Param != "memlat" || axes[1].Values[0] != 150 {
+		t.Errorf("parseAxes: %+v, %v", axes, err)
+	}
+	if _, err := parseAxes([]string{"rob", "memlat"}, []string{"64"}); err == nil {
+		t.Error("mismatched -param/-values counts should fail")
+	}
+}
+
 func TestRealMainRejectsBadAxis(t *testing.T) {
-	err := realMain(&bytes.Buffer{}, "core2", "cores", "1,2", "cpu2000", 1000, 2, "")
+	run := func(param, values string) error {
+		return realMain(&bytes.Buffer{}, "core2", []string{param}, []string{values}, "cpu2000", 1000, 2, "", "")
+	}
+	err := run("cores", "1,2")
 	if err == nil || !strings.Contains(err.Error(), "rob") {
 		t.Errorf("unknown axis should list valid ones: %v", err)
 	}
-	if err := realMain(&bytes.Buffer{}, "atom", "rob", "64", "cpu2000", 1000, 2, ""); err == nil {
+	if err := realMain(&bytes.Buffer{}, "atom", []string{"rob"}, []string{"64"}, "cpu2000", 1000, 2, "", ""); err == nil {
 		t.Error("unknown base machine should fail")
 	}
-	if err := realMain(&bytes.Buffer{}, "core2", "rob", "", "cpu2000", 1000, 2, ""); err == nil {
+	if err := run("rob", ""); err == nil {
 		t.Error("missing values should fail")
+	}
+	if err := run("rob", "64,64"); err == nil {
+		t.Error("duplicate values should be rejected at validation time")
+	}
+	// Grid path validates too: a duplicated value on any axis fails
+	// before anything simulates.
+	err = realMain(&bytes.Buffer{}, "core2", []string{"rob", "memlat"}, []string{"64,96", "200,200"},
+		"cpu2000", 1000, 2, "", "")
+	if err == nil || !strings.Contains(err.Error(), "listed twice") {
+		t.Errorf("duplicate grid values should be rejected: %v", err)
+	}
+}
+
+func TestRealMainPlanFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "plan.json")
+	if err := os.WriteFile(good, []byte(`{
+		"base": {"name": "core2"},
+		"axes": [{"param": "rob", "values": [48, 96]}, {"param": "mshrs", "values": [4, 8]}],
+		"suite": "cpu2000"
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := realMain(&out, "core2", nil, nil, "cpu2000", 2000, 2, "", good); err != nil {
+		t.Fatalf("plan file run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"plan: core2 × rob×mshrs on cpu2000 (4 cells", "sim-CPI", "worst extrapolation"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("grid output missing %q:\n%s", want, text)
+		}
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"base": {"name": "core2"}, "axes": [], "suite": "cpu2000"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := realMain(&out, "core2", nil, nil, "cpu2000", 1000, 2, "", bad); err == nil {
+		t.Error("axis-free plan file should fail")
+	}
+	if err := realMain(&out, "core2", []string{"rob"}, []string{"64"}, "cpu2000", 1000, 2, "", good); err == nil {
+		t.Error("-plan together with -param should fail")
 	}
 }

@@ -19,11 +19,13 @@ import (
 )
 
 // Job kinds: a declarative campaign (machines × suites, the
-// cmd/experiments grid) or a one-axis sensitivity sweep (the cmd/sweep
-// experiment).
+// cmd/experiments grid), a one-axis sensitivity sweep (the cmd/sweep
+// experiment), or a multi-axis exploration plan (the crossed grid of
+// derived machines behind POST /v1/plan and cmd/sweep's grid mode).
 const (
 	JobKindCampaign = "campaign"
 	JobKindSweep    = "sweep"
+	JobKindPlan     = "plan"
 )
 
 // JobState is a job's lifecycle position. Jobs move
@@ -61,22 +63,28 @@ type SweepSpec struct {
 // A campaign job's explicit fit options (ops, fitStarts, seed) win over
 // the engine's defaults — a job is fully declarative, unlike
 // NewCampaignLab where the caller's explicit options model CLI flags —
-// and unset fields inherit the engine's. Sweep jobs always use the
-// engine's options, as cmd/sweep's flags do.
+// and unset fields inherit the engine's. Sweep and plan jobs always use
+// the engine's options, as cmd/sweep's flags do.
 type JobSpec struct {
 	Kind     string     `json:"kind"`
 	Campaign *Campaign  `json:"campaign,omitempty"`
 	Sweep    *SweepSpec `json:"sweep,omitempty"`
+	Plan     *PlanSpec  `json:"plan,omitempty"`
 }
 
 // JobProgress counts a job's simulation runs. Counters only ever
 // increase; DoneRuns == StoreHits + Simulated, and a finished job that
-// ran to completion has DoneRuns == TotalRuns.
+// ran to completion has DoneRuns == TotalRuns. Plan jobs additionally
+// report grid-cell completion: a cell is done once every workload of
+// its derived machine has a run (the base fit point counts as a cell
+// too). Both cell counters stay zero for campaign and sweep jobs.
 type JobProgress struct {
-	TotalRuns int `json:"totalRuns"`
-	DoneRuns  int `json:"doneRuns"`
-	StoreHits int `json:"storeHits"`
-	Simulated int `json:"simulated"`
+	TotalRuns  int `json:"totalRuns"`
+	DoneRuns   int `json:"doneRuns"`
+	StoreHits  int `json:"storeHits"`
+	Simulated  int `json:"simulated"`
+	TotalCells int `json:"totalCells,omitempty"`
+	DoneCells  int `json:"doneCells,omitempty"`
 }
 
 // JobStatus is an immutable snapshot of one job: what the GET /v1/jobs
@@ -169,6 +177,32 @@ type SweepJobResult struct {
 	Points    []SweepJobPoint `json:"points"`
 }
 
+// PlanJobCell is one evaluated grid cell of a plan job: its axis values
+// (aligned with the plan's axes), the derived machine, and simulated vs
+// model-extrapolated suite-mean CPI and stacks. RelErr is signed.
+type PlanJobCell struct {
+	Values     []int      `json:"values"`
+	Machine    string     `json:"machine"`
+	SimCPI     float64    `json:"simCPI"`
+	ModelCPI   float64    `json:"modelCPI"`
+	RelErr     float64    `json:"relErr"`
+	SimStack   []StackCPI `json:"simStack"`
+	ModelStack []StackCPI `json:"modelStack"`
+}
+
+// PlanJobResult is a plan job's terminal result, bit-identical to the
+// equivalent blocking RunPlan (cmd/sweep grid mode) computation. Cells
+// appear row-major with the last axis fastest; BaseValues is the fit
+// point on each axis.
+type PlanJobResult struct {
+	Base       string        `json:"base"`
+	Suite      string        `json:"suite"`
+	Ops        int           `json:"ops"`
+	Axes       []PlanAxis    `json:"axes"`
+	BaseValues []int         `json:"baseValues"`
+	Cells      []PlanJobCell `json:"cells"`
+}
+
 // Backpressure sentinels: Submit failures that are about the engine's
 // state, not the spec. Callers (the HTTP layer) match with errors.Is to
 // answer 503-retry-later instead of 400 — never by error text, which a
@@ -223,10 +257,11 @@ func (c JobsConfig) withDefaults() JobsConfig {
 	return c
 }
 
-// Jobs executes campaigns and sweeps asynchronously: Submit validates
-// and enqueues, a bounded worker pool executes through the same
-// Lab.Simulate / RunSweep entry points the blocking CLIs use (so batch
-// and daemon answers stay bit-identical, and the run store is shared),
+// Jobs executes campaigns, sweeps and plans asynchronously: Submit
+// validates and enqueues, a bounded worker pool executes through the
+// same Lab.Simulate / RunSweep / RunPlan entry points the blocking CLIs
+// use (so batch and daemon answers stay bit-identical, and the run
+// store is shared),
 // per-job progress counters are fed from the store-hit/simulated
 // callbacks, Cancel stops a job mid-flight via context cancellation,
 // and terminal states are persisted as JSON artifacts. Safe for
@@ -249,12 +284,17 @@ type Jobs struct {
 type job struct {
 	id        string
 	spec      JobSpec
+	plan      *Plan // resolved grid for plan jobs; nil otherwise
 	submitted time.Time
 	ctx       context.Context
 	cancel    context.CancelFunc
 
 	state    JobState
 	progress JobProgress
+	// cellLeft tracks, for a plan job, how many workload runs each grid
+	// machine still owes (armed at submission); a machine draining to
+	// zero completes a cell. Nil for other kinds.
+	cellLeft map[string]int
 	err      error
 	result   json.RawMessage
 	started  time.Time
@@ -291,45 +331,77 @@ func newJobID() string {
 }
 
 // validate checks a spec without running anything and returns the total
-// run count its execution will dispatch or serve from the store.
-func (j *Jobs) validate(spec JobSpec) (int, error) {
+// run count its execution will dispatch or serve from the store. For a
+// plan job it also returns the resolved grid, so Submit can record cell
+// totals and the worker never re-derives the machines.
+func (j *Jobs) validate(spec JobSpec) (int, *Plan, error) {
+	if err := spec.payloadMatchesKind(); err != nil {
+		return 0, nil, err
+	}
 	switch spec.Kind {
 	case JobKindCampaign:
-		if spec.Campaign == nil {
-			return 0, fmt.Errorf("experiments: campaign job without a campaign payload")
-		}
-		if spec.Sweep != nil {
-			return 0, fmt.Errorf("experiments: campaign job with a sweep payload")
-		}
 		lab, err := campaignJobLab(*spec.Campaign, j.opts)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
-		return len(lab.Machines()) * lab.NumWorkloads(), nil
+		return len(lab.Machines()) * lab.NumWorkloads(), nil, nil
 	case JobKindSweep:
-		if spec.Sweep == nil {
-			return 0, fmt.Errorf("experiments: sweep job without a sweep payload")
-		}
-		if spec.Campaign != nil {
-			return 0, fmt.Errorf("experiments: sweep job with a campaign payload")
-		}
 		sw := spec.Sweep
 		base, err := sw.Base.Resolve()
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
-		if _, _, err := sweepMachines(base, sw.Param, sw.Values); err != nil {
-			return 0, err
+		if _, err := NewPlan(base, []PlanAxis{{Param: sw.Param, Values: sw.Values}}, sw.Suite); err != nil {
+			return 0, nil, err
 		}
 		suite, err := suites.ByName(sw.Suite, suites.Options{NumOps: j.opts.NumOps})
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
-		return (1 + len(sw.Values)) * len(suite.Workloads), nil
+		return (1 + len(sw.Values)) * len(suite.Workloads), nil, nil
+	case JobKindPlan:
+		plan, err := spec.Plan.Resolve()
+		if err != nil {
+			return 0, nil, err
+		}
+		suite, err := suites.ByName(plan.Suite, suites.Options{NumOps: j.opts.NumOps})
+		if err != nil {
+			return 0, nil, err
+		}
+		return len(plan.Machines) * len(suite.Workloads), plan, nil
 	default:
-		return 0, fmt.Errorf("experiments: unknown job kind %q (want %q or %q)",
-			spec.Kind, JobKindCampaign, JobKindSweep)
+		return 0, nil, fmt.Errorf("experiments: unknown job kind %q (want %q, %q or %q)",
+			spec.Kind, JobKindCampaign, JobKindSweep, JobKindPlan)
 	}
+}
+
+// payloadMatchesKind rejects a spec whose payloads disagree with its
+// kind: the matching payload must be present and every other absent, so
+// a mis-tagged submission fails loudly instead of silently running the
+// wrong experiment.
+func (spec JobSpec) payloadMatchesKind() error {
+	if spec.Kind != JobKindCampaign && spec.Kind != JobKindSweep && spec.Kind != JobKindPlan {
+		return nil // validate's default case names the valid kinds
+	}
+	payloads := []struct {
+		kind string
+		set  bool
+	}{
+		{JobKindCampaign, spec.Campaign != nil},
+		{JobKindSweep, spec.Sweep != nil},
+		{JobKindPlan, spec.Plan != nil},
+	}
+	for _, p := range payloads {
+		if p.kind == spec.Kind && !p.set {
+			return fmt.Errorf("experiments: %s job without a %s payload", spec.Kind, spec.Kind)
+		}
+	}
+	for _, p := range payloads {
+		if p.kind != spec.Kind && p.set {
+			return fmt.Errorf("experiments: %s job with a %s payload", spec.Kind, p.kind)
+		}
+	}
+	return nil
 }
 
 // campaignJobLab builds the lab a campaign job executes in. The
@@ -353,7 +425,7 @@ func campaignJobLab(c Campaign, opts Options) (*Lab, error) {
 // It fails fast — without enqueuing — on an invalid spec, a full queue,
 // or an engine that is draining.
 func (j *Jobs) Submit(spec JobSpec) (JobStatus, error) {
-	total, err := j.validate(spec)
+	total, plan, err := j.validate(spec)
 	if err != nil {
 		return JobStatus{}, err
 	}
@@ -361,11 +433,23 @@ func (j *Jobs) Submit(spec JobSpec) (JobStatus, error) {
 	jb := &job{
 		id:        newJobID(),
 		spec:      spec,
+		plan:      plan,
 		submitted: time.Now().UTC(),
 		ctx:       ctx,
 		cancel:    cancel,
 		state:     JobQueued,
 		progress:  JobProgress{TotalRuns: total},
+	}
+	if plan != nil {
+		// Cell totals are known at submission: the 202 snapshot already
+		// reports them, and per-machine countdowns arm cell completion
+		// once the worker's progress hook starts firing.
+		jb.progress.TotalCells = len(plan.Machines)
+		jb.cellLeft = make(map[string]int, len(plan.Machines))
+		workloads := total / len(plan.Machines)
+		for _, m := range plan.Machines {
+			jb.cellLeft[m.Name] = workloads
+		}
 	}
 	j.mu.Lock()
 	if j.closed {
@@ -534,13 +618,21 @@ func (j *Jobs) run(jb *job) {
 // job's progress counters hooked into the shared runSimJobs path.
 func (j *Jobs) execute(jb *job) (any, error) {
 	opts := j.opts
-	opts.Progress = func(hit bool) {
+	opts.Progress = func(run RunKey, hit bool) {
 		j.mu.Lock()
 		jb.progress.DoneRuns++
 		if hit {
 			jb.progress.StoreHits++
 		} else {
 			jb.progress.Simulated++
+		}
+		if left, ok := jb.cellLeft[run.Machine]; ok {
+			if left == 1 {
+				delete(jb.cellLeft, run.Machine)
+				jb.progress.DoneCells++
+			} else {
+				jb.cellLeft[run.Machine] = left - 1
+			}
 		}
 		j.mu.Unlock()
 	}
@@ -549,6 +641,8 @@ func (j *Jobs) execute(jb *job) (any, error) {
 		return runCampaignJob(jb.ctx, *jb.spec.Campaign, opts)
 	case JobKindSweep:
 		return runSweepJob(jb.ctx, *jb.spec.Sweep, opts)
+	case JobKindPlan:
+		return j.runPlanJob(jb, opts)
 	default:
 		return nil, fmt.Errorf("experiments: unknown job kind %q", jb.spec.Kind) // unreachable past Submit
 	}
@@ -639,6 +733,37 @@ func runSweepJob(ctx context.Context, sw SweepSpec, opts Options) (*SweepJobResu
 			RelErr:     (p.ModelCPI - p.SimCPI) / p.SimCPI,
 			SimStack:   stackCPIs(p.SimStack),
 			ModelStack: stackCPIs(p.ModelStack),
+		})
+	}
+	return out, nil
+}
+
+// runPlanJob executes a plan exactly as cmd/sweep's grid mode does
+// (RunPlan, over the grid Submit already resolved) and flattens the
+// result into its serializable form. Cell progress was armed at
+// submission: every grid machine (the base fit point included) owes one
+// run per workload, and a machine draining to zero marks its cell done.
+func (j *Jobs) runPlanJob(jb *job, opts Options) (*PlanJobResult, error) {
+	res, err := RunPlanContext(jb.ctx, jb.plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &PlanJobResult{
+		Base:       res.Base,
+		Suite:      res.Suite,
+		Ops:        res.NumOps,
+		Axes:       res.Axes,
+		BaseValues: res.BaseValues,
+	}
+	for _, pt := range res.Points {
+		out.Cells = append(out.Cells, PlanJobCell{
+			Values:     pt.Values,
+			Machine:    pt.Machine,
+			SimCPI:     pt.SimCPI,
+			ModelCPI:   pt.ModelCPI,
+			RelErr:     (pt.ModelCPI - pt.SimCPI) / pt.SimCPI,
+			SimStack:   stackCPIs(pt.SimStack),
+			ModelStack: stackCPIs(pt.ModelStack),
 		})
 	}
 	return out, nil

@@ -406,3 +406,188 @@ func TestJobsQueueBounded(t *testing.T) {
 		jobs.Cancel(id)
 	}
 }
+
+// TestJobsPlanRunsWithCellProgress executes a 2×2 grid plan job to done
+// and checks the per-cell progress counters land exactly: every grid
+// machine (base included) completes as a cell.
+func TestJobsPlanRunsWithCellProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end fit is slow")
+	}
+	sn := tinySuite(t)
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := NewJobs(Options{NumOps: 2000, FitStarts: 2, Store: store}, JobsConfig{})
+	drainJobs(t, jobs)
+	spec := JobSpec{Kind: JobKindPlan, Plan: &PlanSpec{
+		Base: MachineSpec{Name: "core2"},
+		Axes: []PlanAxis{
+			{Param: "rob", Values: []int{48, 96}},
+			{Param: "mshrs", Values: []int{4, 8}},
+		},
+		Suite: sn,
+	}}
+	st, err := jobs.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Progress.TotalRuns != 5*12 {
+		t.Errorf("TotalRuns = %d, want 60 (base + 4 cells × 12 workloads)", st.Progress.TotalRuns)
+	}
+	// Cell totals are part of the submission snapshot, not discovered
+	// at run time.
+	if st.Progress.TotalCells != 5 || st.Progress.DoneCells != 0 {
+		t.Errorf("submitted cell progress %+v, want 5 total / 0 done", st.Progress)
+	}
+	final := waitJob(t, jobs, st.ID, 60*time.Second)
+	if final.State != JobDone {
+		t.Fatalf("plan job finished %s (error %q)", final.State, final.Error)
+	}
+	if final.Progress.TotalCells != 5 || final.Progress.DoneCells != 5 {
+		t.Errorf("cell progress %+v, want 5/5", final.Progress)
+	}
+	if final.Progress.DoneRuns != 60 {
+		t.Errorf("run progress %+v, want 60 done", final.Progress)
+	}
+	var res PlanJobResult
+	if err := json.Unmarshal(final.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Base != "core2" || len(res.Axes) != 2 || len(res.Cells) != 4 {
+		t.Fatalf("plan result shape: %+v", res)
+	}
+	for _, c := range res.Cells {
+		if len(c.Values) != 2 || c.SimCPI <= 0 || c.ModelCPI <= 0 ||
+			len(c.SimStack) != 9 || len(c.ModelStack) != 9 {
+			t.Errorf("degenerate plan cell %+v", c)
+		}
+	}
+
+	// The job's cells are bit-identical to the blocking RunPlan on the
+	// same (now warm) store.
+	plan, err := spec.Plan.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocking, err := RunPlan(plan, Options{NumOps: 2000, FitStarts: 2, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocking.Stats.Simulated != 0 {
+		t.Errorf("blocking rerun simulated %d runs; job left the store cold", blocking.Stats.Simulated)
+	}
+	for i, c := range res.Cells {
+		pt := blocking.Points[i]
+		if c.Machine != pt.Machine || c.SimCPI != pt.SimCPI || c.ModelCPI != pt.ModelCPI {
+			t.Errorf("cell %d: job %+v vs blocking %+v", i, c, pt)
+		}
+	}
+
+	// A mis-tagged plan submission fails loudly.
+	if _, err := jobs.Submit(JobSpec{Kind: JobKindPlan}); err == nil ||
+		!strings.Contains(err.Error(), "without a plan payload") {
+		t.Errorf("payload-free plan job = %v", err)
+	}
+	if _, err := jobs.Submit(JobSpec{Kind: JobKindPlan, Plan: spec.Plan,
+		Sweep: &SweepSpec{}}); err == nil || !strings.Contains(err.Error(), "with a sweep payload") {
+		t.Errorf("plan job with sweep payload = %v", err)
+	}
+	// Duplicate axis values are rejected at submission, before anything
+	// runs — the wire-path half of the duplicate-values fix.
+	if _, err := jobs.Submit(JobSpec{Kind: JobKindPlan, Plan: &PlanSpec{
+		Base:  MachineSpec{Name: "core2"},
+		Axes:  []PlanAxis{{Param: "rob", Values: []int{64, 64}}},
+		Suite: sn,
+	}}); err == nil || !strings.Contains(err.Error(), "listed twice") {
+		t.Errorf("duplicate plan values = %v", err)
+	}
+}
+
+// TestJobsPlanCancelMidFlight is the plan flavour of the cancellation
+// contract under the race detector: cancelling a mid-flight grid job
+// stops the dispatch of new simulations and leaves the run store
+// warm-consistent — a follow-up blocking plan hits everything the
+// cancelled job persisted and completes the grid.
+func TestJobsPlanCancelMidFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end grid is slow")
+	}
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One simulation worker and a real µop count keep the grid in
+	// flight long enough to cancel deterministically mid-run.
+	opts := Options{NumOps: 50000, FitStarts: 2, Workers: 1, Store: store}
+	jobs := NewJobs(opts, JobsConfig{})
+	drainJobs(t, jobs)
+
+	planSpec := &PlanSpec{
+		Base: MachineSpec{Name: "core2"},
+		Axes: []PlanAxis{
+			{Param: "rob", Values: []int{48, 96}},
+			{Param: "memlat", Values: []int{150, 300}},
+		},
+		Suite: "cpu2000",
+	}
+	st, err := jobs.Submit(JobSpec{Kind: JobKindPlan, Plan: planSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := st.Progress.TotalRuns
+	if total != 5*48 {
+		t.Fatalf("TotalRuns = %d, want 240", total)
+	}
+
+	// Wait until the job is demonstrably mid-flight, then cancel.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur, ok := jobs.Get(st.ID)
+		if !ok {
+			t.Fatal("job disappeared")
+		}
+		if cur.State == JobRunning && cur.Progress.DoneRuns >= 2 {
+			break
+		}
+		if cur.State.Terminal() {
+			t.Fatalf("job finished %s before it could be cancelled; raise NumOps", cur.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never got mid-flight")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, ok := jobs.Cancel(st.ID); !ok {
+		t.Fatal("Cancel reported unknown job")
+	}
+	final := waitJob(t, jobs, st.ID, 30*time.Second)
+	if final.State != JobCancelled {
+		t.Fatalf("state after cancel = %s, want cancelled", final.State)
+	}
+	if final.Progress.DoneRuns >= total {
+		t.Errorf("cancelled job completed all %d runs; cancellation did nothing", total)
+	}
+	if final.Progress.DoneCells >= final.Progress.TotalCells {
+		t.Errorf("cancelled job completed all %d cells", final.Progress.TotalCells)
+	}
+
+	// The store stayed warm-consistent: the blocking follow-up hits
+	// every run the cancelled job persisted and completes the grid.
+	plan, err := planSpec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunPlan(plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Hits+res.Stats.Simulated != total {
+		t.Errorf("follow-up covered %d runs, want %d", res.Stats.Hits+res.Stats.Simulated, total)
+	}
+	if res.Stats.Hits < final.Progress.Simulated {
+		t.Errorf("follow-up hit %d runs, want at least the %d the cancelled job simulated",
+			res.Stats.Hits, final.Progress.Simulated)
+	}
+}

@@ -3,9 +3,12 @@
 // suites, resolved through the uarch and suites registries), fits
 // mechanistic-empirical models (plus the linear-regression and ANN
 // baselines), and regenerates every table and figure of the paper as
-// structured data with ASCII renderings; RunSweep adds one-axis
-// parameter sweeps over derived machines. cmd/experiments, cmd/sweep and
-// the top-level benchmarks are thin wrappers around this package.
+// structured data with ASCII renderings; RunPlan executes multi-axis
+// exploration plans (crossed grids of derived machines, fitted once at
+// the base point and extrapolated per cell, with each workload's µop
+// trace materialized once and replayed across the grid), and RunSweep
+// is its one-axis projection. cmd/experiments, cmd/sweep and the
+// top-level benchmarks are thin wrappers around this package.
 package experiments
 
 import (
@@ -37,10 +40,18 @@ type Options struct {
 	// dispatching a single job.
 	Store *runstore.Store
 	// Progress, when non-nil, is invoked once per completed run with its
-	// sourcing (true = store hit, false = simulated). Calls are never
-	// concurrent. The async Jobs engine feeds its per-job progress
-	// counters through this hook.
-	Progress func(hit bool)
+	// RunKey and sourcing (true = store hit, false = simulated). Calls
+	// are never concurrent. The async Jobs engine feeds its per-job
+	// run and grid-cell progress counters through this hook.
+	Progress func(run RunKey, hit bool)
+	// NoSharedTraces disables the per-workload materialized trace
+	// buffers runSimJobs shares across machines, regenerating every
+	// stream per (machine, workload) pair instead. Results are
+	// bit-identical either way; this trades the grid-plan speedup back
+	// for the lower memory floor of pure streaming (one buffer holds
+	// NumOps µops ≈ 56·NumOps bytes). BenchmarkGridPlan measures the
+	// difference.
+	NoSharedTraces bool
 }
 
 func (o Options) withDefaults() Options {
@@ -97,6 +108,12 @@ type SimStats struct {
 	// Simulated is the number of runs actually dispatched to workers
 	// (store misses, or all runs when no store is configured).
 	Simulated int
+	// TraceGens is the number of µop streams actually generated: one
+	// per materialized shared buffer plus one per unshared simulation.
+	// Store hits generate nothing, and a grid sharing one buffer across
+	// M machines counts 1, not M — the regeneration the plan engine's
+	// replay path removes.
+	TraceGens int
 }
 
 // NewLab builds a lab with the paper's three machines and two suites.
@@ -186,6 +203,7 @@ func (l *Lab) SimulateContext(ctx context.Context) error {
 	})
 	l.stats.Hits += st.Hits
 	l.stats.Simulated += st.Simulated
+	l.stats.TraceGens += st.TraceGens
 	return err
 }
 

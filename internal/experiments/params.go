@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/uarch"
+)
+
+// SweepParam is one explorable machine axis: a name, a documentation
+// string, a reader for the current value, and a translation of an
+// explored value into machine overrides. The same axes drive one-axis
+// sweeps (RunSweep, cmd/sweep, POST /v1/sweep) and multi-axis plans
+// (RunPlan, POST /v1/plan); GET /v1/params serves the registered set so
+// clients can discover valid axes instead of hard-coding them.
+type SweepParam struct {
+	Name string
+	Doc  string
+	Get  func(*uarch.Machine) int
+	Set  func(int) uarch.Overrides
+}
+
+// The param registry is the single source of axis knowledge, shared by
+// the sweep/plan engines, cmd/sweep's flag documentation and the
+// serving layer's validation and discovery endpoint. The stock axes
+// self-register below; extensions can RegisterSweepParam their own.
+var (
+	paramMu  sync.RWMutex
+	paramReg []SweepParam
+)
+
+// RegisterSweepParam adds an axis to the registry. Registering a
+// duplicate or incomplete axis is an error, so two packages cannot
+// silently fight over an axis name.
+func RegisterSweepParam(p SweepParam) error {
+	if p.Name == "" {
+		return fmt.Errorf("experiments: cannot register sweep param with empty name")
+	}
+	if p.Get == nil || p.Set == nil {
+		return fmt.Errorf("experiments: sweep param %q needs Get and Set", p.Name)
+	}
+	paramMu.Lock()
+	defer paramMu.Unlock()
+	for _, q := range paramReg {
+		if q.Name == p.Name {
+			return fmt.Errorf("experiments: sweep param %q already registered", p.Name)
+		}
+	}
+	paramReg = append(paramReg, p)
+	return nil
+}
+
+// SweepParams lists the registered axes in registration (display)
+// order.
+func SweepParams() []SweepParam {
+	paramMu.RLock()
+	defer paramMu.RUnlock()
+	out := make([]SweepParam, len(paramReg))
+	copy(out, paramReg)
+	return out
+}
+
+// SweepParamByName resolves an axis; unknown names list the valid ones.
+func SweepParamByName(name string) (SweepParam, error) {
+	paramMu.RLock()
+	defer paramMu.RUnlock()
+	var known []string
+	for _, p := range paramReg {
+		if p.Name == name {
+			return p, nil
+		}
+		known = append(known, p.Name)
+	}
+	return SweepParam{}, fmt.Errorf("experiments: unknown sweep parameter %q (want one of %s)",
+		name, strings.Join(known, ", "))
+}
+
+func init() {
+	for _, p := range []SweepParam{
+		{"rob", "reorder-buffer entries",
+			func(m *uarch.Machine) int { return m.ROBSize },
+			func(v int) uarch.Overrides { return uarch.Overrides{ROBSize: v} }},
+		{"mshrs", "outstanding memory misses",
+			func(m *uarch.Machine) int { return m.MSHRs },
+			func(v int) uarch.Overrides { return uarch.Overrides{MSHRs: v} }},
+		{"memlat", "main-memory latency (cycles)",
+			func(m *uarch.Machine) int { return m.MemLat },
+			func(v int) uarch.Overrides { return uarch.Overrides{MemLat: v} }},
+		{"depth", "front-end pipeline depth",
+			func(m *uarch.Machine) int { return m.FrontEndDepth },
+			func(v int) uarch.Overrides { return uarch.Overrides{FrontEndDepth: v} }},
+		{"width", "dispatch/issue/commit width",
+			func(m *uarch.Machine) int { return m.DispatchWidth },
+			func(v int) uarch.Overrides {
+				return uarch.Overrides{DispatchWidth: v, IssueWidth: v, CommitWidth: v}
+			}},
+		{"l2kb", "L2 capacity (KB)",
+			func(m *uarch.Machine) int { return m.L2.SizeBytes >> 10 },
+			func(v int) uarch.Overrides {
+				return uarch.Overrides{L2: uarch.CacheOverrides{SizeBytes: v << 10}}
+			}},
+	} {
+		if err := RegisterSweepParam(p); err != nil {
+			panic(err) // static registrations cannot collide
+		}
+	}
+}

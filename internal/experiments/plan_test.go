@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runstore"
+	"repro/internal/sim"
+	"repro/internal/suites"
+	"repro/internal/uarch"
+)
+
+func TestNewPlanGridShape(t *testing.T) {
+	base := uarch.CoreTwo()
+	p, err := NewPlan(base, []PlanAxis{
+		{Param: "rob", Values: []int{48, 96}},
+		{Param: "memlat", Values: []int{150, 250, 350}},
+	}, "cpu2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cells) != 6 || len(p.Machines) != 7 {
+		t.Fatalf("grid shape: %d cells, %d machines; want 6 and 7", len(p.Cells), len(p.Machines))
+	}
+	if p.Machines[0] != base {
+		t.Error("Machines[0] must be the base fit point")
+	}
+	// Row-major with the last axis fastest, composite names per cell.
+	wantCells := [][2]int{{48, 150}, {48, 250}, {48, 350}, {96, 150}, {96, 250}, {96, 350}}
+	for i, want := range wantCells {
+		got := p.Cells[i]
+		if got[0] != want[0] || got[1] != want[1] {
+			t.Errorf("cell %d = %v, want %v", i, got, want)
+		}
+		wantName := fmt.Sprintf("core2-rob%d-memlat%d", want[0], want[1])
+		if p.Machines[1+i].Name != wantName {
+			t.Errorf("cell %d machine %q, want %q", i, p.Machines[1+i].Name, wantName)
+		}
+		if p.Machines[1+i].ROBSize != want[0] || p.Machines[1+i].MemLat != want[1] {
+			t.Errorf("cell %d overrides did not land: %+v", i, p.Machines[1+i])
+		}
+	}
+	if bv := p.BaseValues(); len(bv) != 2 || bv[0] != base.ROBSize || bv[1] != base.MemLat {
+		t.Errorf("BaseValues = %v", bv)
+	}
+
+	// A single-axis plan derives exactly the legacy sweep machine names.
+	sp, err := NewPlan(base, []PlanAxis{{Param: "rob", Values: []int{48, 96, 192}}}, "cpu2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []int{48, 96, 192} {
+		if want := fmt.Sprintf("core2-rob%d", v); sp.Machines[1+i].Name != want {
+			t.Errorf("single-axis machine %q, want %q", sp.Machines[1+i].Name, want)
+		}
+	}
+}
+
+func TestNewPlanValidation(t *testing.T) {
+	base := uarch.CoreTwo()
+	cases := []struct {
+		name    string
+		axes    []PlanAxis
+		suite   string
+		wantErr string
+	}{
+		{"no axes", nil, "cpu2000", "at least one axis"},
+		{"no suite", []PlanAxis{{Param: "rob", Values: []int{64}}}, "", "needs a suite"},
+		{"unknown param", []PlanAxis{{Param: "cores", Values: []int{2}}}, "cpu2000", "unknown sweep parameter"},
+		{"duplicate axis", []PlanAxis{
+			{Param: "rob", Values: []int{64}}, {Param: "rob", Values: []int{128}}}, "cpu2000", "twice"},
+		{"empty values", []PlanAxis{{Param: "rob", Values: nil}}, "cpu2000", "at least one value"},
+		{"duplicate values", []PlanAxis{{Param: "rob", Values: []int{64, 64}}}, "cpu2000", "listed twice"},
+		{"non-positive value", []PlanAxis{{Param: "rob", Values: []int{0}}}, "cpu2000", "must be positive"},
+		{"invalid cell", []PlanAxis{{Param: "l2kb", Values: []int{3}}}, "cpu2000", "derive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewPlan(base, tc.axes, tc.suite)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("NewPlan error = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// The grid cap: 3 axes of 17 values would be 4913 > 4096 cells.
+	wide := make([]int, 17)
+	for i := range wide {
+		wide[i] = 100 + i
+	}
+	_, err := NewPlan(base, []PlanAxis{
+		{Param: "rob", Values: wide},
+		{Param: "memlat", Values: wide},
+		{Param: "mshrs", Values: wide},
+	}, "cpu2000")
+	if err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Errorf("oversized grid should hit the cell cap: %v", err)
+	}
+
+	// The cap is checked per axis, so a many-axis request whose total
+	// product would overflow int64 (and wrap past a single final check)
+	// is still rejected — cheaply, before any machine derives.
+	huge := make([]int, 1500)
+	for i := range huge {
+		huge[i] = 100 + i
+	}
+	_, err = NewPlan(base, []PlanAxis{
+		{Param: "rob", Values: huge},
+		{Param: "memlat", Values: huge},
+		{Param: "mshrs", Values: huge},
+		{Param: "depth", Values: huge},
+		{Param: "width", Values: huge},
+		{Param: "l2kb", Values: huge},
+	}, "cpu2000")
+	if err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Errorf("overflowing grid should hit the cell cap: %v", err)
+	}
+}
+
+func TestParsePlanSpecStrict(t *testing.T) {
+	good := []byte(`{
+		"base": {"name": "core2"},
+		"axes": [{"param": "rob", "values": [48, 96]}],
+		"suite": "cpu2000"
+	}`)
+	ps, err := ParsePlanSpec(good)
+	if err != nil || ps.Base.Name != "core2" || len(ps.Axes) != 1 || ps.Suite != "cpu2000" {
+		t.Fatalf("ParsePlanSpec: %+v, %v", ps, err)
+	}
+	if _, err := ps.Resolve(); err != nil {
+		t.Errorf("good spec should resolve: %v", err)
+	}
+
+	for name, doc := range map[string]string{
+		"unknown field":   `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [64]}], "suite": "cpu2000", "cores": 4}`,
+		"typoed axis key": `{"base": {"name": "core2"}, "axes": [{"parm": "rob", "values": [64]}], "suite": "cpu2000"}`,
+		"trailing data":   `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [64]}], "suite": "cpu2000"} {}`,
+		"no axes":         `{"base": {"name": "core2"}, "axes": [], "suite": "cpu2000"}`,
+		"no suite":        `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [64]}]}`,
+	} {
+		if _, err := ParsePlanSpec([]byte(doc)); err == nil {
+			t.Errorf("%s should fail strict parsing", name)
+		}
+	}
+}
+
+// legacySweep reimplements the pre-plan one-axis sweep path verbatim —
+// explicit derived machines, a custom lab, generator-fed simulations
+// (trace sharing disabled), and the inline extrapolation loop — as the
+// reference the plan engine must match float-for-float.
+func legacySweep(t *testing.T, base *uarch.Machine, param string, values []int, suiteName string, opts Options) *SweepResult {
+	t.Helper()
+	opts.NoSharedTraces = true
+	p, err := SweepParamByName(param)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := []*uarch.Machine{base}
+	for _, v := range values {
+		d, err := uarch.Derive(base, fmt.Sprintf("%s-%s%d", base.Name, p.Name, v), p.Set(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines = append(machines, d)
+	}
+	suite, err := suites.ByName(suiteName, suites.Options{NumOps: opts.NumOps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := NewCustomLab(machines, []suites.Suite{suite}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	fitted, err := lab.Model(base.Name, suiteName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &SweepResult{Base: base.Name, Param: p, BaseValue: p.Get(base),
+		Suite: suiteName, NumOps: lab.NumOps()}
+	for _, m := range lab.Machines()[1:] {
+		extrap := &core.Model{Machine: m.Params(), P: fitted.P}
+		obs, err := lab.Observations(m.Name, suiteName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt := SweepPoint{Value: p.Get(m), Machine: m.Name}
+		n := float64(len(obs))
+		for _, o := range obs {
+			pt.SimCPI += o.MeasuredCPI / n
+			pt.ModelCPI += extrap.PredictCPI(o.Feat) / n
+			ms := extrap.Stack(o.Feat)
+			r, err := lab.Run(m.Name, suiteName, o.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := r.Truth.CPIStack(r.Counters.Uops)
+			for _, c := range sim.Components() {
+				pt.SimStack.Cycles[c] += ts.Cycles[c] / n
+				pt.ModelStack.Cycles[c] += ms.Cycles[c] / n
+			}
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// TestSingleAxisPlanMatchesLegacySweep is the refactor's bit-identity
+// property: across every registered axis, the plan-engine-backed
+// RunSweep (shared trace buffers included) must reproduce the legacy
+// generator-fed sweep computation per-float.
+func TestSingleAxisPlanMatchesLegacySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six fits are slow")
+	}
+	sn := tinySuite(t)
+	base := uarch.CoreTwo()
+	opts := Options{NumOps: 2000, FitStarts: 2}
+	values := map[string][]int{
+		"rob":    {48, 96},
+		"mshrs":  {4, 8},
+		"memlat": {150, 300},
+		"depth":  {10, 18},
+		"width":  {2, 4},
+		"l2kb":   {1024, 4096},
+	}
+	for _, p := range SweepParams() {
+		vals, ok := values[p.Name]
+		if !ok {
+			t.Fatalf("no test values for axis %q; extend the table", p.Name)
+		}
+		t.Run(p.Name, func(t *testing.T) {
+			want := legacySweep(t, base, p.Name, vals, sn, opts)
+			got, err := RunSweep(base, p.Name, vals, sn, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Base != want.Base || got.BaseValue != want.BaseValue ||
+				got.Suite != want.Suite || got.NumOps != want.NumOps ||
+				got.Param.Name != want.Param.Name || len(got.Points) != len(want.Points) {
+				t.Fatalf("sweep header differs: %+v vs %+v", got, want)
+			}
+			for i := range got.Points {
+				g, w := got.Points[i], want.Points[i]
+				if g.Value != w.Value || g.Machine != w.Machine {
+					t.Fatalf("point %d identity differs: %+v vs %+v", i, g, w)
+				}
+				if g.SimCPI != w.SimCPI || g.ModelCPI != w.ModelCPI {
+					t.Errorf("point %d CPIs differ: sim %v vs %v, model %v vs %v",
+						i, g.SimCPI, w.SimCPI, g.ModelCPI, w.ModelCPI)
+				}
+				for _, c := range sim.Components() {
+					if g.SimStack.Cycles[c] != w.SimStack.Cycles[c] ||
+						g.ModelStack.Cycles[c] != w.ModelStack.Cycles[c] {
+						t.Errorf("point %d component %s differs", i, c)
+					}
+				}
+			}
+			if got.Render() != want.Render() {
+				t.Error("rendered sweep output differs from the legacy computation")
+			}
+		})
+	}
+}
+
+// TestRunPlanSharedTraceStats pins the trace-replay economics: a cold
+// grid generates each workload's stream once (not once per cell), a
+// warm rerun generates none, and disabling sharing falls back to one
+// generation per simulation — all with bit-identical results.
+func TestRunPlanSharedTraceStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid simulation is slow")
+	}
+	sn := tinySuite(t)
+	base := uarch.CoreTwo()
+	axes := []PlanAxis{
+		{Param: "rob", Values: []int{48, 96}},
+		{Param: "mshrs", Values: []int{4, 8}},
+	}
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{NumOps: 2000, FitStarts: 2, Store: store}
+	plan, err := NewPlan(base, axes, sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const machines, workloads = 5, 12 // base + 2×2 cells; tinySuite size
+
+	cold, err := RunPlan(plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.Simulated != machines*workloads || cold.Stats.Hits != 0 {
+		t.Errorf("cold stats %+v, want %d simulated", cold.Stats, machines*workloads)
+	}
+	if cold.Stats.TraceGens != workloads {
+		t.Errorf("cold plan generated %d traces, want one per workload (%d)",
+			cold.Stats.TraceGens, workloads)
+	}
+	if len(cold.Points) != 4 {
+		t.Fatalf("plan has %d points, want 4", len(cold.Points))
+	}
+	for _, pt := range cold.Points {
+		if pt.SimCPI <= 0 || pt.ModelCPI <= 0 || pt.SimStack.Total() == 0 {
+			t.Errorf("degenerate cell %+v", pt)
+		}
+	}
+
+	warm, err := RunPlan(plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.Hits != machines*workloads || warm.Stats.Simulated != 0 || warm.Stats.TraceGens != 0 {
+		t.Errorf("warm stats %+v, want pure hits and zero trace generations", warm.Stats)
+	}
+	if warm.Render() != cold.Render() {
+		t.Error("warm plan output differs from cold")
+	}
+
+	// Per-cell regeneration (sharing disabled, fresh store) must agree
+	// float-for-float while paying one generation per simulation.
+	regenOpts := opts
+	regenOpts.NoSharedTraces = true
+	if regenOpts.Store, err = runstore.Open(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	regen, err := RunPlan(plan, regenOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regen.Stats.TraceGens != machines*workloads {
+		t.Errorf("unshared plan generated %d traces, want %d", regen.Stats.TraceGens, machines*workloads)
+	}
+	for i := range cold.Points {
+		g, w := regen.Points[i], cold.Points[i]
+		if g.SimCPI != w.SimCPI || g.ModelCPI != w.ModelCPI {
+			t.Errorf("cell %d: shared vs regenerated traces disagree: %+v vs %+v", i, g, w)
+		}
+	}
+}

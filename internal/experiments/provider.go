@@ -196,41 +196,57 @@ func (p *Provider) fit(m *uarch.Machine, suiteName string) (*Fitted, error) {
 	return &Fitted{Machine: m, Suite: suite, Model: model, Obs: obs, Runs: runs}, nil
 }
 
-// Sweep runs a one-axis sensitivity sweep through the provider: the base
-// fit comes from the cached, singleflight-deduplicated Fitted path, the
-// sweep points simulate through the same run store, and the per-point
-// extrapolation is RunSweep's. The returned result's Stats cover only
-// this call's point simulations (the base is served from the model
-// cache). Safe for concurrent callers; concurrent sweeps over the same
-// base share the fit but may race benignly on point simulations.
-func (p *Provider) Sweep(base *uarch.Machine, param string, values []int, suiteName string) (*SweepResult, error) {
-	// Validate and derive the sweep grid before touching the expensive
-	// fit path: a bogus parameter or value list must not cost a suite
-	// simulation.
-	sp, machines, err := sweepMachines(base, param, values)
+// Plan runs a multi-axis exploration plan through the provider: the
+// base fit comes from the cached, singleflight-deduplicated Fitted
+// path, the grid cells simulate through the same run store (with one
+// materialized trace buffer shared per workload across all cells), and
+// the per-cell extrapolation is RunPlan's. The returned result's Stats
+// cover only this call's cell simulations (the base is served from the
+// model cache). Safe for concurrent callers; concurrent plans over the
+// same base share the fit but may race benignly on cell simulations.
+// The caller provides an already-validated Plan (NewPlan or
+// PlanSpec.Resolve), so a bogus axis or value list never costs a suite
+// simulation.
+func (p *Provider) Plan(plan *Plan) (*PlanResult, error) {
+	f, err := p.Fitted(plan.Base, plan.Suite)
 	if err != nil {
 		return nil, err
 	}
-	f, err := p.Fitted(base, suiteName)
+	lab, err := NewCustomLab(plan.Machines, []suites.Suite{f.Suite}, p.opts)
 	if err != nil {
 		return nil, err
 	}
-	lab, err := NewCustomLab(machines, []suites.Suite{f.Suite}, p.opts)
-	if err != nil {
-		return nil, err
-	}
-	lab.adopt(base.Name, suiteName, f)
+	lab.adopt(plan.Base.Name, plan.Suite, f)
 	if err := lab.Simulate(); err != nil {
 		p.addSimStats(lab.SimStats())
 		return nil, err
 	}
 	p.addSimStats(lab.SimStats())
-	return sweepResult(lab, base, sp, suiteName, f.Model)
+	return planResult(lab, plan, f.Model)
+}
+
+// Sweep runs a one-axis sensitivity sweep through the provider — a
+// single-axis Plan projected into the sweep shape, exactly as RunSweep
+// adapts RunPlan, so daemon and CLI sweeps stay bit-identical.
+func (p *Provider) Sweep(base *uarch.Machine, param string, values []int, suiteName string) (*SweepResult, error) {
+	// Validate and derive the grid before touching the expensive fit
+	// path: a bogus parameter or value list must not cost a suite
+	// simulation.
+	plan, err := NewPlan(base, []PlanAxis{{Param: param, Values: values}}, suiteName)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.Plan(plan)
+	if err != nil {
+		return nil, err
+	}
+	return sweepFromPlan(res)
 }
 
 func (p *Provider) addSimStats(st SimStats) {
 	p.mu.Lock()
 	p.stats.Sim.Hits += st.Hits
 	p.stats.Sim.Simulated += st.Simulated
+	p.stats.Sim.TraceGens += st.TraceGens
 	p.mu.Unlock()
 }

@@ -3,7 +3,9 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/runstore"
 	"repro/internal/sim"
@@ -20,36 +22,60 @@ type simJob struct {
 	run     RunKey
 }
 
+// sharedTrace is one workload's materialized µop stream, shared across
+// every machine that simulates it in a single runSimJobs call: the
+// first worker to need the stream materializes it (once-guarded, so
+// concurrent workers block instead of regenerating), later workers
+// replay it through independent cursors, and the last user releases the
+// backing store for the garbage collector.
+type sharedTrace struct {
+	once sync.Once
+	buf  *trace.Buffer
+	left atomic.Int64
+}
+
 // runSimJobs is the shared simulation path under Lab.Simulate (batch
-// campaigns), Provider fits (on-demand serving) and the async Jobs
-// engine: every job is first resolved against the run store (when one is
-// configured in opts), and only the misses are dispatched to a bounded
-// worker pool, their results written back to the store as workers
-// finish. record is invoked once per completed job; calls are never
-// concurrent, so record may touch shared state without further locking.
-// opts.Progress, when set, is additionally invoked once per completed
-// job with its sourcing (store hit vs simulated), under the same
-// serialization guarantee. Results are deterministic regardless of
-// scheduling (every run is independent and seeded) and regardless of the
-// store (a cached Result is exactly what re-simulating would produce).
+// campaigns and grid plans), Provider fits (on-demand serving) and the
+// async Jobs engine: every job is first resolved against the run store
+// (when one is configured in opts), and only the misses are dispatched
+// to a bounded worker pool, their results written back to the store as
+// workers finish. record is invoked once per completed job; calls are
+// never concurrent, so record may touch shared state without further
+// locking. opts.Progress, when set, is additionally invoked once per
+// completed job with its RunKey and sourcing (store hit vs simulated),
+// under the same serialization guarantee.
+//
+// Workloads simulated on more than one machine (a campaign's machine
+// grid, a plan's cells) share one materialized trace.Buffer per spec:
+// the stream is generated once and replayed per machine, instead of
+// regenerated per (machine, workload) pair. To bound how many buffers
+// are live at once, misses are dispatched workload-major (all machines
+// of one workload adjacently) regardless of the order jobs were
+// enqueued in. Results are deterministic regardless of scheduling,
+// sourcing and stream kind (a replayed buffer is bit-identical to its
+// generating stream, and a cached Result is exactly what re-simulating
+// would produce).
 //
 // Cancelling ctx stops the dispatch of new simulations: jobs already
 // running on a worker finish (and are recorded and stored), everything
 // still pending is abandoned, and ctx.Err() is returned. A partially
 // cancelled run therefore leaves the store consistent — every persisted
 // entry is a complete, exact result — so a follow-up run resumes warm.
-// The returned SimStats reports how many runs each path served.
+// The returned SimStats reports how many runs each path served and how
+// many µop streams were actually generated.
 func runSimJobs(ctx context.Context, jobs []simJob, opts Options, record func(RunKey, *sim.Result)) (SimStats, error) {
 	var st SimStats
 	store := opts.Store
-	progress := func(hit bool) {
+	progress := func(run RunKey, hit bool) {
 		if opts.Progress != nil {
-			opts.Progress(hit)
+			opts.Progress(run, hit)
 		}
 	}
 	type missJob struct {
 		simJob
-		key string // run-store key; "" when no store is configured
+		key      string // run-store key; "" when no store is configured
+		specHash string
+		shared   *sharedTrace // non-nil when the spec's trace is shared
 	}
 	var misses []missJob
 	for _, j := range jobs {
@@ -66,7 +92,7 @@ func runSimJobs(ctx context.Context, jobs []simJob, opts Options, record func(Ru
 			if ok {
 				record(j.run, res)
 				st.Hits++
-				progress(true)
+				progress(j.run, true)
 				continue
 			}
 		}
@@ -76,10 +102,41 @@ func runSimJobs(ctx context.Context, jobs []simJob, opts Options, record func(Ru
 		return st, nil
 	}
 
+	// Group the misses workload-major and set up trace sharing: jobs
+	// arrive machine-major (every workload of machine 1, then machine
+	// 2, …), which would keep every shared buffer alive across the
+	// whole run; making each spec's uses adjacent bounds the live
+	// buffers to roughly the worker count.
+	first := make(map[string]int, len(misses))
+	uses := make(map[string]int, len(misses))
+	for i := range misses {
+		h := misses[i].spec.ConfigHash()
+		misses[i].specHash = h
+		if _, ok := first[h]; !ok {
+			first[h] = i
+		}
+		uses[h]++
+	}
+	sort.SliceStable(misses, func(a, b int) bool {
+		return first[misses[a].specHash] < first[misses[b].specHash]
+	})
+	buffers := map[string]*sharedTrace{}
+	for h, n := range uses {
+		if n > 1 && !opts.NoSharedTraces {
+			sh := &sharedTrace{}
+			sh.left.Store(int64(n))
+			buffers[h] = sh
+		}
+	}
+	for i := range misses {
+		misses[i].shared = buffers[misses[i].specHash]
+	}
+
 	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
+		mu        sync.Mutex
+		firstErr  error
+		wg        sync.WaitGroup
+		traceGens atomic.Int64
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -106,7 +163,21 @@ func runSimJobs(ctx context.Context, jobs []simJob, opts Options, record func(Ru
 					}
 					sims[j.machine.Name] = s
 				}
-				res, err := s.Run(trace.New(j.spec))
+				var src trace.Source
+				if sh := j.shared; sh != nil {
+					sh.once.Do(func() {
+						sh.buf = trace.Materialize(j.spec)
+						traceGens.Add(1)
+					})
+					src = sh.buf.Replay()
+				} else {
+					src = trace.New(j.spec)
+					traceGens.Add(1)
+				}
+				res, err := s.Run(src)
+				if sh := j.shared; sh != nil && sh.left.Add(-1) == 0 {
+					sh.buf = nil // last user: release the stream for GC
+				}
 				if err != nil {
 					fail(fmt.Errorf("experiments: %s on %s: %w", j.spec.Name, j.machine.Name, err))
 					continue
@@ -120,7 +191,7 @@ func runSimJobs(ctx context.Context, jobs []simJob, opts Options, record func(Ru
 				mu.Lock()
 				record(j.run, res)
 				st.Simulated++
-				progress(false)
+				progress(j.run, false)
 				mu.Unlock()
 			}
 		}()
@@ -143,6 +214,7 @@ feed:
 	}
 	close(ch)
 	wg.Wait()
+	st.TraceGens = int(traceGens.Load())
 	if firstErr == nil && ctx.Err() != nil {
 		firstErr = ctx.Err()
 	}

@@ -5,63 +5,10 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/suites"
 	"repro/internal/uarch"
 )
-
-// SweepParam is one sweepable machine axis: a name, a reader for the
-// base value, and a translation of a swept value into machine overrides.
-type SweepParam struct {
-	Name string
-	Doc  string
-	Get  func(*uarch.Machine) int
-	Set  func(int) uarch.Overrides
-}
-
-// SweepParams lists the sweepable axes in display order.
-func SweepParams() []SweepParam {
-	return []SweepParam{
-		{"rob", "reorder-buffer entries",
-			func(m *uarch.Machine) int { return m.ROBSize },
-			func(v int) uarch.Overrides { return uarch.Overrides{ROBSize: v} }},
-		{"mshrs", "outstanding memory misses",
-			func(m *uarch.Machine) int { return m.MSHRs },
-			func(v int) uarch.Overrides { return uarch.Overrides{MSHRs: v} }},
-		{"memlat", "main-memory latency (cycles)",
-			func(m *uarch.Machine) int { return m.MemLat },
-			func(v int) uarch.Overrides { return uarch.Overrides{MemLat: v} }},
-		{"depth", "front-end pipeline depth",
-			func(m *uarch.Machine) int { return m.FrontEndDepth },
-			func(v int) uarch.Overrides { return uarch.Overrides{FrontEndDepth: v} }},
-		{"width", "dispatch/issue/commit width",
-			func(m *uarch.Machine) int { return m.DispatchWidth },
-			func(v int) uarch.Overrides {
-				return uarch.Overrides{DispatchWidth: v, IssueWidth: v, CommitWidth: v}
-			}},
-		{"l2kb", "L2 capacity (KB)",
-			func(m *uarch.Machine) int { return m.L2.SizeBytes >> 10 },
-			func(v int) uarch.Overrides {
-				return uarch.Overrides{L2: uarch.CacheOverrides{SizeBytes: v << 10}}
-			}},
-	}
-}
-
-// SweepParamByName resolves a sweep axis; unknown names list the valid
-// ones.
-func SweepParamByName(name string) (SweepParam, error) {
-	var known []string
-	for _, p := range SweepParams() {
-		if p.Name == name {
-			return p, nil
-		}
-		known = append(known, p.Name)
-	}
-	return SweepParam{}, fmt.Errorf("experiments: unknown sweep parameter %q (want one of %s)",
-		name, strings.Join(known, ", "))
-}
 
 // SweepPoint is one swept machine: its parameter value, the mean
 // simulated behaviour of the suite, and the extrapolated model's
@@ -86,7 +33,7 @@ func (p SweepPoint) Err() float64 { return stats.RelErr(p.ModelCPI, p.SimCPI) }
 // once at the base configuration and extrapolated — empirical
 // coefficients frozen, machine parameters and counters updated — to each
 // swept configuration, the model-extrapolation study the paper gestures
-// at but never runs.
+// at but never runs. It is the single-axis projection of a PlanResult.
 type SweepResult struct {
 	Base      string
 	Param     SweepParam
@@ -99,10 +46,12 @@ type SweepResult struct {
 
 // RunSweep simulates base and one derived machine per value on the named
 // suite (through opts.Store when configured, so reruns are incremental),
-// fits the model at base, and evaluates it at every point. For a
-// long-running caller that wants the base fit cached and deduplicated
-// across sweeps, use Provider.Sweep, which shares the extrapolation
-// below.
+// fits the model at base, and evaluates it at every point. It is a thin
+// adapter over the plan engine: a one-axis Plan executed by RunPlan,
+// projected back into the sweep shape — values, machine names, and every
+// float bit-identical to the pre-plan implementation. For a long-running
+// caller that wants the base fit cached and deduplicated across sweeps,
+// use Provider.Sweep.
 func RunSweep(base *uarch.Machine, param string, values []int, suiteName string, opts Options) (*SweepResult, error) {
 	return RunSweepContext(context.Background(), base, param, values, suiteName, opts)
 }
@@ -112,34 +61,23 @@ func RunSweep(base *uarch.Machine, param string, values []int, suiteName string,
 // ctx.Err(). Completed simulations stay in the store, so a rerun
 // resumes warm. The async Jobs engine runs sweep jobs through here.
 func RunSweepContext(ctx context.Context, base *uarch.Machine, param string, values []int, suiteName string, opts Options) (*SweepResult, error) {
-	opts = opts.withDefaults()
-	p, machines, err := sweepMachines(base, param, values)
+	p, err := NewPlan(base, []PlanAxis{{Param: param, Values: values}}, suiteName)
 	if err != nil {
 		return nil, err
 	}
-	suite, err := suites.ByName(suiteName, suites.Options{NumOps: opts.NumOps})
+	res, err := RunPlanContext(ctx, p, opts)
 	if err != nil {
 		return nil, err
 	}
-	lab, err := NewCustomLab(machines, []suites.Suite{suite}, opts)
-	if err != nil {
-		return nil, err
-	}
-	if err := lab.SimulateContext(ctx); err != nil {
-		return nil, err
-	}
-	fitted, err := lab.Model(base.Name, suiteName)
-	if err != nil {
-		return nil, err
-	}
-	return sweepResult(lab, base, p, suiteName, fitted)
+	return sweepFromPlan(res)
 }
 
-// ValidateSweepValues rejects value lists a sweep cannot run: empty,
-// non-positive (overrides treat zero as "keep base", which would
-// silently mislabel the point as a second base run), or duplicated.
-// This is the single validation source for RunSweep, Provider.Sweep and
-// the serving layer's request checking.
+// ValidateSweepValues rejects value lists a sweep or plan axis cannot
+// run: empty, non-positive (overrides treat zero as "keep base", which
+// would silently mislabel the point as a second base run), or
+// duplicated (which would silently double-simulate the same cell).
+// This is the single validation source for plans, sweeps and the
+// serving layer's request checking.
 func ValidateSweepValues(values []int) error {
 	if len(values) == 0 {
 		return fmt.Errorf("experiments: sweep needs at least one value")
@@ -157,65 +95,36 @@ func ValidateSweepValues(values []int) error {
 	return nil
 }
 
-// sweepMachines validates the swept values and derives one machine per
-// value from base; machines[0] is base itself.
-func sweepMachines(base *uarch.Machine, param string, values []int) (SweepParam, []*uarch.Machine, error) {
-	p, err := SweepParamByName(param)
+// sweepFromPlan projects a single-axis plan result into the sweep
+// shape. The floats are carried over untouched, so the projection
+// preserves bit-identity with the legacy sweep computation.
+func sweepFromPlan(res *PlanResult) (*SweepResult, error) {
+	if len(res.Axes) != 1 {
+		return nil, fmt.Errorf("experiments: sweep projection of a %d-axis plan", len(res.Axes))
+	}
+	sp, err := SweepParamByName(res.Axes[0].Param)
 	if err != nil {
-		return SweepParam{}, nil, err
+		return nil, err
 	}
-	if err := ValidateSweepValues(values); err != nil {
-		return SweepParam{}, nil, err
+	out := &SweepResult{
+		Base:      res.Base,
+		Param:     sp,
+		BaseValue: res.BaseValues[0],
+		Suite:     res.Suite,
+		NumOps:    res.NumOps,
+		Stats:     res.Stats,
 	}
-	machines := []*uarch.Machine{base}
-	for _, v := range values {
-		d, err := uarch.Derive(base, fmt.Sprintf("%s-%s%d", base.Name, p.Name, v), p.Set(v))
-		if err != nil {
-			return SweepParam{}, nil, err
-		}
-		machines = append(machines, d)
+	for _, pt := range res.Points {
+		out.Points = append(out.Points, SweepPoint{
+			Value:      pt.Values[0],
+			Machine:    pt.Machine,
+			SimCPI:     pt.SimCPI,
+			ModelCPI:   pt.ModelCPI,
+			SimStack:   pt.SimStack,
+			ModelStack: pt.ModelStack,
+		})
 	}
-	return p, machines, nil
-}
-
-// sweepResult extrapolates the base-fitted model to every swept point of
-// a simulated lab — the shared back half of RunSweep and Provider.Sweep.
-func sweepResult(lab *Lab, base *uarch.Machine, p SweepParam, suiteName string, fitted *core.Model) (*SweepResult, error) {
-	res := &SweepResult{
-		Base:      base.Name,
-		Param:     p,
-		BaseValue: p.Get(base),
-		Suite:     suiteName,
-		NumOps:    lab.NumOps(),
-		Stats:     lab.SimStats(),
-	}
-	for _, m := range lab.Machines()[1:] {
-		// Extrapolate: frozen empirical coefficients, this point's
-		// machine parameters, this point's measured counters.
-		extrap := &core.Model{Machine: m.Params(), P: fitted.P}
-		obs, err := lab.Observations(m.Name, suiteName)
-		if err != nil {
-			return nil, err
-		}
-		pt := SweepPoint{Value: p.Get(m), Machine: m.Name}
-		n := float64(len(obs))
-		for _, o := range obs {
-			pt.SimCPI += o.MeasuredCPI / n
-			pt.ModelCPI += extrap.PredictCPI(o.Feat) / n
-			ms := extrap.Stack(o.Feat)
-			r, err := lab.Run(m.Name, suiteName, o.Name)
-			if err != nil {
-				return nil, err
-			}
-			ts := r.Truth.CPIStack(r.Counters.Uops)
-			for _, c := range sim.Components() {
-				pt.SimStack.Cycles[c] += ts.Cycles[c] / n
-				pt.ModelStack.Cycles[c] += ms.Cycles[c] / n
-			}
-		}
-		res.Points = append(res.Points, pt)
-	}
-	return res, nil
+	return out, nil
 }
 
 // Render returns the sensitivity tables as text: suite-mean simulated vs

@@ -12,9 +12,11 @@
 //	GET    /healthz        liveness + simulator version
 //	GET    /v1/machines    registered machine names
 //	GET    /v1/suites      registered suites and their workloads
+//	GET    /v1/params      registered exploration axes (valid sweep/plan params)
 //	POST   /v1/predict     CPI + CPI stack for a machine spec × suite[/workload]
 //	POST   /v1/sweep       one-axis what-if sweep over a derived machine
-//	POST   /v1/jobs        submit an async campaign or sweep job
+//	POST   /v1/plan        multi-axis exploration grid, fitted once and extrapolated per cell
+//	POST   /v1/jobs        submit an async campaign, sweep or plan job
 //	GET    /v1/jobs        list jobs (submission order)
 //	GET    /v1/jobs/{id}   one job's state, progress and result
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
@@ -49,8 +51,8 @@ type Server struct {
 
 	inflight atomic.Int64
 	reqs     struct {
-		healthz, machines, suites, predict, sweep, stats atomic.Int64
-		jobSubmit, jobList, jobGet, jobCancel            atomic.Int64
+		healthz, machines, suites, params, predict, sweep, plan, stats atomic.Int64
+		jobSubmit, jobList, jobGet, jobCancel                          atomic.Int64
 	}
 }
 
@@ -61,8 +63,10 @@ func New(prov *experiments.Provider, jobs *experiments.Jobs) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/machines", s.handleMachines)
 	s.mux.HandleFunc("GET /v1/suites", s.handleSuites)
+	s.mux.HandleFunc("GET /v1/params", s.handleParams)
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -164,6 +168,28 @@ func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
 			info.Workloads = append(info.Workloads, wl.Name)
 		}
 		resp.Suites = append(resp.Suites, info)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ParamInfo describes one registered exploration axis.
+type ParamInfo struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+// ParamsResponse is the GET /v1/params body: the axes a sweep or plan
+// request may explore, in display order — clients discover valid plan
+// axes here instead of hard-coding them.
+type ParamsResponse struct {
+	Params []ParamInfo `json:"params"`
+}
+
+func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
+	s.reqs.params.Add(1)
+	var resp ParamsResponse
+	for _, p := range experiments.SweepParams() {
+		resp.Params = append(resp.Params, ParamInfo{Name: p.Name, Doc: p.Doc})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -391,6 +417,91 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// PlanRequest is the POST /v1/plan body: a declarative multi-axis
+// exploration plan, strict-decoded with the plan-file rules. The axes
+// must name registered params (see GET /v1/params) with positive,
+// duplicate-free values.
+type PlanRequest = experiments.PlanSpec
+
+// PlanCellResponse is one evaluated grid cell: its axis values (aligned
+// with the request's axes), the derived machine, and simulated vs
+// model-extrapolated suite-mean CPI and stacks. RelErr is signed,
+// matching WorkloadPrediction (negative = model under-predicts).
+type PlanCellResponse struct {
+	Values     []int        `json:"values"`
+	Machine    string       `json:"machine"`
+	SimCPI     float64      `json:"simCPI"`
+	ModelCPI   float64      `json:"modelCPI"`
+	RelErr     float64      `json:"relErr"`
+	SimStack   []StackEntry `json:"simStack"`
+	ModelStack []StackEntry `json:"modelStack"`
+}
+
+// PlanResponse is the POST /v1/plan body: the model fitted once at the
+// base machine and extrapolated to every cell of the crossed grid.
+// Cells appear row-major with the last axis fastest; BaseValues is the
+// fit point on each axis. Sims reports this plan's run sourcing — on a
+// warm store a whole grid answers with zero simulations and zero trace
+// generations.
+type PlanResponse struct {
+	Base       string                 `json:"base"`
+	Suite      string                 `json:"suite"`
+	Ops        int                    `json:"ops"`
+	Axes       []experiments.PlanAxis `json:"axes"`
+	BaseValues []int                  `json:"baseValues"`
+	Cells      []PlanCellResponse     `json:"cells"`
+	Sims       SimSourcing            `json:"sims"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.reqs.plan.Add(1)
+	var req PlanRequest
+	if err := decodeStrict(r, w, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := suites.ByName(req.Suite, suites.Options{NumOps: s.prov.Opts().NumOps}); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Resolve validates everything else — base machine, axis names,
+	// values, grid size, cell derivability — before anything simulates.
+	plan, err := req.Resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.prov.Plan(plan)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := PlanResponse{
+		Base:       res.Base,
+		Suite:      res.Suite,
+		Ops:        res.NumOps,
+		Axes:       res.Axes,
+		BaseValues: res.BaseValues,
+		Sims: SimSourcing{
+			StoreHits: res.Stats.Hits,
+			Simulated: res.Stats.Simulated,
+			TraceGens: res.Stats.TraceGens,
+		},
+	}
+	for _, pt := range res.Points {
+		resp.Cells = append(resp.Cells, PlanCellResponse{
+			Values:     pt.Values,
+			Machine:    pt.Machine,
+			SimCPI:     pt.SimCPI,
+			ModelCPI:   pt.ModelCPI,
+			RelErr:     (pt.ModelCPI - pt.SimCPI) / pt.SimCPI,
+			SimStack:   stackEntries(pt.SimStack),
+			ModelStack: stackEntries(pt.ModelStack),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // JobSubmitRequest is the POST /v1/jobs body: a job spec, strict-decoded
 // with exactly the scenario-file rules (unknown fields are errors, down
 // into the nested campaign).
@@ -476,8 +587,10 @@ type RequestStats struct {
 	Healthz   int64 `json:"healthz"`
 	Machines  int64 `json:"machines"`
 	Suites    int64 `json:"suites"`
+	Params    int64 `json:"params"`
 	Predict   int64 `json:"predict"`
 	Sweep     int64 `json:"sweep"`
+	Plan      int64 `json:"plan"`
 	JobSubmit int64 `json:"jobSubmit"`
 	JobList   int64 `json:"jobList"`
 	JobGet    int64 `json:"jobGet"`
@@ -492,10 +605,13 @@ type ModelStats struct {
 	Hits   int `json:"hits"`
 }
 
-// SimSourcing reports where simulation runs came from.
+// SimSourcing reports where simulation runs came from, and how many
+// µop streams were actually generated to serve them (shared trace
+// buffers count one generation per workload, not per machine).
 type SimSourcing struct {
 	StoreHits int `json:"storeHits"`
 	Simulated int `json:"simulated"`
+	TraceGens int `json:"traceGens"`
 }
 
 // StoreStats mirrors the run store's counters (present only when the
@@ -527,8 +643,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Healthz:   s.reqs.healthz.Load(),
 			Machines:  s.reqs.machines.Load(),
 			Suites:    s.reqs.suites.Load(),
+			Params:    s.reqs.params.Load(),
 			Predict:   s.reqs.predict.Load(),
 			Sweep:     s.reqs.sweep.Load(),
+			Plan:      s.reqs.plan.Load(),
 			JobSubmit: s.reqs.jobSubmit.Load(),
 			JobList:   s.reqs.jobList.Load(),
 			JobGet:    s.reqs.jobGet.Load(),
@@ -536,7 +654,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Stats:     s.reqs.stats.Load(),
 		},
 		Models: ModelStats{Cached: s.prov.CachedModels(), Fits: ps.Fits, Hits: ps.ModelHits},
-		Sims:   SimSourcing{StoreHits: ps.Sim.Hits, Simulated: ps.Sim.Simulated},
+		Sims:   SimSourcing{StoreHits: ps.Sim.Hits, Simulated: ps.Sim.Simulated, TraceGens: ps.Sim.TraceGens},
 	}
 	if store := s.prov.Opts().Store; store != nil {
 		st := store.Stats()

@@ -419,3 +419,124 @@ func TestDerivedMachinePredict(t *testing.T) {
 		t.Errorf("stack has %d components, want 9", len(resp.Workloads[0].Stack))
 	}
 }
+
+// TestParamsEndpoint asserts the axis-discovery listing mirrors the
+// shared param registry, docs included.
+func TestParamsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, experiments.Options{})
+	var resp ParamsResponse
+	getJSON(t, ts.URL+"/v1/params", &resp)
+	reg := experiments.SweepParams()
+	if len(resp.Params) != len(reg) {
+		t.Fatalf("served %d params, registry has %d", len(resp.Params), len(reg))
+	}
+	for i, p := range resp.Params {
+		if p.Name != reg[i].Name || p.Doc != reg[i].Doc {
+			t.Errorf("param %d = %+v, want %s (%s)", i, p, reg[i].Name, reg[i].Doc)
+		}
+	}
+}
+
+// TestPlanEndpointValidation asserts every bogus plan request is
+// rejected before anything simulates — the wire half of the
+// duplicate-values fix included.
+func TestPlanEndpointValidation(t *testing.T) {
+	ts, prov := newTestServer(t, experiments.Options{})
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"unknown field", `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [64]}], "suite": "cpu2000", "cores": 2}`, "unknown field"},
+		{"unknown axis", `{"base": {"name": "core2"}, "axes": [{"param": "cores", "values": [2]}], "suite": "cpu2000"}`, "unknown sweep parameter"},
+		{"duplicate axis", `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [48]}, {"param": "rob", "values": [96]}], "suite": "cpu2000"}`, "twice"},
+		{"duplicate values", `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [64, 64]}], "suite": "cpu2000"}`, "listed twice"},
+		{"non-positive value", `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [0]}], "suite": "cpu2000"}`, "positive"},
+		{"unknown suite", `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [64]}], "suite": "cpu2017"}`, "unknown suite"},
+		{"unknown base", `{"base": {"name": "core9"}, "axes": [{"param": "rob", "values": [64]}], "suite": "cpu2000"}`, "unknown machine"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := postJSON(t, ts.URL+"/v1/plan", tc.body)
+			if code != http.StatusBadRequest {
+				t.Errorf("status %d, want 400 (%s)", code, body)
+			}
+			var e errorResponse
+			if err := json.Unmarshal(body, &e); err != nil {
+				t.Fatalf("error body is not JSON: %s", body)
+			}
+			if !strings.Contains(e.Error, tc.wantErr) {
+				t.Errorf("error %q should mention %q", e.Error, tc.wantErr)
+			}
+		})
+	}
+	if st := prov.Stats(); st.Fits != 0 || st.Sim.Simulated != 0 {
+		t.Errorf("invalid plan requests cost simulations: %+v", st)
+	}
+}
+
+// TestPlanEndpointMatchesBlockingRunPlan is the grid flavour of the
+// daemon-vs-CLI bit-identity proof: a served 2×2 plan must reproduce
+// the blocking RunPlan computation per-float, and its sourcing stats
+// must show the shared-trace economics (one generation per workload).
+func TestPlanEndpointMatchesBlockingRunPlan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end grid fit is slow")
+	}
+	ts, _ := newTestServer(t, experiments.Options{})
+	code, body := postJSON(t, ts.URL+"/v1/plan",
+		`{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [48, 96]}, {"param": "mshrs", "values": [4, 8]}], "suite": "cpu2000"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp PlanResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Base != "core2" || resp.Suite != "cpu2000" || len(resp.Cells) != 4 {
+		t.Fatalf("plan response shape: %+v", resp)
+	}
+	// The response's sourcing covers the 4 grid cells (the base fit is
+	// a separate, cached provider fit): 4×48 simulations served by one
+	// materialized buffer per workload.
+	if resp.Sims.Simulated != 4*48 || resp.Sims.TraceGens != 48 {
+		t.Errorf("sourcing %+v, want 192 simulated from 48 trace generations", resp.Sims)
+	}
+
+	// Blocking reference: RunPlan with the daemon's options.
+	m, err := uarch.ByName("core2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := experiments.NewPlan(m, []experiments.PlanAxis{
+		{Param: "rob", Values: []int{48, 96}},
+		{Param: "mshrs", Values: []int{4, 8}},
+	}, "cpu2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := experiments.RunPlan(plan, experiments.Options{NumOps: testOps, FitStarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cell := range resp.Cells {
+		pt := ref.Points[i]
+		if cell.Machine != pt.Machine {
+			t.Fatalf("cell %d machine %q vs blocking %q", i, cell.Machine, pt.Machine)
+		}
+		if math.Float64bits(cell.SimCPI) != math.Float64bits(pt.SimCPI) ||
+			math.Float64bits(cell.ModelCPI) != math.Float64bits(pt.ModelCPI) {
+			t.Errorf("cell %d CPIs diverge from the blocking run", i)
+		}
+	}
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Requests.Plan != 1 {
+		t.Errorf("plan request count = %d, want 1", st.Requests.Plan)
+	}
+	// The daemon-wide gauge additionally counts the base fit's 48
+	// generations (one suite simulated on one machine, nothing shared).
+	if st.Sims.TraceGens != resp.Sims.TraceGens+48 {
+		t.Errorf("stats traceGens %d, want %d (cells) + 48 (base fit)",
+			st.Sims.TraceGens, resp.Sims.TraceGens)
+	}
+}

@@ -125,9 +125,11 @@ type robMeta struct {
 }
 
 // Run executes the workload stream g to completion and returns counters
-// and ground-truth accounting. The generator is reset first, so the same
-// Generator can be run on several machines.
-func (s *Simulator) Run(g *trace.Generator) (*Result, error) {
+// and ground-truth accounting. The source is reset first, so the same
+// Generator or Buffer cursor can be run on several machines. A
+// materialized trace.Buffer replay produces the exact stream its
+// Generator would, so Results are bit-identical across source kinds.
+func (s *Simulator) Run(g trace.Source) (*Result, error) {
 	g.Reset()
 	s.hier.Reset()
 	// A fresh predictor per run: runs must be independent.

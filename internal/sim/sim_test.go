@@ -524,3 +524,33 @@ func TestBadPredictorConfigFailsAtRun(t *testing.T) {
 		t.Error("Run should reject an unknown predictor kind")
 	}
 }
+
+// Buffer-fed runs must produce per-float-identical Results to
+// generator-fed runs on every stock machine: the run store and the grid
+// plan engine treat the two source kinds as interchangeable.
+func TestBufferReplayResultsBitIdentical(t *testing.T) {
+	spec := baseSpec("replay", 23)
+	buf := trace.Materialize(spec)
+	for _, m := range uarch.StockMachines() {
+		want := mustRun(t, m, spec) // generator-fed
+		s, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Run(buf.Replay())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: buffer-fed result differs from generator-fed", m.Name)
+		}
+		// And replaying the same shared buffer again must be stable.
+		again, err := s.Run(buf.Replay())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(again, want) {
+			t.Errorf("%s: second replay drifted", m.Name)
+		}
+	}
+}

@@ -212,6 +212,84 @@ const (
 	lineBytes  = 64          // data line granularity for locality
 )
 
+// Source is a replayable µop stream: the simulator's input contract.
+// A Source always replays the exact same stream after Reset, so one
+// workload can be run on many machine configurations and every machine
+// observes the same program. Implementations are not safe for
+// concurrent use; Buffer.Replay hands out independent cursors over one
+// shared materialization.
+type Source interface {
+	// Spec returns the workload description the stream was generated
+	// from.
+	Spec() Spec
+	// NumOps returns the stream length.
+	NumOps() int
+	// Reset restarts the stream from the beginning.
+	Reset()
+	// Next fills op with the next µop and returns true, or returns
+	// false when the stream is exhausted.
+	Next(op *MicroOp) bool
+}
+
+// Buffer is a materialized µop stream: the whole sequence a Generator
+// would emit, expanded once into memory and replayed from there. A
+// Buffer replay is bit-identical to the generating stream (it is that
+// stream, recorded), so simulation Results are unchanged — but replay
+// skips the RNG and block-walk work entirely, which is what makes a
+// grid of machines over one workload cheaper than regenerating the
+// trace per machine.
+//
+// The ops backing store is shared and immutable; a Buffer itself is a
+// cursor (not safe for concurrent use), and Replay returns additional
+// independent cursors over the same backing store for concurrent
+// machines.
+type Buffer struct {
+	spec Spec
+	ops  []MicroOp
+	pos  int
+}
+
+// Materialize expands the spec's entire stream through a fresh
+// Generator. It panics if the spec is invalid, exactly as New does;
+// call Validate first for graceful handling.
+func Materialize(spec Spec) *Buffer {
+	g := New(spec)
+	b := &Buffer{spec: spec, ops: make([]MicroOp, 0, spec.NumOps)}
+	var op MicroOp
+	for g.Next(&op) {
+		b.ops = append(b.ops, op)
+	}
+	return b
+}
+
+// Spec returns the workload specification.
+func (b *Buffer) Spec() Spec { return b.spec }
+
+// NumOps returns the stream length.
+func (b *Buffer) NumOps() int { return len(b.ops) }
+
+// Reset restarts this cursor from the beginning.
+func (b *Buffer) Reset() { b.pos = 0 }
+
+// Next fills op with the next µop and returns true, or returns false
+// when the stream is exhausted.
+func (b *Buffer) Next(op *MicroOp) bool {
+	if b.pos >= len(b.ops) {
+		return false
+	}
+	*op = b.ops[b.pos]
+	b.pos++
+	return true
+}
+
+// Replay returns a fresh cursor over the same materialized stream,
+// positioned at the start. Cursors share the immutable backing store,
+// so concurrent simulations of one workload on different machines cost
+// one materialization total.
+func (b *Buffer) Replay() *Buffer {
+	return &Buffer{spec: b.spec, ops: b.ops}
+}
+
 // block is a static basic block of the synthetic program.
 type block struct {
 	startPC   uint64
@@ -240,6 +318,12 @@ type Generator struct {
 	hotLines  int
 	hotFrac   float64
 }
+
+// Both stream kinds satisfy the simulator's input contract.
+var (
+	_ Source = (*Generator)(nil)
+	_ Source = (*Buffer)(nil)
+)
 
 // New constructs a generator for the spec. It panics if the spec is
 // invalid; call Validate first for graceful handling.

@@ -372,3 +372,61 @@ func TestSpecConfigHashStableAndSensitive(t *testing.T) {
 		t.Error("changing a knob must change the hash")
 	}
 }
+
+// A materialized Buffer must replay the exact µop sequence its
+// Generator emits — the invariant the whole shared-trace grid path
+// rests on — and Replay cursors must be independent of each other.
+func TestBufferReplaysGeneratorStreamExactly(t *testing.T) {
+	spec := Spec{
+		Name: "buffered", Seed: 11, NumOps: 20000,
+		LoadFrac: 0.25, StoreFrac: 0.1, FPFrac: 0.05,
+		BranchHardFrac: 0.2,
+		CodeFootprint:  64 << 10, CodeLocality: 0.7,
+		DataFootprint: 2 << 20, DataLocality: 0.5,
+		PointerChaseFrac: 0.05, DepDistMean: 8,
+		LongChainFrac: 0.1, FusibleFrac: 0.3,
+	}
+	g := New(spec)
+	buf := Materialize(spec)
+	if buf.NumOps() != spec.NumOps {
+		t.Fatalf("buffer holds %d ops, want %d", buf.NumOps(), spec.NumOps)
+	}
+	if buf.Spec() != spec {
+		t.Error("buffer spec round-trip failed")
+	}
+	var want, got MicroOp
+	for i := 0; g.Next(&want); i++ {
+		if !buf.Next(&got) {
+			t.Fatalf("buffer exhausted at op %d", i)
+		}
+		if got != want {
+			t.Fatalf("op %d differs: buffer %+v vs generator %+v", i, got, want)
+		}
+	}
+	if buf.Next(&got) {
+		t.Error("buffer longer than the generating stream")
+	}
+
+	// Reset restarts the cursor; Replay cursors advance independently.
+	buf.Reset()
+	a, b := buf.Replay(), buf.Replay()
+	var oa, ob MicroOp
+	if !a.Next(&oa) || !a.Next(&oa) {
+		t.Fatal("replay cursor exhausted early")
+	}
+	if !b.Next(&ob) || ob.Seq != 0 {
+		t.Errorf("second cursor should start at seq 0, got %d", ob.Seq)
+	}
+	if !buf.Next(&oa) || oa.Seq != 0 {
+		t.Errorf("reset buffer should restart at seq 0, got %d", oa.Seq)
+	}
+}
+
+func TestMaterializePanicsOnInvalidSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Materialize of an invalid spec should panic, as New does")
+		}
+	}()
+	Materialize(Spec{Name: "bad"})
+}
