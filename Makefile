@@ -123,6 +123,25 @@ plan-smoke:
 		-suite cpu2000 -ops $(SMOKE_OPS) -starts 2 -store $(RUNSTORE) 2>&1 >/dev/null \
 		| grep "0 simulated (100.0% hit rate), 0 traces generated"
 
+# optimize-smoke is the design-space-search counterpart of plan-smoke:
+# a cold coordinate-descent search over the committed example spec, then
+# a warm -json rerun that must be pure store hits with zero trace
+# regenerations — asserted on both the store-stats line and the wire
+# report ("simulated": 0, "traceGens": 0), the same fields POST
+# /v1/optimize answers.
+optimize-smoke:
+	@mkdir -p $(CURDIR)/.bin
+	@echo "Running a cold design-space optimize (ops=$(SMOKE_OPS)) against the run store..."
+	@go run ./cmd/sweep -optimize examples/optimize/core2-min-cpi.json \
+		-ops $(SMOKE_OPS) -starts 2 -store $(RUNSTORE) > /dev/null
+	@echo "Re-running warm: must be pure store hits and zero trace regenerations..."
+	@go run ./cmd/sweep -optimize examples/optimize/core2-min-cpi.json -json \
+		-ops $(SMOKE_OPS) -starts 2 -store $(RUNSTORE) \
+		2>&1 >$(CURDIR)/.bin/optimize-smoke.json \
+		| grep "0 simulated (100.0% hit rate), 0 traces generated"
+	@grep -q '"simulated": 0' $(CURDIR)/.bin/optimize-smoke.json
+	@grep -q '"traceGens": 0' $(CURDIR)/.bin/optimize-smoke.json
+
 fuzz-smoke:
 	@echo "Fuzzing campaign parsing for 20s..."
 	@go test ./internal/experiments -run '^$$' -fuzz '^FuzzParseCampaign$$' -fuzztime 20s
@@ -189,4 +208,4 @@ clean-store:
 	@echo "Removing the run store at $(RUNSTORE)..."
 	@rm -rf $(RUNSTORE)
 
-.PHONY: all build test test-short race lint staticcheck bench-smoke bench-full bench-baseline bench-baseline-update sim-smoke sweep-smoke plan-smoke fuzz-smoke serve-smoke jobs-smoke clean-store
+.PHONY: all build test test-short race lint staticcheck bench-smoke bench-full bench-baseline bench-baseline-update sim-smoke sweep-smoke plan-smoke optimize-smoke fuzz-smoke serve-smoke jobs-smoke clean-store

@@ -8,15 +8,23 @@
 // warm-started from the same run store the batch CLIs use, so a warm
 // store means the daemon never dispatches a simulation.
 //
-// Beyond the blocking predict/sweep/plan calls (POST /v1/plan crosses
-// several exploration axes — discoverable via GET /v1/params — into a
-// grid of derived machines, fitted once and extrapolated per cell, with
-// each workload's µop trace materialized once and replayed across the
-// whole grid), the daemon runs an async job engine: POST /v1/jobs
-// executes whole campaigns, sweeps and plans in the background through
-// the same entry points as cmd/experiments and cmd/sweep (so batch and
-// daemon answers stay bit-identical), with per-job progress counters —
-// per-run and, for plans, per-cell — cancellation via DELETE, and
+// The API is versioned under /v1 and self-describing: GET /v1 returns
+// the endpoint index, simulator version and capability flags, and every
+// error is a structured envelope ({"error": {"code": ..., "message":
+// ...}}) with a stable machine-readable code. Beyond the blocking calls
+// — POST /v1/predict (single machine or a batch), POST /v1/sweep, POST
+// /v1/plan (several exploration axes, discoverable via GET /v1/params,
+// crossed into a grid of derived machines, fitted once and extrapolated
+// per cell, with each workload's µop trace materialized once and
+// replayed across the whole grid), and POST /v1/optimize (a design-space
+// search that probes only the grid cells coordinate descent or
+// successive halving needs, minimizing CPI or a cost proxy under a CPI
+// budget, or mapping a Pareto frontier) — the daemon runs an async job
+// engine: POST /v1/jobs executes whole campaigns, sweeps, plans and
+// optimizations in the background through the same entry points as
+// cmd/experiments and cmd/sweep (so batch and daemon answers stay
+// bit-identical), with per-job progress counters — per-run and, where
+// it applies, per-cell or per-probe — cancellation via DELETE, and
 // terminal states persisted as JSON artifacts next to the run store.
 //
 // Usage:

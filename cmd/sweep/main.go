@@ -14,12 +14,22 @@
 // from a strict-JSON plan file ({"base": ..., "axes": [...], "suite":
 // ...}), the format POST /v1/plan accepts over the wire.
 //
+// -optimize searches a grid instead of enumerating it: it loads a
+// strict-JSON optimize spec ({"base": ..., "axes": [...], "suite": ...,
+// "objective": ..., "search": ...} — the POST /v1/optimize format),
+// fits the model once at the base point and lets coordinate descent or
+// successive halving probe only the cells the search needs, printing
+// the best point (or Pareto frontier) with per-component CPI stacks and
+// the probe count. -json emits the wire-format report instead of the
+// table.
+//
 // Usage:
 //
 //	sweep -base core2 -param rob -values 32,64,128,256
 //	      [-suite cpu2006] [-ops N] [-starts N] [-store DIR]
 //	sweep -base core2 -param rob -values 64,128 -param memlat -values 150,300
 //	sweep -plan grid.json [-ops N] [-starts N] [-store DIR]
+//	sweep -optimize spec.json [-json] [-ops N] [-starts N] [-store DIR]
 //
 // Everything is deterministic; with -store DIR a repeated run
 // dispatches zero simulations (100% run-store hits) and regenerates
@@ -27,6 +37,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -57,13 +68,15 @@ func main() {
 	flag.Var(&params, "param", "parameter to explore, repeatable for a grid: "+strings.Join(paramDocs, ", "))
 	flag.Var(&valueLists, "values", "comma-separated values for the matching -param (repeat once per axis), e.g. 32,64,128,256")
 	planFile := flag.String("plan", "", "plan file (strict JSON {base, axes, suite}); replaces -base/-param/-values/-suite")
+	optimizeFile := flag.String("optimize", "", "optimize spec file (strict JSON {base, axes, suite, objective[, search]}); replaces -base/-param/-values/-suite")
+	jsonOut := flag.Bool("json", false, "with -optimize, print the wire-format JSON report instead of the table")
 	suite := flag.String("suite", "cpu2006", "suite to simulate and fit on")
 	ops := flag.Int("ops", 300000, "µops per workload")
 	starts := flag.Int("starts", 12, "regression multi-start count")
 	storeDir := flag.String("store", "", "run-store directory for cached simulation results (empty = no cache)")
 	flag.Parse()
 
-	if err := realMain(os.Stdout, *base, params, valueLists, *suite, *ops, *starts, *storeDir, *planFile); err != nil {
+	if err := realMain(os.Stdout, *base, params, valueLists, *suite, *ops, *starts, *storeDir, *planFile, *optimizeFile, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
@@ -105,7 +118,7 @@ func parseAxes(params, valueLists []string) ([]experiments.PlanAxis, error) {
 	return axes, nil
 }
 
-func realMain(out io.Writer, baseName string, params, valueLists []string, suiteName string, ops, starts int, storeDir, planFile string) error {
+func realMain(out io.Writer, baseName string, params, valueLists []string, suiteName string, ops, starts int, storeDir, planFile, optimizeFile string, jsonOut bool) error {
 	opts := experiments.Options{NumOps: ops, FitStarts: starts}
 	if storeDir != "" {
 		store, err := runstore.Open(storeDir)
@@ -113,6 +126,25 @@ func realMain(out io.Writer, baseName string, params, valueLists []string, suite
 			return err
 		}
 		opts.Store = store
+	}
+
+	// An optimize spec carries its own base, axes, suite and objective.
+	if optimizeFile != "" {
+		if planFile != "" || len(params) > 0 || len(valueLists) > 0 {
+			return fmt.Errorf("-optimize replaces -plan/-param/-values; give one or the other")
+		}
+		spec, err := experiments.LoadOptimizeSpec(optimizeFile)
+		if err != nil {
+			return err
+		}
+		o, err := spec.Resolve()
+		if err != nil {
+			return err
+		}
+		return runOptimize(out, o, opts, jsonOut)
+	}
+	if jsonOut {
+		return fmt.Errorf("-json is only meaningful with -optimize")
 	}
 
 	// A plan file carries its own base, axes and suite; otherwise the
@@ -177,6 +209,47 @@ func realMain(out io.Writer, baseName string, params, valueLists []string, suite
 		return err
 	}
 	return runGrid(out, plan, opts)
+}
+
+// runOptimize executes a validated design-space search and prints the
+// rendered result (or, with -json, the same wire-format report POST
+// /v1/optimize answers — machine-greppable for smoke tests).
+func runOptimize(out io.Writer, o *experiments.Optimize, opts experiments.Options, jsonOut bool) error {
+	var axisNames []string
+	for _, ax := range o.Plan.Axes {
+		axisNames = append(axisNames, ax.Param)
+	}
+	fmt.Fprintf(os.Stderr, "optimizing %s over %s on %s: %s via %s, %d cells (%d µops/workload)...\n",
+		o.Plan.Base.Name, strings.Join(axisNames, "×"), o.Plan.Suite,
+		o.Objective.Kind, o.Search.Algorithm, len(o.Plan.Cells), opts.NumOps)
+	t0 := time.Now()
+	res, err := experiments.RunOptimize(o, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "optimize done in %v: %d of %d cells probed\n",
+		time.Since(t0).Round(time.Millisecond), res.Probes, res.GridCells)
+	st := res.Stats
+	if opts.Store != nil {
+		fmt.Fprintf(os.Stderr, "run store %s: %d hits, %d simulated (%.1f%% hit rate), %d traces generated\n",
+			opts.Store.Dir(), st.Hits, st.Simulated,
+			100*float64(st.Hits)/float64(st.Hits+st.Simulated), st.TraceGens)
+	} else {
+		fmt.Fprintf(os.Stderr, "%d simulated, %d traces generated\n", st.Simulated, st.TraceGens)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	if jsonOut {
+		data, err := json.MarshalIndent(res.Report(), "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		_, err = out.Write(data)
+		return err
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
 }
 
 // runGrid executes a validated multi-axis plan and prints the grid

@@ -20,12 +20,15 @@ import (
 
 // Job kinds: a declarative campaign (machines × suites, the
 // cmd/experiments grid), a one-axis sensitivity sweep (the cmd/sweep
-// experiment), or a multi-axis exploration plan (the crossed grid of
-// derived machines behind POST /v1/plan and cmd/sweep's grid mode).
+// experiment), a multi-axis exploration plan (the crossed grid of
+// derived machines behind POST /v1/plan and cmd/sweep's grid mode), or
+// a design-space optimization (the searched grid behind POST
+// /v1/optimize and cmd/sweep's -optimize mode).
 const (
 	JobKindCampaign = "campaign"
 	JobKindSweep    = "sweep"
 	JobKindPlan     = "plan"
+	JobKindOptimize = "optimize"
 )
 
 // JobState is a job's lifecycle position. Jobs move
@@ -66,25 +69,34 @@ type SweepSpec struct {
 // and unset fields inherit the engine's. Sweep and plan jobs always use
 // the engine's options, as cmd/sweep's flags do.
 type JobSpec struct {
-	Kind     string     `json:"kind"`
-	Campaign *Campaign  `json:"campaign,omitempty"`
-	Sweep    *SweepSpec `json:"sweep,omitempty"`
-	Plan     *PlanSpec  `json:"plan,omitempty"`
+	Kind     string        `json:"kind"`
+	Campaign *Campaign     `json:"campaign,omitempty"`
+	Sweep    *SweepSpec    `json:"sweep,omitempty"`
+	Plan     *PlanSpec     `json:"plan,omitempty"`
+	Optimize *OptimizeSpec `json:"optimize,omitempty"`
 }
 
 // JobProgress counts a job's simulation runs. Counters only ever
-// increase; DoneRuns == StoreHits + Simulated, and a finished job that
-// ran to completion has DoneRuns == TotalRuns. Plan jobs additionally
-// report grid-cell completion: a cell is done once every workload of
-// its derived machine has a run (the base fit point counts as a cell
-// too). Both cell counters stay zero for campaign and sweep jobs.
+// increase; DoneRuns == StoreHits + Simulated, and a finished
+// campaign/sweep/plan job that ran to completion has
+// DoneRuns == TotalRuns. For an optimize job TotalRuns is the search's
+// upper bound (exhaustive enumeration plus any reduced-fidelity
+// screens): finishing with DoneRuns well below it is the searched-grid
+// saving, and the probe counters — full-fidelity cells evaluated, out
+// of the search's probe bound — are the meaningful completion gauge.
+// Plan jobs additionally report grid-cell completion: a cell is done
+// once every workload of its derived machine has a run (the base fit
+// point counts as a cell too). Cell and probe counters stay zero for
+// the kinds they don't apply to.
 type JobProgress struct {
-	TotalRuns  int `json:"totalRuns"`
-	DoneRuns   int `json:"doneRuns"`
-	StoreHits  int `json:"storeHits"`
-	Simulated  int `json:"simulated"`
-	TotalCells int `json:"totalCells,omitempty"`
-	DoneCells  int `json:"doneCells,omitempty"`
+	TotalRuns   int `json:"totalRuns"`
+	DoneRuns    int `json:"doneRuns"`
+	StoreHits   int `json:"storeHits"`
+	Simulated   int `json:"simulated"`
+	TotalCells  int `json:"totalCells,omitempty"`
+	DoneCells   int `json:"doneCells,omitempty"`
+	TotalProbes int `json:"totalProbes,omitempty"`
+	DoneProbes  int `json:"doneProbes,omitempty"`
 }
 
 // JobStatus is an immutable snapshot of one job: what the GET /v1/jobs
@@ -284,7 +296,8 @@ type Jobs struct {
 type job struct {
 	id        string
 	spec      JobSpec
-	plan      *Plan // resolved grid for plan jobs; nil otherwise
+	plan      *Plan     // resolved grid for plan jobs; nil otherwise
+	optimize  *Optimize // resolved search for optimize jobs; nil otherwise
 	submitted time.Time
 	ctx       context.Context
 	cancel    context.CancelFunc
@@ -331,47 +344,59 @@ func newJobID() string {
 }
 
 // validate checks a spec without running anything and returns the total
-// run count its execution will dispatch or serve from the store. For a
-// plan job it also returns the resolved grid, so Submit can record cell
-// totals and the worker never re-derives the machines.
-func (j *Jobs) validate(spec JobSpec) (int, *Plan, error) {
+// run count its execution will dispatch or serve from the store (for an
+// optimize job: the search's upper bound). For a plan job it also
+// returns the resolved grid, and for an optimize job the resolved
+// search, so Submit can record totals and the worker never re-derives
+// the machines.
+func (j *Jobs) validate(spec JobSpec) (int, *Plan, *Optimize, error) {
 	if err := spec.payloadMatchesKind(); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	switch spec.Kind {
 	case JobKindCampaign:
 		lab, err := campaignJobLab(*spec.Campaign, j.opts)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
-		return len(lab.Machines()) * lab.NumWorkloads(), nil, nil
+		return len(lab.Machines()) * lab.NumWorkloads(), nil, nil, nil
 	case JobKindSweep:
 		sw := spec.Sweep
 		base, err := sw.Base.Resolve()
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
 		if _, err := NewPlan(base, []PlanAxis{{Param: sw.Param, Values: sw.Values}}, sw.Suite); err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
 		suite, err := suites.ByName(sw.Suite, suites.Options{NumOps: j.opts.NumOps})
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
-		return (1 + len(sw.Values)) * len(suite.Workloads), nil, nil
+		return (1 + len(sw.Values)) * len(suite.Workloads), nil, nil, nil
 	case JobKindPlan:
 		plan, err := spec.Plan.Resolve()
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
 		suite, err := suites.ByName(plan.Suite, suites.Options{NumOps: j.opts.NumOps})
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
-		return len(plan.Machines) * len(suite.Workloads), plan, nil
+		return len(plan.Machines) * len(suite.Workloads), plan, nil, nil
+	case JobKindOptimize:
+		o, err := spec.Optimize.Resolve()
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		suite, err := suites.ByName(o.Plan.Suite, suites.Options{NumOps: j.opts.NumOps})
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		return o.runBound(len(suite.Workloads)), nil, o, nil
 	default:
-		return 0, nil, fmt.Errorf("experiments: unknown job kind %q (want %q, %q or %q)",
-			spec.Kind, JobKindCampaign, JobKindSweep, JobKindPlan)
+		return 0, nil, nil, fmt.Errorf("experiments: unknown job kind %q (want %q, %q, %q or %q)",
+			spec.Kind, JobKindCampaign, JobKindSweep, JobKindPlan, JobKindOptimize)
 	}
 }
 
@@ -380,7 +405,8 @@ func (j *Jobs) validate(spec JobSpec) (int, *Plan, error) {
 // a mis-tagged submission fails loudly instead of silently running the
 // wrong experiment.
 func (spec JobSpec) payloadMatchesKind() error {
-	if spec.Kind != JobKindCampaign && spec.Kind != JobKindSweep && spec.Kind != JobKindPlan {
+	if spec.Kind != JobKindCampaign && spec.Kind != JobKindSweep &&
+		spec.Kind != JobKindPlan && spec.Kind != JobKindOptimize {
 		return nil // validate's default case names the valid kinds
 	}
 	payloads := []struct {
@@ -390,6 +416,7 @@ func (spec JobSpec) payloadMatchesKind() error {
 		{JobKindCampaign, spec.Campaign != nil},
 		{JobKindSweep, spec.Sweep != nil},
 		{JobKindPlan, spec.Plan != nil},
+		{JobKindOptimize, spec.Optimize != nil},
 	}
 	for _, p := range payloads {
 		if p.kind == spec.Kind && !p.set {
@@ -425,7 +452,7 @@ func campaignJobLab(c Campaign, opts Options) (*Lab, error) {
 // It fails fast — without enqueuing — on an invalid spec, a full queue,
 // or an engine that is draining.
 func (j *Jobs) Submit(spec JobSpec) (JobStatus, error) {
-	total, plan, err := j.validate(spec)
+	total, plan, optimize, err := j.validate(spec)
 	if err != nil {
 		return JobStatus{}, err
 	}
@@ -434,11 +461,15 @@ func (j *Jobs) Submit(spec JobSpec) (JobStatus, error) {
 		id:        newJobID(),
 		spec:      spec,
 		plan:      plan,
+		optimize:  optimize,
 		submitted: time.Now().UTC(),
 		ctx:       ctx,
 		cancel:    cancel,
 		state:     JobQueued,
 		progress:  JobProgress{TotalRuns: total},
+	}
+	if optimize != nil {
+		jb.progress.TotalProbes = optimize.ProbeBound()
 	}
 	if plan != nil {
 		// Cell totals are known at submission: the 202 snapshot already
@@ -643,6 +674,8 @@ func (j *Jobs) execute(jb *job) (any, error) {
 		return runSweepJob(jb.ctx, *jb.spec.Sweep, opts)
 	case JobKindPlan:
 		return j.runPlanJob(jb, opts)
+	case JobKindOptimize:
+		return j.runOptimizeJob(jb, opts)
 	default:
 		return nil, fmt.Errorf("experiments: unknown job kind %q", jb.spec.Kind) // unreachable past Submit
 	}
@@ -767,6 +800,24 @@ func (j *Jobs) runPlanJob(jb *job, opts Options) (*PlanJobResult, error) {
 		})
 	}
 	return out, nil
+}
+
+// runOptimizeJob executes a design-space search exactly as cmd/sweep's
+// -optimize mode does (RunOptimizeContext, over the search Submit
+// already resolved) and returns its wire report. The run counters flow
+// through the shared progress hook; the probe counter is fed by the
+// optimizer's own hook, firing after each full-fidelity probe batch.
+func (j *Jobs) runOptimizeJob(jb *job, opts Options) (*OptimizeReport, error) {
+	onProbe := func(done int) {
+		j.mu.Lock()
+		jb.progress.DoneProbes = done
+		j.mu.Unlock()
+	}
+	res, err := RunOptimizeContext(jb.ctx, jb.optimize, opts, onProbe)
+	if err != nil {
+		return nil, err
+	}
+	return res.Report(), nil
 }
 
 // finishLocked moves jb to a terminal state and persists its artifact

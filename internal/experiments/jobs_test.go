@@ -591,3 +591,186 @@ func TestJobsPlanCancelMidFlight(t *testing.T) {
 			res.Stats.Hits, final.Progress.Simulated)
 	}
 }
+
+// TestJobsOptimizeRunsWithProbeProgress executes an optimize job to
+// done: the submission snapshot reports the search's run upper bound
+// and probe bound, the probe counter tracks full-fidelity evaluations,
+// and the finished job proves the searched-grid saving by completing
+// below its own TotalRuns bound, bit-identical to the blocking
+// RunOptimize on the same store.
+func TestJobsOptimizeRunsWithProbeProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end fit is slow")
+	}
+	sn := tinySuite(t)
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := NewJobs(Options{NumOps: 2000, FitStarts: 2, Store: store}, JobsConfig{})
+	drainJobs(t, jobs)
+	optSpec := &OptimizeSpec{
+		Base: MachineSpec{Name: "core2"},
+		Axes: []PlanAxis{
+			{Param: "width", Values: []int{2, 4, 8}},
+			{Param: "memlat", Values: []int{150, 300}},
+		},
+		Suite:     sn,
+		Objective: ObjectiveSpec{Kind: ObjectiveMinCPI},
+		Search:    SearchSpec{TrustRadius: 99},
+	}
+	st, err := jobs.Submit(JobSpec{Kind: JobKindOptimize, Optimize: optSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Progress.TotalRuns != (1+6)*12 {
+		t.Errorf("TotalRuns = %d, want the 84-run exhaustive bound", st.Progress.TotalRuns)
+	}
+	if st.Progress.TotalProbes != 6 || st.Progress.DoneProbes != 0 {
+		t.Errorf("submitted probe progress %+v, want 6 total / 0 done", st.Progress)
+	}
+	final := waitJob(t, jobs, st.ID, 60*time.Second)
+	if final.State != JobDone {
+		t.Fatalf("optimize job finished %s (error %q)", final.State, final.Error)
+	}
+	var rep OptimizeReport
+	if err := json.Unmarshal(final.Result, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Probes >= rep.GridCells {
+		t.Errorf("job probed %d of %d cells; search saved nothing", rep.Probes, rep.GridCells)
+	}
+	if final.Progress.DoneProbes != rep.Probes {
+		t.Errorf("probe counter %d, result reports %d", final.Progress.DoneProbes, rep.Probes)
+	}
+	// The run saving is the point: the finished job never touched the
+	// cells the search skipped.
+	if want := (1 + rep.Probes) * 12; final.Progress.DoneRuns != want {
+		t.Errorf("DoneRuns = %d, want %d (base + %d probed cells × 12 workloads)",
+			final.Progress.DoneRuns, want, rep.Probes)
+	}
+	if final.Progress.DoneRuns >= final.Progress.TotalRuns {
+		t.Errorf("optimize job used its whole %d-run bound", final.Progress.TotalRuns)
+	}
+	if rep.Best == nil || rep.Best.SimCPI <= 0 || len(rep.Best.ModelStack) != 9 {
+		t.Fatalf("degenerate best point: %+v", rep.Best)
+	}
+
+	// Bit-identical to the blocking path on the now-warm store.
+	o, err := optSpec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocking, err := RunOptimize(o, Options{NumOps: 2000, FitStarts: 2, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocking.Stats.Simulated != 0 {
+		t.Errorf("blocking rerun simulated %d runs; job left the store cold", blocking.Stats.Simulated)
+	}
+	if blocking.Best.Machine != rep.Best.Machine || blocking.Best.ModelCPI != rep.Best.ModelCPI {
+		t.Errorf("job best %+v vs blocking %+v", rep.Best, blocking.Best)
+	}
+
+	// Mis-tagged and invalid optimize submissions fail at Submit.
+	if _, err := jobs.Submit(JobSpec{Kind: JobKindOptimize}); err == nil ||
+		!strings.Contains(err.Error(), "without a optimize payload") {
+		t.Errorf("payload-free optimize job = %v", err)
+	}
+	if _, err := jobs.Submit(JobSpec{Kind: JobKindOptimize, Optimize: optSpec,
+		Plan: &PlanSpec{}}); err == nil || !strings.Contains(err.Error(), "with a plan payload") {
+		t.Errorf("optimize job with plan payload = %v", err)
+	}
+	bad := *optSpec
+	bad.Objective = ObjectiveSpec{Kind: "min-watts"}
+	if _, err := jobs.Submit(JobSpec{Kind: JobKindOptimize, Optimize: &bad}); err == nil ||
+		!strings.Contains(err.Error(), "unknown objective kind") {
+		t.Errorf("bad objective at submission = %v", err)
+	}
+}
+
+// TestJobsOptimizeCancelMidFlight is the optimize flavour of the
+// cancellation contract under the race detector: cancelling a
+// mid-flight search stops the dispatch of new simulations and leaves
+// the run store warm-consistent — a follow-up blocking optimize hits
+// everything the cancelled job persisted and finishes the search.
+func TestJobsOptimizeCancelMidFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end search is slow")
+	}
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One simulation worker and a real µop count keep the search in
+	// flight long enough to cancel deterministically mid-run.
+	opts := Options{NumOps: 50000, FitStarts: 2, Workers: 1, Store: store}
+	jobs := NewJobs(opts, JobsConfig{})
+	drainJobs(t, jobs)
+
+	optSpec := &OptimizeSpec{
+		Base: MachineSpec{Name: "core2"},
+		Axes: []PlanAxis{
+			{Param: "width", Values: []int{2, 4}},
+			{Param: "memlat", Values: []int{150, 300}},
+		},
+		Suite:     "cpu2000",
+		Objective: ObjectiveSpec{Kind: ObjectiveMinCPI},
+		Search:    SearchSpec{TrustRadius: 99},
+	}
+	st, err := jobs.Submit(JobSpec{Kind: JobKindOptimize, Optimize: optSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Progress.TotalRuns != 5*48 || st.Progress.TotalProbes != 4 {
+		t.Fatalf("submission bounds %+v, want 240 runs / 4 probes", st.Progress)
+	}
+
+	// Wait until the job is demonstrably mid-flight, then cancel.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur, ok := jobs.Get(st.ID)
+		if !ok {
+			t.Fatal("job disappeared")
+		}
+		if cur.State == JobRunning && cur.Progress.DoneRuns >= 2 {
+			break
+		}
+		if cur.State.Terminal() {
+			t.Fatalf("job finished %s before it could be cancelled; raise NumOps", cur.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never got mid-flight")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, ok := jobs.Cancel(st.ID); !ok {
+		t.Fatal("Cancel reported unknown job")
+	}
+	final := waitJob(t, jobs, st.ID, 30*time.Second)
+	if final.State != JobCancelled {
+		t.Fatalf("state after cancel = %s, want cancelled", final.State)
+	}
+	if final.Progress.DoneRuns >= final.Progress.TotalRuns {
+		t.Errorf("cancelled job hit its whole %d-run bound", final.Progress.TotalRuns)
+	}
+
+	// The store stayed warm-consistent: the search is deterministic, so
+	// the follow-up requests the same runs in the same order and hits
+	// every one the cancelled job persisted.
+	o, err := optSpec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunOptimize(o, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("follow-up search found no best point")
+	}
+	if res.Stats.Hits < final.Progress.Simulated {
+		t.Errorf("follow-up hit %d runs, want at least the %d the cancelled job simulated",
+			res.Stats.Hits, final.Progress.Simulated)
+	}
+}

@@ -19,6 +19,12 @@ type SweepParam struct {
 	Doc  string
 	Get  func(*uarch.Machine) int
 	Set  func(int) uarch.Overrides
+	// CostDown marks axes where a *smaller* value is the more expensive
+	// design point (faster memory costs more than slower memory). The
+	// optimizer's cost proxy inverts such axes: cost grows as the value
+	// shrinks. Capacity-like axes (ROB entries, L2 KB, widths) leave it
+	// false — bigger is costlier.
+	CostDown bool
 }
 
 // The param registry is the single source of axis knowledge, shared by
@@ -78,26 +84,27 @@ func SweepParamByName(name string) (SweepParam, error) {
 
 func init() {
 	for _, p := range []SweepParam{
-		{"rob", "reorder-buffer entries",
-			func(m *uarch.Machine) int { return m.ROBSize },
-			func(v int) uarch.Overrides { return uarch.Overrides{ROBSize: v} }},
-		{"mshrs", "outstanding memory misses",
-			func(m *uarch.Machine) int { return m.MSHRs },
-			func(v int) uarch.Overrides { return uarch.Overrides{MSHRs: v} }},
-		{"memlat", "main-memory latency (cycles)",
-			func(m *uarch.Machine) int { return m.MemLat },
-			func(v int) uarch.Overrides { return uarch.Overrides{MemLat: v} }},
-		{"depth", "front-end pipeline depth",
-			func(m *uarch.Machine) int { return m.FrontEndDepth },
-			func(v int) uarch.Overrides { return uarch.Overrides{FrontEndDepth: v} }},
-		{"width", "dispatch/issue/commit width",
-			func(m *uarch.Machine) int { return m.DispatchWidth },
-			func(v int) uarch.Overrides {
+		{Name: "rob", Doc: "reorder-buffer entries",
+			Get: func(m *uarch.Machine) int { return m.ROBSize },
+			Set: func(v int) uarch.Overrides { return uarch.Overrides{ROBSize: v} }},
+		{Name: "mshrs", Doc: "outstanding memory misses",
+			Get: func(m *uarch.Machine) int { return m.MSHRs },
+			Set: func(v int) uarch.Overrides { return uarch.Overrides{MSHRs: v} }},
+		{Name: "memlat", Doc: "main-memory latency (cycles)",
+			Get:      func(m *uarch.Machine) int { return m.MemLat },
+			Set:      func(v int) uarch.Overrides { return uarch.Overrides{MemLat: v} },
+			CostDown: true}, // lower latency = faster, pricier memory
+		{Name: "depth", Doc: "front-end pipeline depth",
+			Get: func(m *uarch.Machine) int { return m.FrontEndDepth },
+			Set: func(v int) uarch.Overrides { return uarch.Overrides{FrontEndDepth: v} }},
+		{Name: "width", Doc: "dispatch/issue/commit width",
+			Get: func(m *uarch.Machine) int { return m.DispatchWidth },
+			Set: func(v int) uarch.Overrides {
 				return uarch.Overrides{DispatchWidth: v, IssueWidth: v, CommitWidth: v}
 			}},
-		{"l2kb", "L2 capacity (KB)",
-			func(m *uarch.Machine) int { return m.L2.SizeBytes >> 10 },
-			func(v int) uarch.Overrides {
+		{Name: "l2kb", Doc: "L2 capacity (KB)",
+			Get: func(m *uarch.Machine) int { return m.L2.SizeBytes >> 10 },
+			Set: func(v int) uarch.Overrides {
 				return uarch.Overrides{L2: uarch.CacheOverrides{SizeBytes: v << 10}}
 			}},
 	} {

@@ -225,6 +225,31 @@ func (p *Provider) Plan(plan *Plan) (*PlanResult, error) {
 	return planResult(lab, plan, f.Model)
 }
 
+// Optimize searches a design-space grid through the provider: the base
+// fit comes from the cached, singleflight-deduplicated Fitted path, and
+// every probe simulates through the same run store. The returned
+// result's Stats cover only this call's probe simulations (the base is
+// served from the model cache). Safe for concurrent callers.
+func (p *Provider) Optimize(o *Optimize) (*OptimizeResult, error) {
+	return p.OptimizeContext(context.Background(), o, nil)
+}
+
+// OptimizeContext is Optimize with cancellation and a probe hook (see
+// RunOptimizeContext). Note the base fit itself joins the singleflight
+// path and is not cancellable; only the probe phase observes ctx.
+func (p *Provider) OptimizeContext(ctx context.Context, o *Optimize, onProbe func(done int)) (*OptimizeResult, error) {
+	f, err := p.Fitted(o.Plan.Base, o.Plan.Suite)
+	if err != nil {
+		return nil, err
+	}
+	res, st, err := runOptimize(ctx, o, f, p.opts, onProbe)
+	p.addSimStats(st)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
 // Sweep runs a one-axis sensitivity sweep through the provider — a
 // single-axis Plan projected into the sweep shape, exactly as RunSweep
 // adapts RunPlan, so daemon and CLI sweeps stay bit-identical.

@@ -51,3 +51,41 @@ func TestPredictGoldenResponse(t *testing.T) {
 		t.Errorf("/v1/predict response drifted from golden (%d vs %d bytes):\n%s", len(body), len(want), body)
 	}
 }
+
+// TestOptimizeGoldenResponse pins the /v1/optimize wire format the same
+// way: a one-axis min-CPI descent over core2's dispatch width on cpu2000
+// (ops=2000, starts=2, seed=1). Regenerate with
+//
+//	go test ./internal/serve -run TestOptimizeGoldenResponse -update-golden
+//
+// only for an intentional wire-format or simulator/model change.
+func TestOptimizeGoldenResponse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end optimize is slow")
+	}
+	ts, _ := newTestServer(t, experiments.Options{})
+	code, body := postJSON(t, ts.URL+"/v1/optimize",
+		`{"base": {"name": "core2"}, "axes": [{"param": "width", "values": [2, 4]}], "suite": "cpu2000", "objective": {"kind": "min-cpi"}}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+
+	path := filepath.Join("testdata", "optimize_core2_cpu2000_ops2000.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("/v1/optimize response drifted from golden (%d vs %d bytes):\n%s", len(body), len(want), body)
+	}
+}

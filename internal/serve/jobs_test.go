@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -246,44 +247,110 @@ func TestJobEndpointValidation(t *testing.T) {
 	ts, _ := newTestServer(t, experiments.Options{})
 	cases := []struct {
 		name, body string
-		wantCode   int
+		wantStatus int
+		wantCode   string
 		wantErr    string
 	}{
-		{"malformed JSON", `{`, http.StatusBadRequest, "parse request"},
-		{"unknown top-level field", `{"kind": "campaign", "typo": 1}`, http.StatusBadRequest, "typo"},
-		{"unknown nested field", `{"kind": "campaign", "campaign": {"machines": [{"name": "core2"}], "suites": ["cpu2000"], "typo": 1}}`, http.StatusBadRequest, "typo"},
-		{"unknown kind", `{"kind": "fleet"}`, http.StatusBadRequest, "unknown job kind"},
-		{"kind/payload mismatch", `{"kind": "sweep", "campaign": {"machines": [{"name": "core2"}], "suites": ["cpu2000"]}}`, http.StatusBadRequest, "without a sweep payload"},
-		{"unknown machine", `{"kind": "campaign", "campaign": {"machines": [{"name": "core9"}], "suites": ["cpu2000"]}}`, http.StatusBadRequest, "unknown machine"},
-		{"bad sweep param", `{"kind": "sweep", "sweep": {"base": {"name": "core2"}, "param": "cores", "values": [2], "suite": "cpu2000"}}`, http.StatusBadRequest, "unknown sweep parameter"},
+		{"malformed JSON", `{`, http.StatusBadRequest, CodeBadRequest, "parse request"},
+		{"unknown top-level field", `{"kind": "campaign", "typo": 1}`, http.StatusBadRequest, CodeBadRequest, "typo"},
+		{"unknown nested field", `{"kind": "campaign", "campaign": {"machines": [{"name": "core2"}], "suites": ["cpu2000"], "typo": 1}}`, http.StatusBadRequest, CodeBadRequest, "typo"},
+		{"unknown kind", `{"kind": "fleet"}`, http.StatusBadRequest, CodeBadRequest, "unknown job kind"},
+		{"kind/payload mismatch", `{"kind": "sweep", "campaign": {"machines": [{"name": "core2"}], "suites": ["cpu2000"]}}`, http.StatusBadRequest, CodeBadRequest, "without a sweep payload"},
+		{"unknown machine", `{"kind": "campaign", "campaign": {"machines": [{"name": "core9"}], "suites": ["cpu2000"]}}`, http.StatusBadRequest, CodeUnknownMachine, "unknown machine"},
+		{"bad sweep param", `{"kind": "sweep", "sweep": {"base": {"name": "core2"}, "param": "cores", "values": [2], "suite": "cpu2000"}}`, http.StatusBadRequest, CodeBadRequest, "unknown sweep parameter"},
+		{"bad optimize objective", `{"kind": "optimize", "optimize": {"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [48, 96]}], "suite": "cpu2000", "objective": {"kind": "max-fun"}}}`, http.StatusBadRequest, CodeBadRequest, "unknown objective kind"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			code, body := postJSON(t, ts.URL+"/v1/jobs", tc.body)
-			if code != tc.wantCode {
-				t.Errorf("status %d, want %d (%s)", code, tc.wantCode, body)
+			if code != tc.wantStatus {
+				t.Errorf("status %d, want %d (%s)", code, tc.wantStatus, body)
 			}
 			var e errorResponse
 			if err := json.Unmarshal(body, &e); err != nil {
 				t.Fatalf("error body is not JSON: %s", body)
 			}
-			if !strings.Contains(e.Error, tc.wantErr) {
-				t.Errorf("error %q should mention %q", e.Error, tc.wantErr)
+			if e.Error.Code != tc.wantCode {
+				t.Errorf("error code %q, want %q", e.Error.Code, tc.wantCode)
+			}
+			if !strings.Contains(e.Error.Message, tc.wantErr) {
+				t.Errorf("error %q should mention %q", e.Error.Message, tc.wantErr)
 			}
 		})
 	}
 
-	// Unknown job ids are 404 on GET and DELETE.
+	// Unknown job ids are 404 on GET and DELETE, with the unknown_job code.
 	resp, err := http.Get(ts.URL + "/v1/jobs/job-doesnotexist")
 	if err != nil {
 		t.Fatal(err)
 	}
+	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("GET unknown job: status %d, want 404", resp.StatusCode)
 	}
-	code, _ := deleteJSON(t, ts.URL+"/v1/jobs/job-doesnotexist")
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("error body is not JSON: %s", body)
+	}
+	if e.Error.Code != CodeUnknownJob {
+		t.Errorf("GET unknown job: code %q, want %q", e.Error.Code, CodeUnknownJob)
+	}
+	code, body := deleteJSON(t, ts.URL+"/v1/jobs/job-doesnotexist")
 	if code != http.StatusNotFound {
 		t.Errorf("DELETE unknown job: status %d, want 404", code)
 	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("error body is not JSON: %s", body)
+	}
+	if e.Error.Code != CodeUnknownJob {
+		t.Errorf("DELETE unknown job: code %q, want %q", e.Error.Code, CodeUnknownJob)
+	}
+}
+
+// TestJobsDisabled: a daemon constructed without a job engine answers
+// every /v1/jobs route 503 with the jobs_disabled code, and GET /v1
+// reports the missing capability.
+func TestJobsDisabled(t *testing.T) {
+	prov := experiments.NewProvider(experiments.Options{NumOps: testOps, FitStarts: 2})
+	ts := httptest.NewServer(New(prov, nil).Handler())
+	defer ts.Close()
+
+	var disc DiscoveryResponse
+	getJSON(t, ts.URL+"/v1", &disc)
+	if disc.Capabilities.Jobs {
+		t.Error("discovery reports jobs capability on a jobless daemon")
+	}
+
+	checkDisabled := func(status int, body []byte) {
+		t.Helper()
+		if status != http.StatusServiceUnavailable {
+			t.Errorf("status %d, want 503 (%s)", status, body)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Fatalf("error body is not JSON: %s", body)
+		}
+		if e.Error.Code != CodeJobsDisabled {
+			t.Errorf("error code %q, want %q", e.Error.Code, CodeJobsDisabled)
+		}
+	}
+
+	code, body := postJSON(t, ts.URL+"/v1/jobs", `{"kind": "campaign"}`)
+	checkDisabled(code, body)
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDisabled(resp.StatusCode, body)
+	code, body = deleteJSON(t, ts.URL+"/v1/jobs/any")
+	checkDisabled(code, body)
 }

@@ -4,19 +4,22 @@
 // wire requests to the experiments.Provider — the concurrent model
 // cache with singleflight fitting — so N identical in-flight predict
 // requests cost one simulate+fit, and a warm run store costs zero
-// simulations. All responses are JSON; errors come back as
-// {"error": "..."} with a 4xx/5xx status.
+// simulations. All responses are JSON; errors come back as a structured
+// envelope, {"error": {"code": "<stable-slug>", "message": "..."}} with
+// a 4xx/5xx status — clients branch on the code, never on message text.
 //
-// Endpoints:
+// Endpoints (GET /v1 serves this index over the wire):
 //
+//	GET    /v1             API discovery: endpoint index, version, capability flags
 //	GET    /healthz        liveness + simulator version
 //	GET    /v1/machines    registered machine names
 //	GET    /v1/suites      registered suites and their workloads
 //	GET    /v1/params      registered exploration axes (valid sweep/plan params)
-//	POST   /v1/predict     CPI + CPI stack for a machine spec × suite[/workload]
+//	POST   /v1/predict     CPI + CPI stack for machine spec(s) × suite[/workload]
 //	POST   /v1/sweep       one-axis what-if sweep over a derived machine
 //	POST   /v1/plan        multi-axis exploration grid, fitted once and extrapolated per cell
-//	POST   /v1/jobs        submit an async campaign, sweep or plan job
+//	POST   /v1/optimize    design-space search (min CPI / min cost / Pareto) over a grid
+//	POST   /v1/jobs        submit an async campaign, sweep, plan or optimize job
 //	GET    /v1/jobs        list jobs (submission order)
 //	GET    /v1/jobs/{id}   one job's state, progress and result
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
@@ -45,33 +48,44 @@ const maxBodyBytes = 1 << 20
 // Server translates HTTP requests into provider and job-engine calls.
 // Construct with New; all methods are safe for concurrent use.
 type Server struct {
-	prov *experiments.Provider
-	jobs *experiments.Jobs
-	mux  *http.ServeMux
+	prov      *experiments.Provider
+	jobs      *experiments.Jobs
+	mux       *http.ServeMux
+	endpoints []EndpointInfo
 
 	inflight atomic.Int64
 	reqs     struct {
-		healthz, machines, suites, params, predict, sweep, plan, stats atomic.Int64
-		jobSubmit, jobList, jobGet, jobCancel                          atomic.Int64
+		discovery, healthz, machines, suites, params, predict, sweep, plan, optimize, stats atomic.Int64
+		jobSubmit, jobList, jobGet, jobCancel                                               atomic.Int64
 	}
 }
 
 // New builds a server around the given provider and job engine. jobs may
-// be nil, in which case the /v1/jobs endpoints answer 503.
+// be nil, in which case the /v1/jobs endpoints answer 503 with code
+// jobs_disabled (GET /v1 reports the capability up front).
 func New(prov *experiments.Provider, jobs *experiments.Jobs) *Server {
 	s := &Server{prov: prov, jobs: jobs, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/machines", s.handleMachines)
-	s.mux.HandleFunc("GET /v1/suites", s.handleSuites)
-	s.mux.HandleFunc("GET /v1/params", s.handleParams)
-	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	// The route table is registered and served from one place: GET /v1
+	// returns exactly what was mounted, so the discovery index can never
+	// drift from the mux.
+	add := func(method, path, doc string, h http.HandlerFunc) {
+		s.mux.HandleFunc(method+" "+path, h)
+		s.endpoints = append(s.endpoints, EndpointInfo{Method: method, Path: path, Doc: doc})
+	}
+	add("GET", "/v1", "API discovery: endpoint index, simulator version, capability flags", s.handleDiscovery)
+	add("GET", "/healthz", "liveness + simulator version", s.handleHealthz)
+	add("GET", "/v1/machines", "registered machine names", s.handleMachines)
+	add("GET", "/v1/suites", "registered suites and their workloads", s.handleSuites)
+	add("GET", "/v1/params", "registered exploration axes (valid sweep/plan params)", s.handleParams)
+	add("POST", "/v1/predict", "CPI + CPI stack for machine spec(s) × suite[/workload]", s.handlePredict)
+	add("POST", "/v1/sweep", "one-axis what-if sweep over a derived machine", s.handleSweep)
+	add("POST", "/v1/plan", "multi-axis exploration grid, fitted once and extrapolated per cell", s.handlePlan)
+	add("POST", "/v1/optimize", "design-space search (min CPI / min cost / Pareto) over a grid", s.handleOptimize)
+	add("POST", "/v1/jobs", "submit an async campaign, sweep, plan or optimize job", s.handleJobSubmit)
+	add("GET", "/v1/jobs", "list jobs (submission order)", s.handleJobList)
+	add("GET", "/v1/jobs/{id}", "one job's state, progress and result", s.handleJobGet)
+	add("DELETE", "/v1/jobs/{id}", "cancel a queued or running job", s.handleJobCancel)
+	add("GET", "/v1/stats", "request, model-cache, simulation, store and job counters", s.handleStats)
 	return s
 }
 
@@ -90,7 +104,8 @@ func (s *Server) Handler() http.Handler {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		http.Error(w, `{"error":{"code":"internal","message":"response encoding failed"}}`,
+			http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -98,12 +113,59 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(append(data, '\n'))
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
+// Stable error codes, the machine-readable half of the error envelope.
+// Codes are API contract: clients branch on them (messages are for
+// humans and may change), so existing codes must never be renamed.
+const (
+	// CodeBadRequest: the request body failed to parse or validate.
+	CodeBadRequest = "bad_request"
+	// CodeUnknownMachine: a machine name absent from the registry.
+	CodeUnknownMachine = "unknown_machine"
+	// CodeUnknownSuite: a suite name absent from the registry.
+	CodeUnknownSuite = "unknown_suite"
+	// CodeUnknownJob: a job ID the engine doesn't know (never existed,
+	// or evicted past the retention bound).
+	CodeUnknownJob = "unknown_job"
+	// CodeJobsDisabled: the daemon runs without a job engine.
+	CodeJobsDisabled = "jobs_disabled"
+	// CodeQueueFull: job backlog at capacity — retry later.
+	CodeQueueFull = "queue_full"
+	// CodeJobsDraining: the daemon is shutting down — retry elsewhere.
+	CodeJobsDraining = "jobs_draining"
+	// CodeInternal: the request was fine; the server failed.
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the error envelope's payload: a stable machine-readable
+// code and a human-readable message.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+// errorResponse is the uniform error wire shape:
+// {"error": {"code": "...", "message": "..."}}.
+type errorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorResponse{Error: ErrorBody{Code: code, Message: err.Error()}})
+}
+
+// badRequest answers 400, classifying the error into the most specific
+// stable code. Classification is by sentinel (errors.Is), never by
+// message text, which a submitted machine or suite name could collide
+// with.
+func badRequest(w http.ResponseWriter, err error) {
+	code := CodeBadRequest
+	switch {
+	case errors.Is(err, uarch.ErrUnknownMachine):
+		code = CodeUnknownMachine
+	case errors.Is(err, suites.ErrUnknownSuite):
+		code = CodeUnknownSuite
+	}
+	writeError(w, http.StatusBadRequest, code, err)
 }
 
 // decodeStrict parses a request body with the same strictness as
@@ -118,6 +180,43 @@ func decodeStrict(r *http.Request, w http.ResponseWriter, v any) error {
 		return errors.New("parse request: trailing data after JSON document")
 	}
 	return nil
+}
+
+// EndpointInfo describes one mounted route.
+type EndpointInfo struct {
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	Doc    string `json:"doc"`
+}
+
+// Capabilities flags optional daemon features so clients can probe once
+// instead of poking endpoints: Jobs is false when /v1/jobs would answer
+// jobs_disabled, Store is false when the daemon simulates without a
+// persistent run store.
+type Capabilities struct {
+	Jobs  bool `json:"jobs"`
+	Store bool `json:"store"`
+}
+
+// DiscoveryResponse is the GET /v1 body: the versioned API surface, as
+// mounted — the endpoint index is built from the same table the router
+// serves, so it cannot drift.
+type DiscoveryResponse struct {
+	SimVersion   string         `json:"simVersion"`
+	Endpoints    []EndpointInfo `json:"endpoints"`
+	Capabilities Capabilities   `json:"capabilities"`
+}
+
+func (s *Server) handleDiscovery(w http.ResponseWriter, r *http.Request) {
+	s.reqs.discovery.Add(1)
+	writeJSON(w, http.StatusOK, DiscoveryResponse{
+		SimVersion: sim.Version,
+		Endpoints:  s.endpoints,
+		Capabilities: Capabilities{
+			Jobs:  s.jobs != nil,
+			Store: s.prov.Opts().Store != nil,
+		},
+	})
 }
 
 // HealthzResponse is the GET /healthz body.
@@ -160,7 +259,7 @@ func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
 	for _, name := range suites.Names() {
 		suite, err := suites.ByName(name, suites.Options{NumOps: ops})
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, http.StatusInternalServerError, CodeInternal, err)
 			return
 		}
 		info := SuiteInfo{Name: name}
@@ -194,14 +293,18 @@ func (s *Server) handleParams(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// PredictRequest asks for CPI predictions of a machine spec (a
-// registered name, or base + overrides exactly as in scenario files) on
-// a suite. With Workload set, the response carries that workload alone;
-// otherwise every workload plus the suite-wide accuracy.
+// PredictRequest asks for CPI predictions of machine specs (registered
+// names, or base + overrides exactly as in scenario files) on a suite.
+// Exactly one of Machine (the single-machine form, whose response is
+// PredictResponse) or Machines (the batch form, answered with
+// BatchPredictResponse, machines in request order) must be set. With
+// Workload set, responses carry that workload alone; otherwise every
+// workload plus the suite-wide accuracy.
 type PredictRequest struct {
-	Machine  experiments.MachineSpec `json:"machine"`
-	Suite    string                  `json:"suite"`
-	Workload string                  `json:"workload,omitempty"`
+	Machine  *experiments.MachineSpec  `json:"machine,omitempty"`
+	Machines []experiments.MachineSpec `json:"machines,omitempty"`
+	Suite    string                    `json:"suite"`
+	Workload string                    `json:"workload,omitempty"`
 }
 
 // StackEntry is one CPI-stack component, in stack order (base first).
@@ -239,7 +342,8 @@ type SuiteAccuracy struct {
 	FracBelow20Pct float64 `json:"fracBelow20pct"`
 }
 
-// PredictResponse is the POST /v1/predict body.
+// PredictResponse is the POST /v1/predict body for the single-machine
+// request form.
 type PredictResponse struct {
 	Machine    string               `json:"machine"`
 	ConfigHash string               `json:"configHash"`
@@ -252,21 +356,56 @@ type PredictResponse struct {
 	Accuracy   *SuiteAccuracy       `json:"accuracy,omitempty"`
 }
 
+// MachinePrediction is one machine's slice of a batch predict response:
+// PredictResponse with the request-wide fields (suite, fit options)
+// hoisted to the batch envelope.
+type MachinePrediction struct {
+	Machine    string               `json:"machine"`
+	ConfigHash string               `json:"configHash"`
+	Params     core.Params          `json:"params"`
+	Workloads  []WorkloadPrediction `json:"workloads"`
+	Accuracy   *SuiteAccuracy       `json:"accuracy,omitempty"`
+}
+
+// BatchPredictResponse is the POST /v1/predict body for the batch
+// request form, machines in request order.
+type BatchPredictResponse struct {
+	Suite     string              `json:"suite"`
+	Ops       int                 `json:"ops"`
+	FitStarts int                 `json:"fitStarts"`
+	Seed      uint64              `json:"seed"`
+	Machines  []MachinePrediction `json:"machines"`
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.reqs.predict.Add(1)
 	var req PredictRequest
 	if err := decodeStrict(r, w, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		badRequest(w, err)
 		return
 	}
-	m, err := req.Machine.Resolve()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if (req.Machine == nil) == (len(req.Machines) == 0) {
+		badRequest(w, errors.New("predict request needs exactly one of machine or machines"))
 		return
+	}
+	specs := req.Machines
+	if req.Machine != nil {
+		specs = []experiments.MachineSpec{*req.Machine}
+	}
+	// Resolve every machine before fitting any: a typo in the last spec
+	// of a batch must not cost the fits of the first.
+	machines := make([]*uarch.Machine, 0, len(specs))
+	for _, spec := range specs {
+		m, err := spec.Resolve()
+		if err != nil {
+			badRequest(w, err)
+			return
+		}
+		machines = append(machines, m)
 	}
 	suite, err := suites.ByName(req.Suite, suites.Options{NumOps: s.prov.Opts().NumOps})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		badRequest(w, err)
 		return
 	}
 	// Reject a typoed workload before the expensive simulate+fit, not
@@ -280,48 +419,80 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if !found {
-			writeError(w, http.StatusBadRequest,
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
 				fmt.Errorf("workload %q not in suite %s", req.Workload, suite.Name))
 			return
 		}
 	}
-	f, err := s.prov.Fitted(m, req.Suite)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	opts := s.prov.Opts()
-	resp := PredictResponse{
-		Machine:    m.Name,
-		ConfigHash: m.ConfigHash(),
-		Suite:      req.Suite,
-		Ops:        opts.NumOps,
-		FitStarts:  opts.FitStarts,
-		Seed:       opts.Seed,
-		Params:     f.Model.P,
-	}
-	if req.Workload != "" {
-		o, err := f.Observation(req.Workload)
+	preds := make([]MachinePrediction, 0, len(machines))
+	for _, m := range machines {
+		f, err := s.prov.Fitted(m, req.Suite)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusInternalServerError, CodeInternal, err)
 			return
 		}
-		resp.Workloads = []WorkloadPrediction{predictWorkload(f.Model, o)}
-		writeJSON(w, http.StatusOK, resp)
+		mp, err := predictMachine(f, req.Workload)
+		if err != nil {
+			badRequest(w, err)
+			return
+		}
+		preds = append(preds, mp)
+	}
+	opts := s.prov.Opts()
+	if req.Machine != nil {
+		// The single-machine form keeps its original flat wire shape.
+		mp := preds[0]
+		writeJSON(w, http.StatusOK, PredictResponse{
+			Machine:    mp.Machine,
+			ConfigHash: mp.ConfigHash,
+			Suite:      req.Suite,
+			Ops:        opts.NumOps,
+			FitStarts:  opts.FitStarts,
+			Seed:       opts.Seed,
+			Params:     mp.Params,
+			Workloads:  mp.Workloads,
+			Accuracy:   mp.Accuracy,
+		})
 		return
+	}
+	writeJSON(w, http.StatusOK, BatchPredictResponse{
+		Suite:     req.Suite,
+		Ops:       opts.NumOps,
+		FitStarts: opts.FitStarts,
+		Seed:      opts.Seed,
+		Machines:  preds,
+	})
+}
+
+// predictMachine condenses one fitted model into its wire slice: every
+// workload (or the one requested) predicted, plus suite-wide accuracy
+// for the whole-suite form.
+func predictMachine(f *experiments.Fitted, workload string) (MachinePrediction, error) {
+	mp := MachinePrediction{
+		Machine:    f.Machine.Name,
+		ConfigHash: f.Machine.ConfigHash(),
+		Params:     f.Model.P,
+	}
+	if workload != "" {
+		o, err := f.Observation(workload)
+		if err != nil {
+			return MachinePrediction{}, err
+		}
+		mp.Workloads = []WorkloadPrediction{predictWorkload(f.Model, o)}
+		return mp, nil
 	}
 	errs := make([]float64, 0, len(f.Obs))
 	for i := range f.Obs {
 		wp := predictWorkload(f.Model, &f.Obs[i])
-		resp.Workloads = append(resp.Workloads, wp)
+		mp.Workloads = append(mp.Workloads, wp)
 		errs = append(errs, stats.RelErr(wp.PredictedCPI, wp.MeasuredCPI))
 	}
-	resp.Accuracy = &SuiteAccuracy{
+	mp.Accuracy = &SuiteAccuracy{
 		AvgRelErr:      stats.Mean(errs),
 		MaxRelErr:      stats.Max(errs),
 		FracBelow20Pct: stats.FractionBelow(errs, 0.20),
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return mp, nil
 }
 
 func predictWorkload(m *core.Model, o *core.Observation) WorkloadPrediction {
@@ -371,29 +542,29 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.reqs.sweep.Add(1)
 	var req SweepRequest
 	if err := decodeStrict(r, w, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		badRequest(w, err)
 		return
 	}
 	base, err := req.Base.Resolve()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		badRequest(w, err)
 		return
 	}
 	if _, err := experiments.SweepParamByName(req.Param); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		badRequest(w, err)
 		return
 	}
 	if _, err := suites.ByName(req.Suite, suites.Options{NumOps: s.prov.Opts().NumOps}); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		badRequest(w, err)
 		return
 	}
 	if err := experiments.ValidateSweepValues(req.Values); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		badRequest(w, err)
 		return
 	}
 	res, err := s.prov.Sweep(base, req.Param, req.Values, req.Suite)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	resp := SweepResponse{
@@ -457,23 +628,23 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.reqs.plan.Add(1)
 	var req PlanRequest
 	if err := decodeStrict(r, w, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		badRequest(w, err)
 		return
 	}
 	if _, err := suites.ByName(req.Suite, suites.Options{NumOps: s.prov.Opts().NumOps}); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		badRequest(w, err)
 		return
 	}
 	// Resolve validates everything else — base machine, axis names,
 	// values, grid size, cell derivability — before anything simulates.
 	plan, err := req.Resolve()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		badRequest(w, err)
 		return
 	}
 	res, err := s.prov.Plan(plan)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	resp := PlanResponse{
@@ -502,6 +673,42 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// OptimizeRequest is the POST /v1/optimize body: a declarative
+// design-space search, strict-decoded with the optimize-file rules. See
+// experiments.OptimizeSpec for the objective and search knobs.
+type OptimizeRequest = experiments.OptimizeSpec
+
+// OptimizeResponse is the POST /v1/optimize body: the search outcome —
+// best point or Pareto frontier, probe accounting, and run sourcing (a
+// warm store answers with zero simulations and zero trace generations).
+type OptimizeResponse = experiments.OptimizeReport
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	s.reqs.optimize.Add(1)
+	var req OptimizeRequest
+	if err := decodeStrict(r, w, &req); err != nil {
+		badRequest(w, err)
+		return
+	}
+	if _, err := suites.ByName(req.Suite, suites.Options{NumOps: s.prov.Opts().NumOps}); err != nil {
+		badRequest(w, err)
+		return
+	}
+	// Resolve validates everything else — base machine, axes, objective,
+	// search knobs, cell derivability — before anything simulates.
+	o, err := req.Resolve()
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	res, err := s.prov.Optimize(o)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res.Report())
+}
+
 // JobSubmitRequest is the POST /v1/jobs body: a job spec, strict-decoded
 // with exactly the scenario-file rules (unknown fields are errors, down
 // into the nested campaign).
@@ -516,7 +723,8 @@ type JobListResponse struct {
 // configured.
 func (s *Server) jobsEnabled(w http.ResponseWriter) bool {
 	if s.jobs == nil {
-		writeError(w, http.StatusServiceUnavailable, errors.New("job engine not configured"))
+		writeError(w, http.StatusServiceUnavailable, CodeJobsDisabled,
+			errors.New("job engine not configured"))
 		return false
 	}
 	return true
@@ -529,18 +737,21 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	var req JobSubmitRequest
 	if err := decodeStrict(r, w, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		badRequest(w, err)
 		return
 	}
 	st, err := s.jobs.Submit(req)
 	if err != nil {
 		// A full queue or a draining engine is backpressure, not a bad
 		// request.
-		if errors.Is(err, experiments.ErrJobQueueFull) || errors.Is(err, experiments.ErrJobsDraining) {
-			writeError(w, http.StatusServiceUnavailable, err)
-			return
+		switch {
+		case errors.Is(err, experiments.ErrJobQueueFull):
+			writeError(w, http.StatusServiceUnavailable, CodeQueueFull, err)
+		case errors.Is(err, experiments.ErrJobsDraining):
+			writeError(w, http.StatusServiceUnavailable, CodeJobsDraining, err)
+		default:
+			badRequest(w, err)
 		}
-		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, st)
@@ -561,7 +772,8 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	}
 	st, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, CodeUnknownJob,
+			fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -574,7 +786,8 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	st, ok := s.jobs.Cancel(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, CodeUnknownJob,
+			fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	// Cancelling a terminal job is an idempotent no-op; the snapshot
@@ -584,6 +797,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 
 // RequestStats counts handled requests per endpoint.
 type RequestStats struct {
+	Discovery int64 `json:"discovery"`
 	Healthz   int64 `json:"healthz"`
 	Machines  int64 `json:"machines"`
 	Suites    int64 `json:"suites"`
@@ -591,6 +805,7 @@ type RequestStats struct {
 	Predict   int64 `json:"predict"`
 	Sweep     int64 `json:"sweep"`
 	Plan      int64 `json:"plan"`
+	Optimize  int64 `json:"optimize"`
 	JobSubmit int64 `json:"jobSubmit"`
 	JobList   int64 `json:"jobList"`
 	JobGet    int64 `json:"jobGet"`
@@ -640,6 +855,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		Inflight: s.inflight.Load(),
 		Requests: RequestStats{
+			Discovery: s.reqs.discovery.Load(),
 			Healthz:   s.reqs.healthz.Load(),
 			Machines:  s.reqs.machines.Load(),
 			Suites:    s.reqs.suites.Load(),
@@ -647,6 +863,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Predict:   s.reqs.predict.Load(),
 			Sweep:     s.reqs.sweep.Load(),
 			Plan:      s.reqs.plan.Load(),
+			Optimize:  s.reqs.optimize.Load(),
 			JobSubmit: s.reqs.jobSubmit.Load(),
 			JobList:   s.reqs.jobList.Load(),
 			JobGet:    s.reqs.jobGet.Load(),

@@ -333,34 +333,44 @@ func TestRequestValidation(t *testing.T) {
 	ts, _ := newTestServer(t, experiments.Options{})
 	cases := []struct {
 		name, path, body string
-		wantCode         int
+		wantStatus       int
+		wantCode         string
 		wantErr          string
 	}{
-		{"malformed JSON", "/v1/predict", `{`, http.StatusBadRequest, "parse request"},
-		{"unknown field", "/v1/predict", `{"machine": {"name": "core2"}, "suite": "cpu2000", "typo": 1}`, http.StatusBadRequest, "typo"},
-		{"trailing document", "/v1/predict", `{"machine": {"name": "core2"}, "suite": "cpu2000"} {}`, http.StatusBadRequest, "trailing"},
-		{"unknown machine", "/v1/predict", `{"machine": {"name": "core9"}, "suite": "cpu2000"}`, http.StatusBadRequest, "unknown machine"},
-		{"empty machine", "/v1/predict", `{"suite": "cpu2000"}`, http.StatusBadRequest, "empty name"},
-		{"unknown suite", "/v1/predict", `{"machine": {"name": "core2"}, "suite": "cpu2017"}`, http.StatusBadRequest, "unknown suite"},
-		{"unknown workload rejected pre-fit", "/v1/predict", `{"machine": {"name": "core2"}, "suite": "cpu2000", "workload": "mfc"}`, http.StatusBadRequest, "not in suite"},
-		{"invalid derivation", "/v1/predict", `{"machine": {"name": "x", "base": "core2", "overrides": {"iqSize": 9999}}, "suite": "cpu2000"}`, http.StatusBadRequest, "derive"},
-		{"unknown sweep param", "/v1/sweep", `{"base": {"name": "core2"}, "param": "cores", "values": [2], "suite": "cpu2000"}`, http.StatusBadRequest, "unknown sweep parameter"},
-		{"no sweep values", "/v1/sweep", `{"base": {"name": "core2"}, "param": "rob", "values": [], "suite": "cpu2000"}`, http.StatusBadRequest, "at least one value"},
-		{"negative sweep value", "/v1/sweep", `{"base": {"name": "core2"}, "param": "rob", "values": [-8], "suite": "cpu2000"}`, http.StatusBadRequest, "must be positive"},
-		{"duplicate sweep value", "/v1/sweep", `{"base": {"name": "core2"}, "param": "rob", "values": [64, 64], "suite": "cpu2000"}`, http.StatusBadRequest, "listed twice"},
+		{"malformed JSON", "/v1/predict", `{`, http.StatusBadRequest, CodeBadRequest, "parse request"},
+		{"unknown field", "/v1/predict", `{"machine": {"name": "core2"}, "suite": "cpu2000", "typo": 1}`, http.StatusBadRequest, CodeBadRequest, "typo"},
+		{"trailing document", "/v1/predict", `{"machine": {"name": "core2"}, "suite": "cpu2000"} {}`, http.StatusBadRequest, CodeBadRequest, "trailing"},
+		{"unknown machine", "/v1/predict", `{"machine": {"name": "core9"}, "suite": "cpu2000"}`, http.StatusBadRequest, CodeUnknownMachine, "unknown machine"},
+		{"neither machine nor machines", "/v1/predict", `{"suite": "cpu2000"}`, http.StatusBadRequest, CodeBadRequest, "exactly one of machine or machines"},
+		{"both machine and machines", "/v1/predict", `{"machine": {"name": "core2"}, "machines": [{"name": "corei7"}], "suite": "cpu2000"}`, http.StatusBadRequest, CodeBadRequest, "exactly one of machine or machines"},
+		{"empty machine name", "/v1/predict", `{"machine": {}, "suite": "cpu2000"}`, http.StatusBadRequest, CodeBadRequest, "empty name"},
+		{"unknown suite", "/v1/predict", `{"machine": {"name": "core2"}, "suite": "cpu2017"}`, http.StatusBadRequest, CodeUnknownSuite, "unknown suite"},
+		{"unknown workload rejected pre-fit", "/v1/predict", `{"machine": {"name": "core2"}, "suite": "cpu2000", "workload": "mfc"}`, http.StatusBadRequest, CodeBadRequest, "not in suite"},
+		{"invalid derivation", "/v1/predict", `{"machine": {"name": "x", "base": "core2", "overrides": {"iqSize": 9999}}, "suite": "cpu2000"}`, http.StatusBadRequest, CodeBadRequest, "derive"},
+		{"batch with unknown member", "/v1/predict", `{"machines": [{"name": "core2"}, {"name": "core9"}], "suite": "cpu2000"}`, http.StatusBadRequest, CodeUnknownMachine, "unknown machine"},
+		{"unknown sweep param", "/v1/sweep", `{"base": {"name": "core2"}, "param": "cores", "values": [2], "suite": "cpu2000"}`, http.StatusBadRequest, CodeBadRequest, "unknown sweep parameter"},
+		{"no sweep values", "/v1/sweep", `{"base": {"name": "core2"}, "param": "rob", "values": [], "suite": "cpu2000"}`, http.StatusBadRequest, CodeBadRequest, "at least one value"},
+		{"negative sweep value", "/v1/sweep", `{"base": {"name": "core2"}, "param": "rob", "values": [-8], "suite": "cpu2000"}`, http.StatusBadRequest, CodeBadRequest, "must be positive"},
+		{"duplicate sweep value", "/v1/sweep", `{"base": {"name": "core2"}, "param": "rob", "values": [64, 64], "suite": "cpu2000"}`, http.StatusBadRequest, CodeBadRequest, "listed twice"},
+		{"optimize unknown objective", "/v1/optimize", `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [48, 96]}], "suite": "cpu2000", "objective": {"kind": "max-fun"}}`, http.StatusBadRequest, CodeBadRequest, "unknown objective kind"},
+		{"optimize unknown suite", "/v1/optimize", `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [48, 96]}], "suite": "cpu2017", "objective": {"kind": "min-cpi"}}`, http.StatusBadRequest, CodeUnknownSuite, "unknown suite"},
+		{"optimize unknown base", "/v1/optimize", `{"base": {"name": "core9"}, "axes": [{"param": "rob", "values": [48, 96]}], "suite": "cpu2000", "objective": {"kind": "min-cpi"}}`, http.StatusBadRequest, CodeUnknownMachine, "unknown machine"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			code, body := postJSON(t, ts.URL+tc.path, tc.body)
-			if code != tc.wantCode {
-				t.Errorf("status %d, want %d (%s)", code, tc.wantCode, body)
+			if code != tc.wantStatus {
+				t.Errorf("status %d, want %d (%s)", code, tc.wantStatus, body)
 			}
 			var e errorResponse
 			if err := json.Unmarshal(body, &e); err != nil {
 				t.Fatalf("error body is not JSON: %s", body)
 			}
-			if !strings.Contains(e.Error, tc.wantErr) {
-				t.Errorf("error %q should mention %q", e.Error, tc.wantErr)
+			if e.Error.Code != tc.wantCode {
+				t.Errorf("error code %q, want %q", e.Error.Code, tc.wantCode)
+			}
+			if !strings.Contains(e.Error.Message, tc.wantErr) {
+				t.Errorf("error %q should mention %q", e.Error.Message, tc.wantErr)
 			}
 		})
 	}
@@ -443,15 +453,15 @@ func TestParamsEndpoint(t *testing.T) {
 func TestPlanEndpointValidation(t *testing.T) {
 	ts, prov := newTestServer(t, experiments.Options{})
 	cases := []struct {
-		name, body, wantErr string
+		name, body, wantCode, wantErr string
 	}{
-		{"unknown field", `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [64]}], "suite": "cpu2000", "cores": 2}`, "unknown field"},
-		{"unknown axis", `{"base": {"name": "core2"}, "axes": [{"param": "cores", "values": [2]}], "suite": "cpu2000"}`, "unknown sweep parameter"},
-		{"duplicate axis", `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [48]}, {"param": "rob", "values": [96]}], "suite": "cpu2000"}`, "twice"},
-		{"duplicate values", `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [64, 64]}], "suite": "cpu2000"}`, "listed twice"},
-		{"non-positive value", `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [0]}], "suite": "cpu2000"}`, "positive"},
-		{"unknown suite", `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [64]}], "suite": "cpu2017"}`, "unknown suite"},
-		{"unknown base", `{"base": {"name": "core9"}, "axes": [{"param": "rob", "values": [64]}], "suite": "cpu2000"}`, "unknown machine"},
+		{"unknown field", `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [64]}], "suite": "cpu2000", "cores": 2}`, CodeBadRequest, "unknown field"},
+		{"unknown axis", `{"base": {"name": "core2"}, "axes": [{"param": "cores", "values": [2]}], "suite": "cpu2000"}`, CodeBadRequest, "unknown sweep parameter"},
+		{"duplicate axis", `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [48]}, {"param": "rob", "values": [96]}], "suite": "cpu2000"}`, CodeBadRequest, "twice"},
+		{"duplicate values", `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [64, 64]}], "suite": "cpu2000"}`, CodeBadRequest, "listed twice"},
+		{"non-positive value", `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [0]}], "suite": "cpu2000"}`, CodeBadRequest, "positive"},
+		{"unknown suite", `{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [64]}], "suite": "cpu2017"}`, CodeUnknownSuite, "unknown suite"},
+		{"unknown base", `{"base": {"name": "core9"}, "axes": [{"param": "rob", "values": [64]}], "suite": "cpu2000"}`, CodeUnknownMachine, "unknown machine"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -463,8 +473,11 @@ func TestPlanEndpointValidation(t *testing.T) {
 			if err := json.Unmarshal(body, &e); err != nil {
 				t.Fatalf("error body is not JSON: %s", body)
 			}
-			if !strings.Contains(e.Error, tc.wantErr) {
-				t.Errorf("error %q should mention %q", e.Error, tc.wantErr)
+			if e.Error.Code != tc.wantCode {
+				t.Errorf("error code %q, want %q", e.Error.Code, tc.wantCode)
+			}
+			if !strings.Contains(e.Error.Message, tc.wantErr) {
+				t.Errorf("error %q should mention %q", e.Error.Message, tc.wantErr)
 			}
 		})
 	}
@@ -539,4 +552,190 @@ func TestPlanEndpointMatchesBlockingRunPlan(t *testing.T) {
 		t.Errorf("stats traceGens %d, want %d (cells) + 48 (base fit)",
 			st.Sims.TraceGens, resp.Sims.TraceGens)
 	}
+}
+
+// TestDiscoveryEndpoint asserts GET /v1 reports the full mounted route
+// table, the simulator version and the capability flags.
+func TestDiscoveryEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	store, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := newTestServer(t, experiments.Options{Store: store})
+
+	var resp DiscoveryResponse
+	getJSON(t, ts.URL+"/v1", &resp)
+	if resp.SimVersion == "" {
+		t.Error("discovery missing simVersion")
+	}
+	if !resp.Capabilities.Jobs || !resp.Capabilities.Store {
+		t.Errorf("capabilities = %+v, want jobs and store on", resp.Capabilities)
+	}
+	routes := map[string]bool{}
+	for _, e := range resp.Endpoints {
+		if e.Doc == "" {
+			t.Errorf("endpoint %s %s has no doc", e.Method, e.Path)
+		}
+		routes[e.Method+" "+e.Path] = true
+	}
+	for _, want := range []string{
+		"GET /v1", "GET /healthz", "GET /v1/machines", "GET /v1/suites",
+		"GET /v1/params", "POST /v1/predict", "POST /v1/sweep", "POST /v1/plan",
+		"POST /v1/optimize", "POST /v1/jobs", "GET /v1/jobs", "GET /v1/jobs/{id}",
+		"DELETE /v1/jobs/{id}", "GET /v1/stats",
+	} {
+		if !routes[want] {
+			t.Errorf("discovery missing route %q", want)
+		}
+	}
+	if len(resp.Endpoints) != 14 {
+		t.Errorf("discovery lists %d endpoints, want 14", len(resp.Endpoints))
+	}
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Requests.Discovery != 1 {
+		t.Errorf("discovery request count = %d, want 1", st.Requests.Discovery)
+	}
+}
+
+// TestBatchPredict asserts the batch form answers each machine exactly
+// as its single-machine request would — same fits, same floats — with
+// the request-wide fields hoisted to the envelope.
+func TestBatchPredict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end fit is slow")
+	}
+	ts, _ := newTestServer(t, experiments.Options{})
+
+	var singles []PredictResponse
+	for _, m := range []string{"core2", "corei7"} {
+		code, body := postJSON(t, ts.URL+"/v1/predict",
+			`{"machine": {"name": "`+m+`"}, "suite": "cpu2000", "workload": "mcf"}`)
+		if code != http.StatusOK {
+			t.Fatalf("single %s: status %d: %s", m, code, body)
+		}
+		var r PredictResponse
+		if err := json.Unmarshal(body, &r); err != nil {
+			t.Fatal(err)
+		}
+		singles = append(singles, r)
+	}
+
+	code, body := postJSON(t, ts.URL+"/v1/predict",
+		`{"machines": [{"name": "core2"}, {"name": "corei7"}], "suite": "cpu2000", "workload": "mcf"}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", code, body)
+	}
+	var batch BatchPredictResponse
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Suite != "cpu2000" || batch.Ops != testOps || batch.FitStarts != 2 {
+		t.Errorf("batch envelope = %+v", batch)
+	}
+	if len(batch.Machines) != 2 {
+		t.Fatalf("batch answered %d machines, want 2 in request order", len(batch.Machines))
+	}
+	for i, mp := range batch.Machines {
+		single := singles[i]
+		if mp.Machine != single.Machine || mp.ConfigHash != single.ConfigHash {
+			t.Errorf("machine %d = %s/%s, want %s/%s", i, mp.Machine, mp.ConfigHash, single.Machine, single.ConfigHash)
+		}
+		if mp.Params != single.Params {
+			t.Errorf("%s: batch params diverged from the single-machine fit", mp.Machine)
+		}
+		if len(mp.Workloads) != 1 || mp.Workloads[0].Workload != "mcf" {
+			t.Fatalf("%s: workloads = %+v, want just mcf", mp.Machine, mp.Workloads)
+		}
+		if math.Float64bits(mp.Workloads[0].PredictedCPI) != math.Float64bits(single.Workloads[0].PredictedCPI) {
+			t.Errorf("%s: batch predicted CPI diverged from single (bit mismatch)", mp.Machine)
+		}
+	}
+
+	// The batch joined the singles' cached fits: still exactly two.
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Models.Fits != 2 {
+		t.Errorf("batch after singles fitted %d models, want the 2 cached fits", st.Models.Fits)
+	}
+	if st.Models.Hits != 2 {
+		t.Errorf("model hits = %d, want 2 (one per batch member)", st.Models.Hits)
+	}
+}
+
+// TestOptimizeEndpointMatchesBlockingRun: the served optimizer answer is
+// bit-identical to the blocking RunOptimize computation, and the wire
+// report carries the probe accounting the CLI prints.
+func TestOptimizeEndpointMatchesBlockingRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end optimize is slow")
+	}
+	ts, _ := newTestServer(t, experiments.Options{})
+	code, body := postJSON(t, ts.URL+"/v1/optimize",
+		`{"base": {"name": "core2"}, "axes": [{"param": "width", "values": [2, 4]}, {"param": "memlat", "values": [150, 300]}], "suite": "cpu2000", "objective": {"kind": "min-cpi"}}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp OptimizeResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Base != "core2" || resp.Suite != "cpu2000" || resp.Algorithm != experiments.SearchCoordinateDescent {
+		t.Fatalf("optimize response shape: base=%q suite=%q algorithm=%q", resp.Base, resp.Suite, resp.Algorithm)
+	}
+	if resp.GridCells != 4 || resp.Probes == 0 || resp.Probes > resp.GridCells {
+		t.Errorf("probe accounting: %d probes over %d cells", resp.Probes, resp.GridCells)
+	}
+	if resp.Best == nil || len(resp.Best.ModelStack) != 9 {
+		t.Fatalf("best point = %+v, want one with a 9-component model stack", resp.Best)
+	}
+
+	// Blocking reference with the daemon's options.
+	spec := experiments.OptimizeSpec{
+		Base: experiments.MachineSpec{Name: "core2"},
+		Axes: []experiments.PlanAxis{
+			{Param: "width", Values: []int{2, 4}},
+			{Param: "memlat", Values: []int{150, 300}},
+		},
+		Suite:     "cpu2000",
+		Objective: experiments.ObjectiveSpec{Kind: experiments.ObjectiveMinCPI},
+	}
+	o, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := experiments.RunOptimize(o, experiments.Options{NumOps: testOps, FitStarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Probes != ref.Probes {
+		t.Errorf("served %d probes, blocking run made %d", resp.Probes, ref.Probes)
+	}
+	if !slicesEqual(resp.Best.Values, ref.Best.Values) {
+		t.Errorf("served best %v, blocking best %v", resp.Best.Values, ref.Best.Values)
+	}
+	if math.Float64bits(resp.Best.SimCPI) != math.Float64bits(ref.Best.SimCPI) ||
+		math.Float64bits(resp.Best.ModelCPI) != math.Float64bits(ref.Best.ModelCPI) {
+		t.Error("served best CPIs diverge from the blocking run (bit mismatch)")
+	}
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Requests.Optimize != 1 {
+		t.Errorf("optimize request count = %d, want 1", st.Requests.Optimize)
+	}
+}
+
+func slicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

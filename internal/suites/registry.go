@@ -1,10 +1,17 @@
 package suites
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 )
+
+// ErrUnknownSuite is wrapped by ByName failures for names absent from
+// the registry. Callers (the serving layer's error classifier) match it
+// with errors.Is — never by error text, which a suite name could
+// collide with.
+var ErrUnknownSuite = errors.New("unknown suite")
 
 // The suite registry maps names to suite builders, mirroring the machine
 // registry in internal/uarch: experiments name suites declaratively and
@@ -63,7 +70,7 @@ func ByName(name string, opts Options) (Suite, error) {
 	b, ok := registry[name]
 	regMu.RUnlock()
 	if !ok {
-		return Suite{}, fmt.Errorf("suites: unknown suite %q (registered: %v)", name, Names())
+		return Suite{}, fmt.Errorf("suites: %w %q (registered: %v)", ErrUnknownSuite, name, Names())
 	}
 	s := b(opts)
 	if s.Name != name {

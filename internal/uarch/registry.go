@@ -1,10 +1,17 @@
 package uarch
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 )
+
+// ErrUnknownMachine is wrapped by ByName failures for names absent from
+// the registry. Callers (the serving layer's error classifier) match it
+// with errors.Is — never by error text, which a machine name could
+// collide with.
+var ErrUnknownMachine = errors.New("unknown machine")
 
 // The machine registry maps names to configuration factories, in the
 // declarative-registry style config-driven systems use for module
@@ -64,7 +71,7 @@ func ByName(name string) (*Machine, error) {
 	factory, ok := registry[name]
 	regMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("uarch: unknown machine %q (registered: %v)", name, Names())
+		return nil, fmt.Errorf("uarch: %w %q (registered: %v)", ErrUnknownMachine, name, Names())
 	}
 	m := factory()
 	if m.Name != name {
