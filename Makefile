@@ -56,10 +56,28 @@ bench-smoke:
 		go test -run '^$$' -bench 'Fig2ModelAccuracy|SimulatorThroughput|TraceGeneration|TraceReplay|GridPlan|ModelPredict' \
 		-benchtime 1x -benchmem .
 
+# profile runs the simulator throughput benchmark under the CPU
+# profiler and prints the top-N report (also written to
+# .bin/profile.top, which CI uploads as an artifact). The test binary
+# is kept next to the profile so `go tool pprof` resolves symbols
+# offline; tune PROFILE_BENCH/PROFILE_TOP to profile something else.
+PROFILE_BENCH ?= SimulatorThroughput
+PROFILE_TOP ?= 25
+
+profile:
+	@mkdir -p $(CURDIR)/.bin
+	@echo "Profiling $(PROFILE_BENCH) (ops=$(BENCH_OPS))..."
+	@REPRO_RUNSTORE=off REPRO_BENCH_OPS=$(BENCH_OPS) \
+		go test -run '^$$' -bench '$(PROFILE_BENCH)' -benchtime 5x -benchmem \
+		-cpuprofile $(CURDIR)/.bin/profile.cpu -o $(CURDIR)/.bin/profile.test .
+	@go tool pprof -top -nodecount=$(PROFILE_TOP) \
+		$(CURDIR)/.bin/profile.test $(CURDIR)/.bin/profile.cpu \
+		| tee $(CURDIR)/.bin/profile.top
+
 # The committed benchmark baseline this PR's trajectory point lives in;
 # regenerate with `make bench-baseline-update` after an intentional
 # performance change.
-BENCH_BASELINE ?= BENCH_5.json
+BENCH_BASELINE ?= BENCH_7.json
 
 # bench-baseline re-runs the benchmark smoke, converts the output into a
 # machine-readable JSON snapshot (.bin/bench-current.json, uploaded as a
@@ -80,6 +98,12 @@ bench-baseline:
 	@echo "Gating TraceReplay against $(BENCH_BASELINE)..."
 	@go run ./cmd/benchjson -check -in $(CURDIR)/.bin/bench.out -baseline $(BENCH_BASELINE) \
 		-bench TraceReplay -metric Mops/s -max-regress 0.20
+	@echo "Gating GridPlan/replay against $(BENCH_BASELINE)..."
+	@go run ./cmd/benchjson -check -in $(CURDIR)/.bin/bench.out -baseline $(BENCH_BASELINE) \
+		-bench GridPlan/replay -metric Mops/s -max-regress 0.20
+	@echo "Gating SimulatorThroughput allocs/op against $(BENCH_BASELINE)..."
+	@go run ./cmd/benchjson -check -in $(CURDIR)/.bin/bench.out -baseline $(BENCH_BASELINE) \
+		-bench SimulatorThroughput -metric allocs/op -max-regress 0 -lower-better
 
 bench-baseline-update:
 	@mkdir -p $(CURDIR)/.bin
@@ -122,6 +146,30 @@ plan-smoke:
 	@go run ./cmd/sweep -base core2 -param rob -values 48,96 -param mshrs -values 4,8 \
 		-suite cpu2000 -ops $(SMOKE_OPS) -starts 2 -store $(RUNSTORE) 2>&1 >/dev/null \
 		| grep "0 simulated (100.0% hit rate), 0 traces generated"
+
+# sim-nondeterminism runs the same 2x2 grid plan single-threaded and
+# with every core — each against its own fresh run store — and asserts
+# byte-identical wire-format plan JSON and byte-identical run-store
+# artifacts. Plan cells simulate concurrently over shared trace
+# buffers, so this is the gate that scheduling, worker count and
+# GOMAXPROCS never leak into results (first slice of the ROADMAP
+# determinism harness).
+sim-nondeterminism:
+	@mkdir -p $(CURDIR)/.bin
+	@rm -rf $(CURDIR)/.bin/det-store-1 $(CURDIR)/.bin/det-store-n
+	@echo "Running a 2x2 grid plan at GOMAXPROCS=1 (ops=$(SMOKE_OPS))..."
+	@GOMAXPROCS=1 go run ./cmd/sweep -base core2 -param rob -values 48,96 -param mshrs -values 4,8 \
+		-suite cpu2000 -ops $(SMOKE_OPS) -starts 2 -json \
+		-store $(CURDIR)/.bin/det-store-1 > $(CURDIR)/.bin/det-plan-1.json
+	@echo "Running the same plan at GOMAXPROCS=$$(nproc)..."
+	@GOMAXPROCS=$$(nproc) go run ./cmd/sweep -base core2 -param rob -values 48,96 -param mshrs -values 4,8 \
+		-suite cpu2000 -ops $(SMOKE_OPS) -starts 2 -json \
+		-store $(CURDIR)/.bin/det-store-n > $(CURDIR)/.bin/det-plan-n.json
+	@echo "Comparing plan JSON..."
+	@cmp $(CURDIR)/.bin/det-plan-1.json $(CURDIR)/.bin/det-plan-n.json
+	@echo "Comparing run-store artifacts..."
+	@diff -r $(CURDIR)/.bin/det-store-1 $(CURDIR)/.bin/det-store-n
+	@echo "sim-nondeterminism: byte-identical across GOMAXPROCS"
 
 # optimize-smoke is the design-space-search counterpart of plan-smoke:
 # a cold coordinate-descent search over the committed example spec, then
@@ -208,4 +256,4 @@ clean-store:
 	@echo "Removing the run store at $(RUNSTORE)..."
 	@rm -rf $(RUNSTORE)
 
-.PHONY: all build test test-short race lint staticcheck bench-smoke bench-full bench-baseline bench-baseline-update sim-smoke sweep-smoke plan-smoke optimize-smoke fuzz-smoke serve-smoke jobs-smoke clean-store
+.PHONY: all build test test-short race lint staticcheck profile bench-smoke bench-full bench-baseline bench-baseline-update sim-smoke sweep-smoke plan-smoke sim-nondeterminism optimize-smoke fuzz-smoke serve-smoke jobs-smoke clean-store

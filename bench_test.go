@@ -318,6 +318,12 @@ func BenchmarkAblationNoWindowCap(b *testing.B) {
 
 // --- Substrate throughput benches. ---
 
+// BenchmarkSimulatorThroughput measures the interval-simulation loop
+// itself: the workload is materialized once and replayed through the
+// allocation-free RunInto path, exactly how a grid plan's cells consume
+// their shared buffers. Generation cost is measured separately by
+// BenchmarkTraceGeneration. The bench-baseline CI job gates both the
+// Mops/s and the allocs/op (a warmed simulator must not allocate).
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	s, err := sim.New(uarch.CoreI7())
 	if err != nil {
@@ -325,10 +331,15 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	suite := suites.CPU2006Like(suites.Options{NumOps: 100000})
 	w, _ := suite.Find("gcc.1")
-	g := trace.New(w)
+	src := trace.Materialize(w).Replay()
+	var res sim.Result
+	// Warm up: the first run builds the branch predictor.
+	if err := s.RunInto(&res, src); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Run(g); err != nil {
+		if err := s.RunInto(&res, src); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -19,7 +19,8 @@
 // the simulator's Mops/s. For -check, throughput-style metrics (higher
 // is better, the default) fail when new < (1-maxRegress)*old; pass
 // -lower-better for latency-style metrics, which fail when
-// new > (1+maxRegress)*old.
+// new > (1+maxRegress)*old. A lower-better metric with a zero baseline
+// (e.g. a locked-in allocs/op == 0) fails on any increase.
 package main
 
 import (
@@ -180,8 +181,19 @@ func Compare(base, current Baseline, bench, metric string, maxRegress float64, l
 	if !ok {
 		return "", fmt.Errorf("metric %q not in current run for %s", metric, bench)
 	}
-	if oldV <= 0 {
+	if oldV < 0 || (oldV == 0 && !lowerBetter) {
 		return "", fmt.Errorf("baseline %s %s is %v; cannot gate on it", bench, metric, oldV)
+	}
+	if oldV == 0 {
+		// A zero baseline on a lower-better metric is the strictest gate
+		// there is: it locks in a property (e.g. allocs/op == 0), so any
+		// increase fails regardless of -max-regress.
+		verdict := fmt.Sprintf("%s %s: baseline 0, current %g (zero baseline: any increase fails)",
+			bench, metric, newV)
+		if newV > 0 {
+			return verdict, fmt.Errorf("%s %s regressed from a zero baseline", bench, metric)
+		}
+		return verdict + ": OK", nil
 	}
 	change := newV/oldV - 1
 	verdict := fmt.Sprintf("%s %s: baseline %g, current %g (%+.1f%%; allowed regression %.0f%%)",

@@ -83,6 +83,22 @@ func TestCompareGate(t *testing.T) {
 	}
 }
 
+func TestCompareZeroBaseline(t *testing.T) {
+	base := mustParse(t, "BenchmarkSimulatorThroughput-8 1 22969141 ns/op 0 allocs/op\n")
+	clean := mustParse(t, "BenchmarkSimulatorThroughput-8 1 21000000 ns/op 0 allocs/op\n")
+	dirty := mustParse(t, "BenchmarkSimulatorThroughput-8 1 21000000 ns/op 3 allocs/op\n")
+	if _, err := Compare(base, clean, "SimulatorThroughput", "allocs/op", 0.2, true); err != nil {
+		t.Errorf("zero stays zero should pass: %v", err)
+	}
+	if _, err := Compare(base, dirty, "SimulatorThroughput", "allocs/op", 0.2, true); err == nil {
+		t.Error("any increase from a zero lower-better baseline should fail")
+	}
+	// Higher-better metrics still cannot gate on a zero baseline.
+	if _, err := Compare(base, clean, "SimulatorThroughput", "allocs/op", 0.2, false); err == nil {
+		t.Error("zero baseline on a higher-better metric should be rejected")
+	}
+}
+
 func TestCompareMissing(t *testing.T) {
 	base := mustParse(t, "BenchmarkSimulatorThroughput-8 1 22969141 ns/op 4.000 Mops/s\n")
 	cur := mustParse(t, "BenchmarkTraceGeneration-8 1 22969141 ns/op 20.0 Mops/s\n")

@@ -7,6 +7,7 @@
 //
 //	experiments [-run all|table1|table2|fig2|fig3|fig4|fig5|fig6|ablation]
 //	            [-ops N] [-starts N] [-store DIR] [-scenario FILE]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // Everything is deterministic; re-running reproduces identical output.
 // With -store DIR, simulation results are cached content-addressed on
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/prof"
 	"repro/internal/runstore"
 )
 
@@ -89,9 +91,20 @@ func main() {
 	starts := flag.Int("starts", 0, "regression multi-start count (default: the scenario's fitStarts, else 12)")
 	storeDir := flag.String("store", "", "run-store directory for cached simulation results (empty = no cache)")
 	scenario := flag.String("scenario", "", "JSON scenario file declaring the campaign (empty = the paper's grid)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := realMain(os.Stdout, *run, *ops, *starts, *storeDir, *scenario); err != nil {
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	err = realMain(os.Stdout, *run, *ops, *starts, *storeDir, *scenario)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

@@ -8,6 +8,7 @@
 //
 //	mecpi [-machine core2] [-suite cpu2006] [-workload mcf] [-ops N]
 //	      [-starts N] [-truth] [-store DIR]
+//	      [-cpuprofile FILE] [-memprofile FILE]
 //
 // Without -workload it prints the fitted model and the suite-wide
 // accuracy; with -workload it prints that workload's CPI stack, and with
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/prof"
 	"repro/internal/runstore"
 	"repro/internal/stack"
 	"repro/internal/stats"
@@ -38,9 +40,20 @@ func main() {
 	truth := flag.Bool("truth", false, "also print the simulator's ground-truth stack")
 	characterize := flag.Bool("characterize", false, "classify every workload by its dominant CPI component")
 	storeDir := flag.String("store", "", "run-store directory for cached simulation results (empty = no cache)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := realMain(*machine, *suiteName, *workload, *ops, *starts, *truth, *characterize, *storeDir); err != nil {
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mecpi:", err)
+		os.Exit(1)
+	}
+	err = realMain(*machine, *suiteName, *workload, *ops, *starts, *truth, *characterize, *storeDir)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mecpi:", err)
 		os.Exit(1)
 	}

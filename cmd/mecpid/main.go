@@ -31,7 +31,13 @@
 //
 //	mecpid [-addr 127.0.0.1:8080] [-addrfile FILE] [-store DIR]
 //	       [-jobs DIR] [-jobworkers N] [-ops N] [-starts N]
-//	       [-workers N] [-drain DURATION]
+//	       [-workers N] [-drain DURATION] [-pprof-addr 127.0.0.1:0]
+//
+// With -pprof-addr the daemon additionally serves net/http/pprof on a
+// dedicated listener at that address (off by default). The profiling
+// endpoints are never mounted on the API listener: the API surface
+// stays exactly the versioned /v1 tree, and the pprof port can be kept
+// loopback-only while the API is exposed.
 //
 // See internal/serve for the endpoint reference. On SIGINT/SIGTERM the
 // daemon stops accepting connections and drains in-flight requests and
@@ -50,6 +56,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -71,11 +78,12 @@ func main() {
 	starts := flag.Int("starts", 12, "regression multi-start count")
 	workers := flag.Int("workers", 0, "simulation worker bound (default: NumCPU)")
 	drain := flag.Duration("drain", 2*time.Minute, "how long to drain in-flight requests and jobs on shutdown")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address over a dedicated listener (empty = off; never served on -addr)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := realMain(ctx, os.Stderr, *addr, *addrFile, *storeDir, *jobsDir, *ops, *starts, *workers, *jobWorkers, *drain); err != nil {
+	if err := realMain(ctx, os.Stderr, *addr, *addrFile, *storeDir, *jobsDir, *ops, *starts, *workers, *jobWorkers, *drain, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "mecpid:", err)
 		os.Exit(1)
 	}
@@ -85,7 +93,7 @@ func main() {
 // the listener fails. It logs the bound address to log — and to
 // addrFile when given — once the socket is open, so scripts can start
 // the daemon on port 0 and discover where it landed.
-func realMain(ctx context.Context, log io.Writer, addr, addrFile, storeDir, jobsDir string, ops, starts, workers, jobWorkers int, drain time.Duration) error {
+func realMain(ctx context.Context, log io.Writer, addr, addrFile, storeDir, jobsDir string, ops, starts, workers, jobWorkers int, drain time.Duration, pprofAddr string) error {
 	var store *runstore.Store
 	if storeDir != "" {
 		var err error
@@ -132,6 +140,29 @@ func realMain(ctx context.Context, log io.Writer, addr, addrFile, storeDir, jobs
 	}
 	fmt.Fprintf(log, "mecpid: listening on http://%s (ops=%d, starts=%d, store=%s, jobs=%s)\n",
 		bound, prov.Opts().NumOps, prov.Opts().FitStarts, storeDesc, jobsDesc)
+
+	if pprofAddr != "" {
+		// The profiling endpoints live on their own mux and listener so
+		// they can never leak onto the API surface (the stdlib's side
+		// effect of registering on DefaultServeMux is irrelevant here:
+		// the API handler is an explicit serve.Handler mux). The pprof
+		// server is torn down with the process; it needs no drain.
+		pln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps := &http.Server{Handler: pmux}
+		defer ps.Close()
+		go ps.Serve(pln)
+		fmt.Fprintf(log, "mecpid: pprof on http://%s/debug/pprof/\n", pln.Addr())
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	// drainJobsNow cancels whatever jobs are in flight so the engine's

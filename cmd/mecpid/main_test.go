@@ -8,9 +8,29 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
+
+// syncBuffer lets the test read the daemon's log while the daemon
+// goroutine is still writing it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
 
 // TestDaemonLifecycle boots the daemon on port 0, discovers the bound
 // address through -addrfile exactly as the serve-smoke script does, hits
@@ -21,10 +41,10 @@ func TestDaemonLifecycle(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
-	var log bytes.Buffer
+	var log syncBuffer
 	done := make(chan error, 1)
 	go func() {
-		done <- realMain(ctx, &log, "127.0.0.1:0", addrFile, "", "", 1500, 2, 0, 1, 5*time.Second)
+		done <- realMain(ctx, &log, "127.0.0.1:0", addrFile, "", "", 1500, 2, 0, 1, 5*time.Second, "127.0.0.1:0")
 	}()
 
 	var addr string
@@ -71,6 +91,40 @@ func TestDaemonLifecycle(t *testing.T) {
 		t.Errorf("jobs listing: status %d, body %+v", resp.StatusCode, listing)
 	}
 
+	// The profiling endpoints are on the dedicated pprof listener and
+	// never on the API listener.
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("API listener served /debug/pprof/ with status %d, want 404", resp.StatusCode)
+	}
+	var pprofAddr string
+	deadline = time.Now().Add(10 * time.Second)
+	for pprofAddr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never logged its pprof address:\n%s", log.String())
+		}
+		for _, line := range strings.Split(log.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "mecpid: pprof on http://"); ok {
+				pprofAddr = strings.TrimSuffix(rest, "/debug/pprof/")
+			}
+		}
+		if pprofAddr == "" {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	resp, err = http.Get("http://" + pprofAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof listener: status %d, want 200", resp.StatusCode)
+	}
+
 	cancel()
 	select {
 	case err := <-done:
@@ -89,7 +143,13 @@ func TestDaemonLifecycle(t *testing.T) {
 }
 
 func TestDaemonRejectsBadListenAddress(t *testing.T) {
-	if err := realMain(context.Background(), bytes.NewBuffer(nil), "256.256.256.256:99999", "", "", "", 1000, 2, 0, 1, time.Second); err == nil {
+	if err := realMain(context.Background(), bytes.NewBuffer(nil), "256.256.256.256:99999", "", "", "", 1000, 2, 0, 1, time.Second, ""); err == nil {
 		t.Error("invalid listen address should fail")
+	}
+}
+
+func TestDaemonRejectsBadPprofAddress(t *testing.T) {
+	if err := realMain(context.Background(), bytes.NewBuffer(nil), "127.0.0.1:0", "", "", "", 1000, 2, 0, 1, time.Second, "256.256.256.256:99999"); err == nil {
+		t.Error("invalid pprof listen address should fail")
 	}
 }

@@ -30,6 +30,7 @@
 //	sweep -base core2 -param rob -values 64,128 -param memlat -values 150,300
 //	sweep -plan grid.json [-ops N] [-starts N] [-store DIR]
 //	sweep -optimize spec.json [-json] [-ops N] [-starts N] [-store DIR]
+//	      [-cpuprofile FILE] [-memprofile FILE]
 //
 // Everything is deterministic; with -store DIR a repeated run
 // dispatches zero simulations (100% run-store hits) and regenerates
@@ -47,7 +48,9 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/prof"
 	"repro/internal/runstore"
+	"repro/internal/serve"
 	"repro/internal/uarch"
 )
 
@@ -69,14 +72,25 @@ func main() {
 	flag.Var(&valueLists, "values", "comma-separated values for the matching -param (repeat once per axis), e.g. 32,64,128,256")
 	planFile := flag.String("plan", "", "plan file (strict JSON {base, axes, suite}); replaces -base/-param/-values/-suite")
 	optimizeFile := flag.String("optimize", "", "optimize spec file (strict JSON {base, axes, suite, objective[, search]}); replaces -base/-param/-values/-suite")
-	jsonOut := flag.Bool("json", false, "with -optimize, print the wire-format JSON report instead of the table")
+	jsonOut := flag.Bool("json", false, "with -optimize or a grid plan, print the wire-format JSON report instead of the table")
 	suite := flag.String("suite", "cpu2006", "suite to simulate and fit on")
 	ops := flag.Int("ops", 300000, "µops per workload")
 	starts := flag.Int("starts", 12, "regression multi-start count")
 	storeDir := flag.String("store", "", "run-store directory for cached simulation results (empty = no cache)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := realMain(os.Stdout, *base, params, valueLists, *suite, *ops, *starts, *storeDir, *planFile, *optimizeFile, *jsonOut); err != nil {
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	err = realMain(os.Stdout, *base, params, valueLists, *suite, *ops, *starts, *storeDir, *planFile, *optimizeFile, *jsonOut)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
@@ -143,9 +157,6 @@ func realMain(out io.Writer, baseName string, params, valueLists []string, suite
 		}
 		return runOptimize(out, o, opts, jsonOut)
 	}
-	if jsonOut {
-		return fmt.Errorf("-json is only meaningful with -optimize")
-	}
 
 	// A plan file carries its own base, axes and suite; otherwise the
 	// axes come from the repeated -param/-values pairs.
@@ -161,7 +172,7 @@ func realMain(out io.Writer, baseName string, params, valueLists []string, suite
 		if err != nil {
 			return err
 		}
-		return runGrid(out, plan, opts)
+		return runGrid(out, plan, opts, jsonOut)
 	}
 
 	if len(params) == 0 {
@@ -181,6 +192,9 @@ func realMain(out io.Writer, baseName string, params, valueLists []string, suite
 
 	if len(axes) == 1 {
 		// The classic one-axis sweep, with its original output format.
+		if jsonOut {
+			return fmt.Errorf("-json is only meaningful with -optimize or a multi-axis grid plan")
+		}
 		if _, err := experiments.SweepParamByName(axes[0].Param); err != nil {
 			return err
 		}
@@ -208,7 +222,7 @@ func realMain(out io.Writer, baseName string, params, valueLists []string, suite
 	if err != nil {
 		return err
 	}
-	return runGrid(out, plan, opts)
+	return runGrid(out, plan, opts, jsonOut)
 }
 
 // runOptimize executes a validated design-space search and prints the
@@ -256,7 +270,7 @@ func runOptimize(out io.Writer, o *experiments.Optimize, opts experiments.Option
 // table plus sourcing statistics (including how many µop traces were
 // actually generated — a warm store regenerates none, and a cold grid
 // generates one per workload, not one per cell).
-func runGrid(out io.Writer, plan *experiments.Plan, opts experiments.Options) error {
+func runGrid(out io.Writer, plan *experiments.Plan, opts experiments.Options, jsonOut bool) error {
 	var axisNames []string
 	for _, ax := range plan.Axes {
 		axisNames = append(axisNames, ax.Param)
@@ -279,6 +293,15 @@ func runGrid(out io.Writer, plan *experiments.Plan, opts experiments.Options) er
 	}
 	fmt.Fprintln(os.Stderr)
 
+	if jsonOut {
+		data, err := json.MarshalIndent(serve.PlanResponseFrom(res), "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		_, err = out.Write(data)
+		return err
+	}
 	fmt.Fprint(out, res.Render())
 	return nil
 }

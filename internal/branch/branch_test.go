@@ -175,3 +175,69 @@ func TestStockConfigsConstruct(t *testing.T) {
 		}
 	}
 }
+
+// TestPredictUpdateMatchesPredictThenUpdate pins the fused hot path:
+// for every predictor kind, a PredictUpdate stream must return exactly
+// what Predict would have and leave the predictor in exactly the state
+// Predict+Update would — the simulator's bit-identity depends on it.
+// Small tables force heavy aliasing so the single-index fusion is
+// exercised where it could plausibly diverge.
+func TestPredictUpdateMatchesPredictThenUpdate(t *testing.T) {
+	mk := func() []Predictor {
+		return []Predictor{newBimodal(4), newGshare(4, 6), newTournament(4, 6)}
+	}
+	ref, fused := mk(), mk()
+	r := rng.New(99)
+	for i := 0; i < 50000; i++ {
+		pc := uint64(r.Uint64n(64)) << 2
+		taken := r.Bool(0.6)
+		for j := range ref {
+			want := ref[j].Predict(pc)
+			ref[j].Update(pc, taken)
+			if got := fused[j].PredictUpdate(pc, taken); got != want {
+				t.Fatalf("%s: step %d: PredictUpdate = %v, Predict+Update = %v",
+					ref[j].Name(), i, got, want)
+			}
+		}
+	}
+	// The states converged too: both streams predict identically on a
+	// fresh probe sweep.
+	for j := range ref {
+		for pc := uint64(0); pc < 64<<2; pc += 4 {
+			if ref[j].Predict(pc) != fused[j].Predict(pc) {
+				t.Errorf("%s: diverged state at pc %#x after identical streams", ref[j].Name(), pc)
+			}
+		}
+	}
+}
+
+// TestResetMatchesFresh pins Reset: a trained-then-reset predictor must
+// behave bit-identically to a newly constructed one (the simulator
+// reuses one predictor across runs instead of reallocating).
+func TestResetMatchesFresh(t *testing.T) {
+	mk := func() []Predictor {
+		return []Predictor{newBimodal(6), newGshare(6, 8), newTournament(6, 8)}
+	}
+	used, fresh := mk(), mk()
+	r := rng.New(123)
+	for i := 0; i < 20000; i++ {
+		pc := uint64(r.Uint64n(256)) << 2
+		for j := range used {
+			used[j].PredictUpdate(pc, r.Bool(0.5))
+		}
+	}
+	for j := range used {
+		used[j].Reset()
+	}
+	r2 := rng.New(321)
+	for i := 0; i < 20000; i++ {
+		pc := uint64(r2.Uint64n(256)) << 2
+		taken := r2.Bool(0.7)
+		for j := range used {
+			if used[j].PredictUpdate(pc, taken) != fresh[j].PredictUpdate(pc, taken) {
+				t.Fatalf("%s: step %d: reset predictor diverged from a fresh one",
+					used[j].Name(), i)
+			}
+		}
+	}
+}

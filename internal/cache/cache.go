@@ -345,24 +345,43 @@ func (h *Hierarchy) DTLB() *TLB  { return h.dtlb }
 
 // Do performs one access through the hierarchy and returns its outcome.
 func (h *Hierarchy) Do(a Access) Result {
+	if a.IsInstr {
+		return h.do(h.l1i, h.itlb, &h.IStats, a.Addr, !a.IsWrite, true)
+	}
+	return h.do(h.l1d, h.dtlb, &h.DStats, a.Addr, !a.IsWrite, false)
+}
+
+// DoInstr performs one instruction-fetch access.
+func (h *Hierarchy) DoInstr(addr uint64) Result {
+	return h.do(h.l1i, h.itlb, &h.IStats, addr, true, true)
+}
+
+// DoLoad performs one data-load access.
+func (h *Hierarchy) DoLoad(addr uint64) Result {
+	return h.do(h.l1d, h.dtlb, &h.DStats, addr, true, false)
+}
+
+// DoStore performs one data-store access. Stores drain through the
+// write buffer, so the caller never needs the latency outcome.
+func (h *Hierarchy) DoStore(addr uint64) {
+	h.do(h.l1d, h.dtlb, &h.DStats, addr, false, false)
+}
+
+// do is the shared access path; the side (L1, TLB, statistics) is
+// resolved by the Do* wrappers so the per-µop call sites pay no
+// per-access side selection. isLoad only matters on the data side
+// (isInstr false): load misses feed the model's load-specific counters.
+func (h *Hierarchy) do(l1 *Cache, tlb *TLB, side *SideStats, addr uint64, isRead, isInstr bool) Result {
 	m := h.machine
 	var res Result
-	var l1 *Cache
-	var tlb *TLB
-	var side *SideStats
-	if a.IsInstr {
-		l1, tlb, side = h.l1i, h.itlb, &h.IStats
-	} else {
-		l1, tlb, side = h.l1d, h.dtlb, &h.DStats
-	}
 
-	if !tlb.Access(a.Addr) {
+	if !tlb.Access(addr) {
 		res.TLBMiss = true
 		side.TLBMisses++
 	}
 
-	isLoad := !a.IsWrite && !a.IsInstr
-	if l1.Access(a.Addr) {
+	isLoad := isRead && !isInstr
+	if l1.Access(addr) {
 		res.Level = LvlL1
 		res.Lat = l1.cfg.LatCycles
 	} else {
@@ -370,12 +389,12 @@ func (h *Hierarchy) Do(a Access) Result {
 		if isLoad {
 			side.L1LoadMisses++
 		}
-		if h.pf != nil && !a.IsInstr {
+		if h.pf != nil && !isInstr {
 			// The streamer watches the L2's demand stream (L1D misses) and
 			// pre-populates the L2 before the demand lookup below.
-			h.pf.OnDemand(a.Addr, h.l2.Probe(a.Addr))
+			h.pf.OnDemand(addr, h.l2.Probe(addr))
 		}
-		if h.l2.Access(a.Addr) {
+		if h.l2.Access(addr) {
 			res.Level = LvlL2
 			res.Lat = m.L2.LatCycles
 			if isLoad {
@@ -384,7 +403,7 @@ func (h *Hierarchy) Do(a Access) Result {
 		} else {
 			side.L2Misses++
 			if h.l3 != nil {
-				if h.l3.Access(a.Addr) {
+				if h.l3.Access(addr) {
 					res.Level = LvlL3
 					res.Lat = m.L3.LatCycles
 				} else {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -341,6 +342,72 @@ func TestRunPlanSharedTraceStats(t *testing.T) {
 		g, w := regen.Points[i], cold.Points[i]
 		if g.SimCPI != w.SimCPI || g.ModelCPI != w.ModelCPI {
 			t.Errorf("cell %d: shared vs regenerated traces disagree: %+v vs %+v", i, g, w)
+		}
+	}
+}
+
+// TestRunPlanDeterministicAcrossWorkers pins the cell-parallel
+// execution model: the same plan run with one worker, with an
+// oversubscribed pool (more workers than the host has cores), and with
+// that pool squeezed onto a single P via GOMAXPROCS must agree
+// float-for-float per cell and byte-for-byte in rendered output —
+// scheduling must never leak into results. CI runs this under -race,
+// so it doubles as the race check on the materializer/worker buffer
+// hand-off. make sim-nondeterminism asserts the same property
+// end-to-end through cmd/sweep and the run store.
+func TestRunPlanDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid simulation is slow")
+	}
+	sn := tinySuite(t)
+	base := uarch.CoreTwo()
+	axes := []PlanAxis{
+		{Param: "rob", Values: []int{48, 96}},
+		{Param: "mshrs", Values: []int{4, 8}},
+	}
+	plan, err := NewPlan(base, axes, sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *PlanResult {
+		t.Helper()
+		res, err := RunPlan(plan, Options{NumOps: 2000, FitStarts: 2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(1)
+	prev := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct {
+		name     string
+		workers  int
+		maxProcs int
+	}{
+		{"oversubscribed pool", 8, prev},
+		{"pool on a single P", 8, 1},
+	} {
+		runtime.GOMAXPROCS(tc.maxProcs)
+		got := run(tc.workers)
+		runtime.GOMAXPROCS(prev)
+		if len(got.Points) != len(want.Points) {
+			t.Fatalf("%s: %d cells, want %d", tc.name, len(got.Points), len(want.Points))
+		}
+		for i := range got.Points {
+			g, w := got.Points[i], want.Points[i]
+			if g.Machine != w.Machine || g.SimCPI != w.SimCPI || g.ModelCPI != w.ModelCPI {
+				t.Errorf("%s: cell %d differs from the single-worker run: %+v vs %+v",
+					tc.name, i, g, w)
+			}
+			for _, c := range sim.Components() {
+				if g.SimStack.Cycles[c] != w.SimStack.Cycles[c] ||
+					g.ModelStack.Cycles[c] != w.ModelStack.Cycles[c] {
+					t.Errorf("%s: cell %d component %s differs", tc.name, i, c)
+				}
+			}
+		}
+		if got.Render() != want.Render() {
+			t.Errorf("%s: rendered plan differs from the single-worker run", tc.name)
 		}
 	}
 }

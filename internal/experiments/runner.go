@@ -23,15 +23,17 @@ type simJob struct {
 }
 
 // sharedTrace is one workload's materialized µop stream, shared across
-// every machine that simulates it in a single runSimJobs call: the
-// first worker to need the stream materializes it (once-guarded, so
-// concurrent workers block instead of regenerating), later workers
-// replay it through independent cursors, and the last user releases the
-// backing store for the garbage collector.
+// every machine that simulates it in a single runSimJobs call. The
+// materializer pipeline produces the stream ahead of the workers and
+// closes ready; workers replay it through independent cursors, and the
+// last user hands the backing store back for recycling. buf is nil
+// after ready closes when materialization was aborted (cancellation or
+// an earlier failure).
 type sharedTrace struct {
-	once sync.Once
-	buf  *trace.Buffer
-	left atomic.Int64
+	spec  trace.Spec
+	ready chan struct{}
+	buf   *trace.Buffer
+	left  atomic.Int64
 }
 
 // runSimJobs is the shared simulation path under Lab.Simulate (batch
@@ -48,13 +50,19 @@ type sharedTrace struct {
 // Workloads simulated on more than one machine (a campaign's machine
 // grid, a plan's cells) share one materialized trace.Buffer per spec:
 // the stream is generated once and replayed per machine, instead of
-// regenerated per (machine, workload) pair. To bound how many buffers
-// are live at once, misses are dispatched workload-major (all machines
-// of one workload adjacently) regardless of the order jobs were
-// enqueued in. Results are deterministic regardless of scheduling,
-// sourcing and stream kind (a replayed buffer is bit-identical to its
-// generating stream, and a cached Result is exactly what re-simulating
-// would produce).
+// regenerated per (machine, workload) pair. Misses are dispatched
+// workload-major (all machines of one workload adjacently) regardless
+// of the order jobs were enqueued in, and a dedicated materializer
+// goroutine produces the buffers in that same order, ahead of the
+// workers — cells simulate while the next workload's stream generates
+// instead of stalling on it. At most workers+1 streams are live at
+// once: the materializer blocks until a slot frees, and the last user
+// of each buffer returns its backing store for the next workload to
+// refill in place, so a long plan touches a bounded set of stores
+// instead of allocating one per workload. Results are deterministic
+// regardless of scheduling, sourcing and stream kind (a replayed buffer
+// is bit-identical to its generating stream, and a cached Result is
+// exactly what re-simulating would produce).
 //
 // Cancelling ctx stops the dispatch of new simulations: jobs already
 // running on a worker finish (and are recorded and stored), everything
@@ -102,11 +110,11 @@ func runSimJobs(ctx context.Context, jobs []simJob, opts Options, record func(Ru
 		return st, nil
 	}
 
-	// Group the misses workload-major and set up trace sharing: jobs
-	// arrive machine-major (every workload of machine 1, then machine
-	// 2, …), which would keep every shared buffer alive across the
-	// whole run; making each spec's uses adjacent bounds the live
-	// buffers to roughly the worker count.
+	// Group the misses workload-major: jobs arrive machine-major (every
+	// workload of machine 1, then machine 2, …), which would keep every
+	// shared buffer alive across the whole run; making each spec's uses
+	// adjacent bounds the live buffers and gives the materializer its
+	// production order.
 	first := make(map[string]int, len(misses))
 	uses := make(map[string]int, len(misses))
 	for i := range misses {
@@ -120,31 +128,72 @@ func runSimJobs(ctx context.Context, jobs []simJob, opts Options, record func(Ru
 	sort.SliceStable(misses, func(a, b int) bool {
 		return first[misses[a].specHash] < first[misses[b].specHash]
 	})
-	buffers := map[string]*sharedTrace{}
-	for h, n := range uses {
-		if n > 1 && !opts.NoSharedTraces {
-			sh := &sharedTrace{}
-			sh.left.Store(int64(n))
-			buffers[h] = sh
+	var groups []*sharedTrace // shared workloads in dispatch order
+	if !opts.NoSharedTraces {
+		buffers := make(map[string]*sharedTrace)
+		for i := range misses {
+			h := misses[i].specHash
+			if uses[h] <= 1 {
+				continue
+			}
+			sh, ok := buffers[h]
+			if !ok {
+				sh = &sharedTrace{spec: misses[i].spec, ready: make(chan struct{})}
+				sh.left.Store(int64(uses[h]))
+				buffers[h] = sh
+				groups = append(groups, sh)
+			}
+			misses[i].shared = sh
 		}
-	}
-	for i := range misses {
-		misses[i].shared = buffers[misses[i].specHash]
 	}
 
 	var (
 		mu        sync.Mutex
 		firstErr  error
+		abort     = make(chan struct{}) // closed on the first failure
 		wg        sync.WaitGroup
+		matWG     sync.WaitGroup
 		traceGens atomic.Int64
 	)
 	fail := func(err error) {
 		mu.Lock()
 		if firstErr == nil {
 			firstErr = err
+			close(abort)
 		}
 		mu.Unlock()
 	}
+
+	// Materializer pipeline. freeSlots carries the recyclable backing
+	// stores (nil until first use); its capacity is the live-buffer
+	// bound. The loop always closes every group's ready channel so no
+	// worker blocks forever, even when aborting.
+	var freeSlots chan []trace.MicroOp
+	if len(groups) > 0 {
+		liveBufs := opts.Workers + 1
+		if liveBufs > len(groups) {
+			liveBufs = len(groups)
+		}
+		freeSlots = make(chan []trace.MicroOp, liveBufs)
+		for i := 0; i < liveBufs; i++ {
+			freeSlots <- nil
+		}
+		matWG.Add(1)
+		go func() {
+			defer matWG.Done()
+			for _, sh := range groups {
+				select {
+				case ops := <-freeSlots:
+					sh.buf = trace.MaterializeInto(sh.spec, ops)
+					traceGens.Add(1)
+				case <-ctx.Done():
+				case <-abort:
+				}
+				close(sh.ready)
+			}
+		}()
+	}
+
 	ch := make(chan missJob)
 	for i := 0; i < opts.Workers; i++ {
 		wg.Add(1)
@@ -164,19 +213,23 @@ func runSimJobs(ctx context.Context, jobs []simJob, opts Options, record func(Ru
 					sims[j.machine.Name] = s
 				}
 				var src trace.Source
+				var buf *trace.Buffer
 				if sh := j.shared; sh != nil {
-					sh.once.Do(func() {
-						sh.buf = trace.Materialize(j.spec)
-						traceGens.Add(1)
-					})
-					src = sh.buf.Replay()
+					<-sh.ready
+					if buf = sh.buf; buf == nil {
+						continue // materialization aborted
+					}
+					src = buf.Replay()
 				} else {
 					src = trace.New(j.spec)
 					traceGens.Add(1)
 				}
 				res, err := s.Run(src)
 				if sh := j.shared; sh != nil && sh.left.Add(-1) == 0 {
-					sh.buf = nil // last user: release the stream for GC
+					// Last user: recycle the stream's backing store for
+					// the workload the materializer produces next.
+					sh.buf = nil
+					freeSlots <- buf.ReleaseOps()
 				}
 				if err != nil {
 					fail(fmt.Errorf("experiments: %s on %s: %w", j.spec.Name, j.machine.Name, err))
@@ -200,11 +253,10 @@ feed:
 	for _, j := range misses {
 		// Stop feeding once a worker has failed: the campaign is doomed
 		// anyway, and the remaining simulations would waste minutes.
-		mu.Lock()
-		stop := firstErr != nil
-		mu.Unlock()
-		if stop {
-			break
+		select {
+		case <-abort:
+			break feed
+		default:
 		}
 		select {
 		case ch <- j:
@@ -214,6 +266,7 @@ feed:
 	}
 	close(ch)
 	wg.Wait()
+	matWG.Wait()
 	st.TraceGens = int(traceGens.Load())
 	if firstErr == nil && ctx.Err() != nil {
 		firstErr = ctx.Err()

@@ -1,0 +1,81 @@
+// Package prof wires the runtime's CPU and heap profilers into the
+// command-line tools. Every batch CLI (mecpi, sweep, experiments)
+// exposes -cpuprofile/-memprofile flags through Start, so any slow run
+// can be reprofiled with the exact flags that produced it; the daemon
+// uses net/http/pprof on a dedicated listener instead (see cmd/mecpid).
+//
+// The helpers treat an empty path as "profiling off" so callers can
+// pass flag values through unconditionally.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile at cpuPath (when non-empty) and returns a
+// stop function that ends the CPU profile and writes a heap profile to
+// memPath (when non-empty). The stop function must be called before the
+// process exits — a CPU profile is only valid once stopped — and is
+// safe to call when both paths are empty, so callers can defer it
+// unconditionally.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	stopCPU, err := StartCPU(cpuPath)
+	if err != nil {
+		return nil, err
+	}
+	return func() error {
+		err := stopCPU()
+		if herr := WriteHeap(memPath); herr != nil && err == nil {
+			err = herr
+		}
+		return err
+	}, nil
+}
+
+// StartCPU begins a CPU profile written to path and returns the
+// function that stops it and closes the file. An empty path is a no-op.
+func StartCPU(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("prof: %s: %w", path, err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+// WriteHeap writes an allocation profile to path. It runs a GC first so
+// the profile reflects live objects at the call, not whenever the last
+// cycle happened to finish. An empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("prof: %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	return nil
+}

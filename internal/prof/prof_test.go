@@ -1,0 +1,55 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartWritesBothProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Burn a little CPU and heap so the profiles have content.
+	sink := 0
+	buf := make([]byte, 1<<16)
+	for i := range buf {
+		sink += int(buf[i]) + i
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("stat %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s: empty profile", p)
+		}
+	}
+}
+
+func TestEmptyPathsAreNoOps(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if err := WriteHeap(""); err != nil {
+		t.Fatalf("WriteHeap: %v", err)
+	}
+}
+
+func TestStartCPUBadPath(t *testing.T) {
+	if _, err := StartCPU(filepath.Join(t.TempDir(), "no", "such", "dir", "x")); err == nil {
+		t.Fatal("expected error for unwritable path")
+	}
+}

@@ -101,17 +101,41 @@ func (r *RNG) ExpFloat64() float64 {
 // counting the number of failures before the first success (support {0,1,...}).
 // p must be in (0, 1].
 func (r *RNG) Geometric(p float64) int {
+	return NewGeometric(p).Next(r)
+}
+
+// GeometricDist is a geometric distribution with its log-constant
+// precomputed. The generator's hot loop draws millions of variates with
+// a fixed p; hoisting math.Log(1-p) out of the per-draw path halves the
+// transcendental work while producing bit-identical variates (the
+// remaining per-draw computation is unchanged).
+type GeometricDist struct {
+	one  bool    // p == 1: always 0
+	logq float64 // math.Log(1-p)
+}
+
+// NewGeometric validates p and precomputes the distribution constants.
+// It panics if p is outside (0, 1], exactly as Geometric does.
+func NewGeometric(p float64) GeometricDist {
 	if p <= 0 || p > 1 {
 		panic("rng: Geometric needs p in (0,1]")
 	}
 	if p == 1 {
+		return GeometricDist{one: true}
+	}
+	return GeometricDist{logq: math.Log(1 - p)}
+}
+
+// Next draws the next variate from r.
+func (d GeometricDist) Next(r *RNG) int {
+	if d.one {
 		return 0
 	}
 	u := r.Float64()
 	for u == 0 {
 		u = r.Float64()
 	}
-	return int(math.Floor(math.Log(u) / math.Log(1-p)))
+	return int(math.Floor(math.Log(u) / d.logq))
 }
 
 // Zipf returns a value in [0, n) drawn from a (truncated) Zipf-like
@@ -119,11 +143,48 @@ func (r *RNG) Geometric(p float64) int {
 // Uses inverse-CDF on a precomputed-free approximation via rejection for
 // small n, and a power-law inverse transform for speed.
 func (r *RNG) Zipf(n int, s float64) int {
+	return NewZipf(n, s).Next(r)
+}
+
+// ZipfDist is a truncated Zipf-like distribution over [0, n) with its
+// power-law constants precomputed. The inverse transform needs two
+// math.Pow evaluations per draw when computed from scratch; one of them
+// (the normalization of the support) depends only on (n, s), so hoisting
+// it halves the per-draw transcendental cost. Variates are bit-identical
+// to Zipf's: the per-draw arithmetic is exactly the same operations on
+// exactly the same values.
+type ZipfDist struct {
+	n       int
+	uniform bool    // s <= 0
+	unit    bool    // s == 1: x = (n+1)^u
+	nf      float64 // float64(n) + 1
+	bm1     float64 // math.Pow(n+1, 1-s) - 1
+	inv     float64 // 1 / (1 - s)
+}
+
+// NewZipf validates n and precomputes the distribution constants. It
+// panics if n <= 0, exactly as Zipf does.
+func NewZipf(n int, s float64) ZipfDist {
 	if n <= 0 {
 		panic("rng: Zipf needs n > 0")
 	}
-	if s <= 0 {
-		return r.Intn(n)
+	d := ZipfDist{n: n, nf: float64(n) + 1}
+	switch {
+	case s <= 0:
+		d.uniform = true
+	case s == 1:
+		d.unit = true
+	default:
+		d.bm1 = math.Pow(float64(n)+1, 1-s) - 1
+		d.inv = 1 / (1 - s)
+	}
+	return d
+}
+
+// Next draws the next variate from r.
+func (d ZipfDist) Next(r *RNG) int {
+	if d.uniform {
+		return r.Intn(d.n)
 	}
 	// Inverse transform of the continuous analogue: density f(x) ∝ x^(-s)
 	// on [1, n+1), then shift to [0, n). This is a standard fast
@@ -134,18 +195,17 @@ func (r *RNG) Zipf(n int, s float64) int {
 		u = r.Float64()
 	}
 	var x float64
-	if s == 1 {
-		x = math.Pow(float64(n)+1, u)
+	if d.unit {
+		x = math.Pow(d.nf, u)
 	} else {
-		b := math.Pow(float64(n)+1, 1-s)
-		x = math.Pow(u*(b-1)+1, 1/(1-s))
+		x = math.Pow(u*d.bm1+1, d.inv)
 	}
 	k := int(x) - 1
 	if k < 0 {
 		k = 0
 	}
-	if k >= n {
-		k = n - 1
+	if k >= d.n {
+		k = d.n - 1
 	}
 	return k
 }

@@ -624,29 +624,11 @@ type PlanResponse struct {
 	Sims       SimSourcing            `json:"sims"`
 }
 
-func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	s.reqs.plan.Add(1)
-	var req PlanRequest
-	if err := decodeStrict(r, w, &req); err != nil {
-		badRequest(w, err)
-		return
-	}
-	if _, err := suites.ByName(req.Suite, suites.Options{NumOps: s.prov.Opts().NumOps}); err != nil {
-		badRequest(w, err)
-		return
-	}
-	// Resolve validates everything else — base machine, axis names,
-	// values, grid size, cell derivability — before anything simulates.
-	plan, err := req.Resolve()
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	res, err := s.prov.Plan(plan)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, CodeInternal, err)
-		return
-	}
+// PlanResponseFrom converts an executed plan into the wire shape. It is
+// exported so cmd/sweep's -json plan mode emits byte-identical reports
+// to POST /v1/plan — the determinism harness (make sim-nondeterminism)
+// diffs that JSON across GOMAXPROCS settings.
+func PlanResponseFrom(res *experiments.PlanResult) PlanResponse {
 	resp := PlanResponse{
 		Base:       res.Base,
 		Suite:      res.Suite,
@@ -670,7 +652,33 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			ModelStack: stackEntries(pt.ModelStack),
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.reqs.plan.Add(1)
+	var req PlanRequest
+	if err := decodeStrict(r, w, &req); err != nil {
+		badRequest(w, err)
+		return
+	}
+	if _, err := suites.ByName(req.Suite, suites.Options{NumOps: s.prov.Opts().NumOps}); err != nil {
+		badRequest(w, err)
+		return
+	}
+	// Resolve validates everything else — base machine, axis names,
+	// values, grid size, cell derivability — before anything simulates.
+	plan, err := req.Resolve()
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	res, err := s.prov.Plan(plan)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PlanResponseFrom(res))
 }
 
 // OptimizeRequest is the POST /v1/optimize body: a declarative

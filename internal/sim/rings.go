@@ -1,0 +1,195 @@
+package sim
+
+// Ring geometry for the issue-bandwidth tracker. The horizon must exceed
+// the largest lead of any op's issue time over the dispatch cycle, which
+// is bounded by the window draining serially through worst-case latencies
+// (ROB × (memLat + TLB walk) ≈ 60K cycles on the Pentium 4 config).
+const (
+	issueRingBits = 18
+	issueRingSize = 1 << issueRingBits
+	issueRingMask = issueRingSize - 1
+)
+
+// Per-cycle issue counts are packed into the low bits of the ring word,
+// so the machine's issue width must fit in issueCntMask (sim.New
+// enforces this).
+const (
+	issueCntBits = 6
+	issueCntMask = (1 << issueCntBits) - 1
+)
+
+// Completion ring: maps recent canonical sequence numbers to completion
+// times. Dependences reach at most 256 µops back (the generator clamps
+// them), far less than the ring size.
+const (
+	seqRingBits = 10
+	seqRingSize = 1 << seqRingBits
+	seqRingMask = seqRingSize - 1
+)
+
+// issueRing counts issues per future cycle so dispatch can find the
+// first cycle with spare issue bandwidth. Each ring word packs the
+// owning cycle and that cycle's issue count as cycle<<issueCntBits|count
+// — one load/store per probe instead of separate tag and count arrays.
+// Ring slots are lazily re-tagged as the cycle horizon advances; reset
+// words are all-ones, a tag no reachable cycle can have (it would need
+// cycle ≥ 2^58).
+type issueRing struct {
+	w []uint64
+}
+
+func newIssueRing() issueRing {
+	return issueRing{w: make([]uint64, issueRingSize)}
+}
+
+func (r *issueRing) reset() {
+	for i := range r.w {
+		r.w[i] = ^uint64(0)
+	}
+}
+
+// findSlot returns the first cycle ≥ t with spare issue bandwidth and
+// books one issue there. width must be in [1, issueCntMask].
+func (r *issueRing) findSlot(t uint64, width int) uint64 {
+	for {
+		i := t & issueRingMask
+		w := r.w[i]
+		if w>>issueCntBits != t {
+			// Slot belongs to a long-past cycle: claim it for t.
+			r.w[i] = t<<issueCntBits | 1
+			return t
+		}
+		if int(w&issueCntMask) < width {
+			r.w[i] = w + 1
+			return t
+		}
+		t++
+	}
+}
+
+// seqRing maps recent canonical sequence numbers to completion times.
+// The tag stores seq+1 so the zero value means empty; a lookup past the
+// ring horizon (or before the producer dispatched) reports 0, i.e.
+// completed in the distant past.
+type seqRing struct {
+	tag [seqRingSize]uint64
+	at  [seqRingSize]uint64
+}
+
+func (r *seqRing) reset() {
+	clear(r.tag[:])
+}
+
+func (r *seqRing) lookup(seq uint64) uint64 {
+	i := seq & seqRingMask
+	if r.tag[i] == seq+1 {
+		return r.at[i]
+	}
+	return 0
+}
+
+func (r *seqRing) store(seq, t uint64) {
+	i := seq & seqRingMask
+	r.tag[i] = seq + 1
+	r.at[i] = t
+}
+
+// mshrHeap tracks the free times of the machine's MSHRs as a binary
+// min-heap, so a memory trip finds the least-soon-free MSHR at the root
+// in O(1) and commits its new free time in O(log MSHRs) — replacing the
+// linear least-soon-free scan per trip. The occupancy pattern only ever
+// replaces the minimum with a later time (the trip starts no earlier
+// than the MSHR frees), so a single sift-down maintains the invariant.
+type mshrHeap struct {
+	a []uint64
+}
+
+func (h *mshrHeap) reset() {
+	for i := range h.a {
+		h.a[i] = 0
+	}
+}
+
+// min returns the earliest free time across all MSHRs.
+func (h *mshrHeap) min() uint64 { return h.a[0] }
+
+// replaceMin overwrites the earliest free time with v (which must be
+// ≥ the current minimum) and restores heap order.
+func (h *mshrHeap) replaceMin(v uint64) {
+	a := h.a
+	n := len(a)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		sv := v
+		if l < n && a[l] < sv {
+			small, sv = l, a[l]
+		}
+		if r < n && a[r] < sv {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		a[i] = a[small]
+		i = small
+	}
+	a[i] = v
+}
+
+// minHeap is a binary min-heap of uint64 (issue-queue departure times).
+type minHeap struct {
+	a []uint64
+}
+
+func newMinHeap(capHint int) minHeap {
+	return minHeap{a: make([]uint64, 0, capHint)}
+}
+
+func (h *minHeap) len() int    { return len(h.a) }
+func (h *minHeap) min() uint64 { return h.a[0] }
+
+func (h *minHeap) push(v uint64) {
+	h.a = append(h.a, v)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *minHeap) pop() uint64 {
+	v := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.a[l] < h.a[small] {
+			small = l
+		}
+		if r < last && h.a[r] < h.a[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return v
+}
+
+// popUpTo removes all entries with value <= cycle (ops that have issued).
+func (h *minHeap) popUpTo(cycle uint64) {
+	for len(h.a) > 0 && h.a[0] <= cycle {
+		h.pop()
+	}
+}

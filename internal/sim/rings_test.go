@@ -1,0 +1,120 @@
+package sim
+
+import "testing"
+
+// TestIssueRingBandwidth pins the core booking behavior: a cycle hands
+// out exactly width slots, then overflows into the next cycle.
+func TestIssueRingBandwidth(t *testing.T) {
+	r := newIssueRing()
+	r.reset()
+	const width = 4
+	for i := 0; i < width; i++ {
+		if got := r.findSlot(100, width); got != 100 {
+			t.Fatalf("claim %d: findSlot(100) = %d, want 100", i, got)
+		}
+	}
+	if got := r.findSlot(100, width); got != 101 {
+		t.Errorf("full cycle should overflow: findSlot(100) = %d, want 101", got)
+	}
+	// A request for a later cycle never lands on an earlier one.
+	if got := r.findSlot(200, width); got != 200 {
+		t.Errorf("findSlot(200) = %d, want 200", got)
+	}
+}
+
+// TestIssueRingWrapAround drives the ring across its issueRingSize
+// horizon: a slot whose index collides with a long-past cycle must be
+// lazily re-tagged, not treated as occupied, and the stale bookings of
+// the old cycle must not leak into the new one.
+func TestIssueRingWrapAround(t *testing.T) {
+	r := newIssueRing()
+	r.reset()
+	const width = 2
+	base := uint64(7)
+	// Exhaust cycle base so its ring word carries a full count.
+	if r.findSlot(base, width) != base || r.findSlot(base, width) != base {
+		t.Fatal("setup: could not book cycle base twice")
+	}
+	// One horizon later the same index must look free again: the tag
+	// mismatch re-claims it with a fresh count of one.
+	wrapped := base + issueRingSize
+	if got := r.findSlot(wrapped, width); got != wrapped {
+		t.Fatalf("findSlot(base+ringSize) = %d, want %d (stale slot not re-tagged)", got, wrapped)
+	}
+	if got := r.findSlot(wrapped, width); got != wrapped {
+		t.Fatalf("second claim after wrap = %d, want %d (stale count leaked)", got, wrapped)
+	}
+	if got := r.findSlot(wrapped, width); got != wrapped+1 {
+		t.Errorf("third claim after wrap = %d, want %d", got, wrapped+1)
+	}
+	// Several horizons later, same story — the tag comparison is on the
+	// full cycle, not the wrapped index.
+	far := base + 5*issueRingSize
+	if got := r.findSlot(far, width); got != far {
+		t.Errorf("findSlot(base+5*ringSize) = %d, want %d", got, far)
+	}
+}
+
+// TestIssueRingResetClearsBookings pins the per-run reset: bookings
+// from a previous run must never alias into the next, including the
+// cycle-0 slot (the reset tag must be unreachable, not just unlikely).
+func TestIssueRingResetClearsBookings(t *testing.T) {
+	r := newIssueRing()
+	r.reset()
+	const width = 1
+	if r.findSlot(0, width) != 0 {
+		t.Fatal("setup: cycle 0 not bookable on a fresh ring")
+	}
+	if got := r.findSlot(0, width); got != 1 {
+		t.Fatalf("setup: second claim = %d, want overflow to 1", got)
+	}
+	r.reset()
+	if got := r.findSlot(0, width); got != 0 {
+		t.Errorf("after reset, findSlot(0) = %d, want 0", got)
+	}
+}
+
+// TestSeqRingWrapAround drives the completion ring across its
+// seqRingSize horizon: a sequence number whose index collides with an
+// evicted one must read as 0 (completed in the distant past), and a
+// fresh store must win over the stale entry.
+func TestSeqRingWrapAround(t *testing.T) {
+	var r seqRing
+	r.reset()
+	const seq = uint64(42)
+	r.store(seq, 900)
+	if got := r.lookup(seq); got != 900 {
+		t.Fatalf("lookup(%d) = %d, want 900", seq, got)
+	}
+	// The colliding sequence one horizon later misses before its store...
+	collide := seq + seqRingSize
+	if got := r.lookup(collide); got != 0 {
+		t.Errorf("lookup(seq+ringSize) = %d, want 0 before store", got)
+	}
+	// ...and after its store, the original is the stale one.
+	r.store(collide, 1800)
+	if got := r.lookup(collide); got != 1800 {
+		t.Errorf("lookup(seq+ringSize) = %d, want 1800 after store", got)
+	}
+	if got := r.lookup(seq); got != 0 {
+		t.Errorf("lookup(seq) = %d, want 0 after eviction by the colliding store", got)
+	}
+}
+
+// TestSeqRingZeroSequence pins the tag encoding: sequence 0 is a valid
+// key (tag stores seq+1 precisely so the zero word means empty).
+func TestSeqRingZeroSequence(t *testing.T) {
+	var r seqRing
+	r.reset()
+	if got := r.lookup(0); got != 0 {
+		t.Fatalf("lookup(0) on an empty ring = %d, want 0", got)
+	}
+	r.store(0, 77)
+	if got := r.lookup(0); got != 77 {
+		t.Errorf("lookup(0) = %d, want 77", got)
+	}
+	r.reset()
+	if got := r.lookup(0); got != 0 {
+		t.Errorf("lookup(0) after reset = %d, want 0 (stale tag survived)", got)
+	}
+}

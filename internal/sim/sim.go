@@ -48,58 +48,118 @@ func DecodeResult(data []byte) (*Result, error) {
 	return &r, nil
 }
 
+// numKinds sizes per-kind lookup tables (trace.Kind values are < 8).
+const numKinds = 8
+
 // Simulator executes µop streams on one machine configuration. It is
-// reusable across runs (state is reset per Run) but not safe for
-// concurrent use.
+// reusable across runs (state is reset per Run) and holds all its
+// working storage — window, rings, predictor, heaps — so steady-state
+// runs allocate nothing. Not safe for concurrent use.
 type Simulator struct {
 	m    *uarch.Machine
 	hier *cache.Hierarchy
-	pred branch.Predictor // built fresh per Run; runs must be independent
+	pred branch.Predictor // built lazily on first Run, Reset per run
 	mshr mshrHeap
 
-	// Issue-bandwidth ring: counts issues per future cycle.
-	issueTag []uint64
-	issueCnt []uint8
+	issue issueRing // issue-bandwidth ring: issues per future cycle
+	seq   seqRing   // completion times by canonical sequence number
+	rob   []robMeta
+	iq    minHeap
+
+	// Per-machine constants hoisted out of the per-op path.
+	d           int
+	fD          float64 // float64(DispatchWidth)
+	invD        float64 // 1 / float64(DispatchWidth); CompBase per slot
+	robSize     uint64
+	iqSize      int
+	issueWidth  int
+	commitWidth int
+	fusionRate  float64
+	frontEnd    uint64 // FrontEndDepth
+	lineShift   uint
+	latByKind   [numKinds]uint64 // FU latencies; loads/stores special-cased
+	itlbMiss    uint64
+	l2Lat       uint64
+	l3Lat       uint64
+	memLat      uint64
+	loadAGU     uint64
+	storeLat    uint64
+
+	// Per-run state, reset by RunInto.
+	res        *Result
+	ctr        *perfctr.Counters
+	cycle      uint64 // current dispatch cycle
+	slots      int    // dispatch slots used this cycle
+	nextFetch  uint64 // front end unavailable before this cycle
+	feReason   Component
+	lastLine   uint64
+	entryCount uint64 // dispatched entries (committed µops)
+	robPos     int    // entryCount % ROBSize, maintained incrementally
+	headIdx    uint64 // oldest possibly-uncommitted entry
+	headPos    int    // headIdx % ROBSize
+	lastCommit uint64
+	commitCnt  int
+
+	// MLP oracle accumulators (union-of-busy-intervals watermark).
+	memBusySum   uint64
+	memUnion     uint64
+	coveredUntil uint64
+
+	// Per-op scratch shared between step and doHalf.
+	execStart uint64
+	lat       uint64
+	meta      robMeta
 }
 
-// Ring geometry for the issue-bandwidth tracker. The horizon must exceed
-// the largest lead of any op's issue time over the dispatch cycle, which
-// is bounded by the window draining serially through worst-case latencies
-// (ROB × (memLat + TLB walk) ≈ 60K cycles on the Pentium 4 config).
-const (
-	issueRingBits = 18
-	issueRingSize = 1 << issueRingBits
-	issueRingMask = issueRingSize - 1
-)
-
-// Completion ring: maps recent canonical sequence numbers to completion
-// times. Dependences reach at most 256 µops back (the generator clamps
-// them), far less than the ring size.
-const (
-	seqRingBits = 10
-	seqRingSize = 1 << seqRingBits
-	seqRingMask = seqRingSize - 1
-)
-
 // New builds a simulator for machine m. The branch predictor is not
-// built here: Run constructs a fresh one per run anyway (runs must be
-// independent), and a predictor-configuration error surfaces on the
-// first Run.
+// built here: Run constructs one lazily anyway (a predictor-configuration
+// error surfaces on the first Run).
 func New(m *uarch.Machine) (*Simulator, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
+	}
+	if m.IssueWidth > issueCntMask {
+		return nil, fmt.Errorf("sim: issue width %d exceeds the ring's %d-issue capacity",
+			m.IssueWidth, issueCntMask)
 	}
 	hier, err := cache.NewHierarchy(m)
 	if err != nil {
 		return nil, err
 	}
-	return &Simulator{
-		m:        m,
-		hier:     hier,
-		mshr:     mshrHeap{a: make([]uint64, m.MSHRs)},
-		issueTag: make([]uint64, issueRingSize),
-		issueCnt: make([]uint8, issueRingSize),
-	}, nil
+	s := &Simulator{
+		m:     m,
+		hier:  hier,
+		mshr:  mshrHeap{a: make([]uint64, m.MSHRs)},
+		issue: newIssueRing(),
+		rob:   make([]robMeta, m.ROBSize),
+		iq:    newMinHeap(m.IQSize + 1),
+
+		d:           m.DispatchWidth,
+		fD:          float64(m.DispatchWidth),
+		invD:        1 / float64(m.DispatchWidth),
+		robSize:     uint64(m.ROBSize),
+		iqSize:      m.IQSize,
+		issueWidth:  m.IssueWidth,
+		commitWidth: m.CommitWidth,
+		fusionRate:  m.FusionRate,
+		frontEnd:    uint64(m.FrontEndDepth),
+		itlbMiss:    uint64(m.ITLB.MissLat),
+		l2Lat:       uint64(m.L2.LatCycles),
+		l3Lat:       uint64(m.L3.LatCycles),
+		memLat:      uint64(m.MemLat),
+		loadAGU:     uint64(m.LoadAGU),
+		storeLat:    uint64(m.StoreLat),
+	}
+	for m.L1I.LineBytes>>s.lineShift > 1 {
+		s.lineShift++
+	}
+	for k := range s.latByKind {
+		s.latByKind[k] = uint64(m.IntLat)
+	}
+	s.latByKind[trace.KindMul] = uint64(m.MulLat)
+	s.latByKind[trace.KindFP] = uint64(m.FPLat)
+	s.latByKind[trace.KindDiv] = uint64(m.DivLat)
+	return s, nil
 }
 
 // Machine returns the simulated machine.
@@ -125,350 +185,419 @@ type robMeta struct {
 }
 
 // Run executes the workload stream g to completion and returns counters
-// and ground-truth accounting. The source is reset first, so the same
-// Generator or Buffer cursor can be run on several machines. A
-// materialized trace.Buffer replay produces the exact stream its
-// Generator would, so Results are bit-identical across source kinds.
+// and ground-truth accounting. It is RunInto with a fresh Result.
 func (s *Simulator) Run(g trace.Source) (*Result, error) {
-	g.Reset()
-	s.hier.Reset()
-	// A fresh predictor per run: runs must be independent.
-	pred, err := branch.New(s.m.Predictor)
-	if err != nil {
+	res := &Result{}
+	if err := s.RunInto(res, g); err != nil {
 		return nil, err
 	}
-	s.pred = pred
-	for i := range s.issueTag {
-		s.issueTag[i] = ^uint64(0)
-		s.issueCnt[i] = 0
+	return res, nil
+}
+
+// RunInto executes the workload stream g to completion and fills *res
+// with counters and ground-truth accounting, overwriting any previous
+// contents. The source is reset first, so the same Generator or Buffer
+// cursor can be run on several machines. A materialized trace.Buffer
+// replay produces the exact stream its Generator would, so Results are
+// bit-identical across source kinds (the buffer takes the batched
+// Chunked path, the generator the streaming path; both drive the same
+// per-op step).
+//
+// All working state lives on the Simulator, so steady-state calls
+// allocate nothing — the benchmark gate asserts 0 B/op.
+func (s *Simulator) RunInto(res *Result, g trace.Source) error {
+	g.Reset()
+	s.hier.Reset()
+	if s.pred == nil {
+		// Built on first use so a bad predictor config errors here, and
+		// Reset thereafter: a reset predictor is bit-identical to a fresh
+		// one, and runs stay independent without per-run allocation.
+		pred, err := branch.New(s.m.Predictor)
+		if err != nil {
+			return err
+		}
+		s.pred = pred
+	} else {
+		s.pred.Reset()
 	}
-
-	m := s.m
-	D := m.DispatchWidth
-	res := &Result{}
-	ctr := &res.Counters
-
-	lineShift := uint(0)
-	for m.L1I.LineBytes>>lineShift > 1 {
-		lineShift++
-	}
-
-	// Window state.
-	rob := make([]robMeta, m.ROBSize)
-	iq := newMinHeap(m.IQSize + 1)
+	s.issue.reset()
+	s.seq.reset()
 	s.mshr.reset()
+	s.iq.a = s.iq.a[:0]
+	// Stale rob entries need no clearing: every slot consulted is first
+	// written by this run (reads are bounded by entryCount/headIdx).
 
-	var (
-		cycle      uint64 // current dispatch cycle
-		slots      int    // dispatch slots used this cycle
-		nextFetch  uint64 // front end unavailable before this cycle
-		feReason   = CompBranch
-		lastLine   = ^uint64(0)
-		entryCount uint64 // dispatched entries (committed µops)
-		headIdx    uint64 // oldest possibly-uncommitted entry
-		lastCommit uint64
-		commitCnt  int
-	)
+	*res = Result{}
+	s.res = res
+	s.ctr = &res.Counters
+	s.cycle, s.slots = 0, 0
+	s.nextFetch = 0
+	s.feReason = CompBranch
+	s.lastLine = ^uint64(0)
+	s.entryCount, s.robPos = 0, 0
+	s.headIdx, s.headPos = 0, 0
+	s.lastCommit, s.commitCnt = 0, 0
+	s.memBusySum, s.memUnion, s.coveredUntil = 0, 0, 0
 
-	// Completion-time ring by canonical sequence number.
-	var completeAt [seqRingSize]uint64
-	var completeTag [seqRingSize]uint64 // seq+1; 0 = empty
-
-	lookupComplete := func(seq uint64) uint64 {
-		i := seq & seqRingMask
-		if completeTag[i] == seq+1 {
-			return completeAt[i]
-		}
-		return 0 // long-retired producer: completed in the distant past
+	var ok bool
+	if c, isChunked := g.(trace.Chunked); isChunked {
+		ok = s.driveChunked(c)
+	} else {
+		ok = s.driveGeneric(g)
 	}
-	storeComplete := func(seq, t uint64) {
-		i := seq & seqRingMask
-		completeTag[i] = seq + 1
-		completeAt[i] = t
+	if !ok {
+		s.res, s.ctr = nil, nil
+		return fmt.Errorf("sim: empty µop stream for %q", g.Spec().Name)
 	}
-
-	// Slot-level accounting: empty dispatch slots are charged to a
-	// component; filled slots are base. The invariant is that the sum of
-	// Truth.Cycles always equals cycle + slots/D.
-	stall := func(target uint64, comp Component) {
-		if target <= cycle {
-			return
-		}
-		res.Truth.Cycles[comp] += float64(D-slots)/float64(D) + float64(target-cycle-1)
-		cycle = target
-		slots = 0
+	s.finish()
+	s.res, s.ctr = nil, nil
+	if err := res.Counters.Validate(); err != nil {
+		return fmt.Errorf("sim: inconsistent counters for %q on %s: %w",
+			g.Spec().Name, s.m.Name, err)
 	}
+	return nil
+}
 
-	// classify attributes a window (ROB/IQ) stall at the current cycle to
-	// the oldest uncompleted in-flight op, ASPLOS'06-style: a pending
-	// last-level load miss → memory component; a pending D-TLB walk →
-	// D-TLB; anything else (dependence chains, FU latency, commit width)
-	// → resource stall.
-	classify := func() Component {
-		for headIdx < entryCount && rob[headIdx%uint64(m.ROBSize)].commit <= cycle {
-			headIdx++
-		}
-		for j := headIdx; j < entryCount; j++ {
-			mm := &rob[j%uint64(m.ROBSize)]
-			if mm.complete > cycle {
-				switch {
-				case mm.memTrip:
-					return CompLLCLoad
-				case mm.dtlbMiss:
-					return CompDTLB
-				default:
-					return CompResource
-				}
-			}
-		}
-		return CompResource
-	}
-
-	findIssueSlot := func(t uint64) uint64 {
-		if t > cycle+issueRingSize-4096 {
-			// Beyond the tracked horizon; bandwidth contention there is
-			// immaterial because the window has long since drained.
-			return t
-		}
-		for {
-			i := t & issueRingMask
-			if s.issueTag[i] != t {
-				s.issueTag[i] = t
-				s.issueCnt[i] = 0
-			}
-			if int(s.issueCnt[i]) < m.IssueWidth {
-				s.issueCnt[i]++
-				return t
-			}
-			t++
-		}
-	}
-
-	// MLP oracle accumulators (union-of-busy-intervals watermark).
-	var memBusySum, memUnion, coveredUntil uint64
-
-	fuLat := func(k trace.Kind) uint64 {
-		switch k {
-		case trace.KindMul:
-			return uint64(m.MulLat)
-		case trace.KindFP:
-			return uint64(m.FPLat)
-		case trace.KindDiv:
-			return uint64(m.DivLat)
-		default:
-			return uint64(m.IntLat)
-		}
-	}
-
-	// Stream with one-op lookahead for fusion.
+// driveGeneric streams ops one at a time with one-op lookahead for
+// fusion — the path for Generator-backed (or any non-Chunked) sources.
+// It reports false for an empty stream.
+func (s *Simulator) driveGeneric(g trace.Source) bool {
 	var cur, nxt trace.MicroOp
 	haveNxt := g.Next(&nxt)
 	if !haveNxt {
-		return nil, fmt.Errorf("sim: empty µop stream for %q", g.Spec().Name)
+		return false
 	}
-
 	for haveNxt {
 		cur = nxt
 		haveNxt = g.Next(&nxt)
-		var tail trace.MicroOp
-		fused := false
-		if cur.FuseHead && haveNxt && fuseHash(cur.PC) < m.FusionRate {
-			tail = nxt
-			fused = true
+		if cur.FuseHead && haveNxt && fuseHash(cur.PC) < s.fusionRate {
+			tail := nxt
 			haveNxt = g.Next(&nxt)
-		}
-
-		// --- Dispatch-width boundary.
-		if slots == D {
-			cycle++
-			slots = 0
-		}
-
-		// --- Front-end availability (branch redirects, earlier I-misses).
-		if nextFetch > cycle {
-			stall(nextFetch, feReason)
-		}
-
-		// --- Instruction-side cache/TLB on fetch-line change.
-		line := cur.PC >> lineShift
-		if line != lastLine {
-			lastLine = line
-			r := s.hier.Do(cache.Access{Addr: cur.PC, IsInstr: true})
-			if r.TLBMiss {
-				stall(cycle+uint64(m.ITLB.MissLat), CompITLB)
-			}
-			switch r.Level {
-			case cache.LvlL2:
-				stall(cycle+uint64(m.L2.LatCycles), CompICacheL2)
-			case cache.LvlL3:
-				stall(cycle+uint64(m.L3.LatCycles), CompICacheL3)
-			case cache.LvlMem:
-				stall(cycle+uint64(m.MemLat), CompICacheMem)
-			}
-		}
-
-		// --- ROB occupancy.
-		if entryCount >= uint64(m.ROBSize) {
-			free := rob[(entryCount-uint64(m.ROBSize))%uint64(m.ROBSize)].commit
-			if free > cycle {
-				stall(free, classify())
-			}
-		}
-
-		// --- Issue-queue occupancy.
-		iq.popUpTo(cycle)
-		for iq.len() >= m.IQSize {
-			tmin := iq.min()
-			comp := classify()
-			if tmin <= cycle {
-				tmin = cycle + 1
-			}
-			stall(tmin, comp)
-			iq.popUpTo(cycle)
-		}
-
-		// --- Dispatch at the current cycle.
-		slots++
-		dispatchCycle := cycle
-
-		// Operand readiness across both halves of a fused pair.
-		ready := dispatchCycle + 1
-		consider := func(op *trace.MicroOp) {
-			if op.Dep1 != 0 {
-				if t := lookupComplete(op.Seq - uint64(op.Dep1)); t > ready {
-					ready = t
-				}
-			}
-			if op.Dep2 != 0 {
-				if t := lookupComplete(op.Seq - uint64(op.Dep2)); t > ready {
-					ready = t
-				}
-			}
-		}
-		consider(&cur)
-		if fused {
-			consider(&tail)
-		}
-
-		execStart := findIssueSlot(ready)
-
-		// Execute: take the max latency across halves; loads access the
-		// data hierarchy, possibly acquiring an MSHR for memory trips.
-		var lat uint64
-		meta := robMeta{}
-		doHalf := func(op *trace.MicroOp) {
-			var l uint64
-			switch op.Kind {
-			case trace.KindLoad:
-				r := s.hier.Do(cache.Access{Addr: op.Addr})
-				meta.isLoad = true
-				if r.TLBMiss {
-					meta.dtlbMiss = true
-				}
-				if r.MemTrip {
-					meta.memTrip = true
-					// Acquire the least-soon-free MSHR; stall issue if none.
-					if free := s.mshr.min(); free > execStart {
-						execStart = findIssueSlot(free)
-					}
-					end := execStart + uint64(r.Lat)
-					s.mshr.replaceMin(end)
-					memBusySum += uint64(r.Lat)
-					start := execStart
-					if start < coveredUntil {
-						start = coveredUntil
-					}
-					if end > start {
-						memUnion += end - start
-					}
-					if end > coveredUntil {
-						coveredUntil = end
-					}
-				}
-				l = uint64(m.LoadAGU + r.Lat)
-			case trace.KindStore:
-				s.hier.Do(cache.Access{Addr: op.Addr, IsWrite: true})
-				l = uint64(m.StoreLat)
-			case trace.KindBranch:
-				l = uint64(m.IntLat)
-			default:
-				l = fuLat(op.Kind)
-			}
-			if l > lat {
-				lat = l
-			}
-			if op.Kind == trace.KindFP || op.Kind == trace.KindDiv {
-				ctr.FPOps++
-			}
-			if op.InstrFirst {
-				ctr.Instructions++
-			}
-		}
-		doHalf(&cur)
-		if fused {
-			doHalf(&tail)
-		}
-		complete := execStart + lat
-		iq.push(execStart)
-
-		// Branch resolution and misprediction redirect.
-		handleBranch := func(op *trace.MicroOp) {
-			if op.Kind != trace.KindBranch {
-				return
-			}
-			ctr.Branches++
-			predicted := s.pred.Predict(op.PC)
-			s.pred.Update(op.PC, op.Taken)
-			if predicted != op.Taken {
-				ctr.BranchMispredicts++
-				redirect := complete + uint64(m.FrontEndDepth)
-				if redirect > nextFetch {
-					nextFetch = redirect
-					feReason = CompBranch
-				}
-				lastLine = ^uint64(0) // refetch the target line
-			}
-		}
-		handleBranch(&cur)
-		if fused {
-			handleBranch(&tail)
-		}
-
-		// In-order commit, CommitWidth per cycle.
-		t := complete + 1
-		if t < lastCommit {
-			t = lastCommit
-		}
-		if t == lastCommit {
-			if commitCnt == m.CommitWidth {
-				t++
-				commitCnt = 1
-			} else {
-				commitCnt++
-			}
+			s.step(&cur, &tail)
 		} else {
-			commitCnt = 1
+			s.step(&cur, nil)
 		}
-		lastCommit = t
-		meta.commit = t
-		meta.complete = complete
-		rob[entryCount%uint64(m.ROBSize)] = meta
+	}
+	return true
+}
 
-		storeComplete(cur.Seq, complete)
-		if fused {
-			storeComplete(tail.Seq, complete)
+// driveChunked consumes a Chunked source by iterating its slices
+// directly — no interface call or µop copy per op. Fusion lookahead is
+// in-slice except at a chunk boundary, where the final op's potential
+// partner is the head of the next chunk. The op sequence and fusion
+// decisions are exactly driveGeneric's.
+func (s *Simulator) driveChunked(c trace.Chunked) bool {
+	ops := c.NextChunk()
+	if len(ops) == 0 {
+		return false
+	}
+	for {
+		last := len(ops) - 1
+		i := 0
+		for i < last {
+			cur := &ops[i]
+			if cur.FuseHead && fuseHash(cur.PC) < s.fusionRate {
+				s.step(cur, &ops[i+1])
+				i += 2
+			} else {
+				s.step(cur, nil)
+				i++
+			}
 		}
+		if i > last {
+			// A fused pair consumed the chunk exactly.
+			ops = c.NextChunk()
+			if len(ops) == 0 {
+				return true
+			}
+			continue
+		}
+		// Final op of the chunk: copy it out before advancing the cursor
+		// (a source may recycle its chunk storage across NextChunk calls).
+		carry := ops[last]
+		ops = c.NextChunk()
+		if carry.FuseHead && len(ops) > 0 && fuseHash(carry.PC) < s.fusionRate {
+			s.step(&carry, &ops[0])
+			ops = ops[1:]
+		} else {
+			s.step(&carry, nil)
+		}
+		if len(ops) == 0 {
+			ops = c.NextChunk()
+			if len(ops) == 0 {
+				return true
+			}
+		}
+	}
+}
 
-		// Accounting: the dispatched slot is base work.
-		res.Truth.Cycles[CompBase] += 1 / float64(D)
-		entryCount++
-		ctr.Uops++
+// stall charges empty dispatch slots up to target to comp. Slot-level
+// accounting invariant: the sum of Truth.Cycles always equals
+// cycle + slots/D.
+func (s *Simulator) stall(target uint64, comp Component) {
+	if target <= s.cycle {
+		return
+	}
+	s.res.Truth.Cycles[comp] += float64(s.d-s.slots)/s.fD + float64(target-s.cycle-1)
+	s.cycle = target
+	s.slots = 0
+}
+
+// classify attributes a window (ROB/IQ) stall at the current cycle to
+// the oldest uncompleted in-flight op, ASPLOS'06-style: a pending
+// last-level load miss → memory component; a pending D-TLB walk →
+// D-TLB; anything else (dependence chains, FU latency, commit width)
+// → resource stall.
+func (s *Simulator) classify() Component {
+	for s.headIdx < s.entryCount && s.rob[s.headPos].commit <= s.cycle {
+		s.headIdx++
+		s.headPos++
+		if s.headPos == len(s.rob) {
+			s.headPos = 0
+		}
+	}
+	pos := s.headPos
+	for j := s.headIdx; j < s.entryCount; j++ {
+		mm := &s.rob[pos]
+		pos++
+		if pos == len(s.rob) {
+			pos = 0
+		}
+		if mm.complete > s.cycle {
+			switch {
+			case mm.memTrip:
+				return CompLLCLoad
+			case mm.dtlbMiss:
+				return CompDTLB
+			default:
+				return CompResource
+			}
+		}
+	}
+	return CompResource
+}
+
+// findIssueSlot books the first cycle ≥ t with spare issue bandwidth.
+func (s *Simulator) findIssueSlot(t uint64) uint64 {
+	if t > s.cycle+issueRingSize-4096 {
+		// Beyond the tracked horizon; bandwidth contention there is
+		// immaterial because the window has long since drained.
+		return t
+	}
+	return s.issue.findSlot(t, s.issueWidth)
+}
+
+// considerDeps raises ready to the completion time of op's producers.
+func (s *Simulator) considerDeps(op *trace.MicroOp, ready uint64) uint64 {
+	if op.Dep1 != 0 {
+		if t := s.seq.lookup(op.Seq - uint64(op.Dep1)); t > ready {
+			ready = t
+		}
+	}
+	if op.Dep2 != 0 {
+		if t := s.seq.lookup(op.Seq - uint64(op.Dep2)); t > ready {
+			ready = t
+		}
+	}
+	return ready
+}
+
+// doHalf executes one half of a (possibly fused) dispatch group: loads
+// access the data hierarchy, possibly acquiring an MSHR for memory
+// trips (which can push execStart back); the group latency is the max
+// across halves.
+func (s *Simulator) doHalf(op *trace.MicroOp) {
+	var l uint64
+	switch op.Kind {
+	case trace.KindLoad:
+		r := s.hier.DoLoad(op.Addr)
+		s.meta.isLoad = true
+		if r.TLBMiss {
+			s.meta.dtlbMiss = true
+		}
+		if r.MemTrip {
+			s.meta.memTrip = true
+			// Acquire the least-soon-free MSHR; stall issue if none.
+			if free := s.mshr.min(); free > s.execStart {
+				s.execStart = s.findIssueSlot(free)
+			}
+			end := s.execStart + uint64(r.Lat)
+			s.mshr.replaceMin(end)
+			s.memBusySum += uint64(r.Lat)
+			start := s.execStart
+			if start < s.coveredUntil {
+				start = s.coveredUntil
+			}
+			if end > start {
+				s.memUnion += end - start
+			}
+			if end > s.coveredUntil {
+				s.coveredUntil = end
+			}
+		}
+		l = s.loadAGU + uint64(r.Lat)
+	case trace.KindStore:
+		s.hier.DoStore(op.Addr)
+		l = s.storeLat
+	default:
+		l = s.latByKind[op.Kind&(numKinds-1)]
+	}
+	if l > s.lat {
+		s.lat = l
+	}
+	if op.Kind == trace.KindFP || op.Kind == trace.KindDiv {
+		s.ctr.FPOps++
+	}
+	if op.InstrFirst {
+		s.ctr.Instructions++
+	}
+}
+
+// resolveBranch trains the predictor and, on a misprediction, redirects
+// the front end once the branch resolves.
+func (s *Simulator) resolveBranch(op *trace.MicroOp, complete uint64) {
+	s.ctr.Branches++
+	if s.pred.PredictUpdate(op.PC, op.Taken) != op.Taken {
+		s.ctr.BranchMispredicts++
+		if redirect := complete + s.frontEnd; redirect > s.nextFetch {
+			s.nextFetch = redirect
+			s.feReason = CompBranch
+		}
+		s.lastLine = ^uint64(0) // refetch the target line
+	}
+}
+
+// step dispatches one µop (with an optional fused tail) and advances
+// every machine structure: front end, window occupancy, issue, execute,
+// branch resolution, and in-order commit. Ops are read-only — chunked
+// sources pass pointers into a backing store shared across concurrent
+// simulations.
+func (s *Simulator) step(cur, tail *trace.MicroOp) {
+	// --- Dispatch-width boundary.
+	if s.slots == s.d {
+		s.cycle++
+		s.slots = 0
 	}
 
-	// --- Drain: attribute the window-drain tail after the last dispatch.
-	accounted := float64(cycle) + float64(slots)/float64(D)
-	for j := headIdx; j < entryCount; j++ {
-		mm := &rob[j%uint64(m.ROBSize)]
+	// --- Front-end availability (branch redirects, earlier I-misses).
+	if s.nextFetch > s.cycle {
+		s.stall(s.nextFetch, s.feReason)
+	}
+
+	// --- Instruction-side cache/TLB on fetch-line change.
+	if line := cur.PC >> s.lineShift; line != s.lastLine {
+		s.lastLine = line
+		r := s.hier.DoInstr(cur.PC)
+		if r.TLBMiss {
+			s.stall(s.cycle+s.itlbMiss, CompITLB)
+		}
+		switch r.Level {
+		case cache.LvlL2:
+			s.stall(s.cycle+s.l2Lat, CompICacheL2)
+		case cache.LvlL3:
+			s.stall(s.cycle+s.l3Lat, CompICacheL3)
+		case cache.LvlMem:
+			s.stall(s.cycle+s.memLat, CompICacheMem)
+		}
+	}
+
+	// --- ROB occupancy. The entry about to be overwritten is the one
+	// dispatched ROBSize ops ago ((entryCount-ROBSize) ≡ entryCount
+	// mod ROBSize — the same slot the new op will fill).
+	if s.entryCount >= s.robSize {
+		if free := s.rob[s.robPos].commit; free > s.cycle {
+			s.stall(free, s.classify())
+		}
+	}
+
+	// --- Issue-queue occupancy.
+	s.iq.popUpTo(s.cycle)
+	for s.iq.len() >= s.iqSize {
+		tmin := s.iq.min()
+		comp := s.classify()
+		if tmin <= s.cycle {
+			tmin = s.cycle + 1
+		}
+		s.stall(tmin, comp)
+		s.iq.popUpTo(s.cycle)
+	}
+
+	// --- Dispatch at the current cycle.
+	s.slots++
+
+	// Operand readiness across both halves of a fused pair.
+	ready := s.cycle + 1
+	ready = s.considerDeps(cur, ready)
+	if tail != nil {
+		ready = s.considerDeps(tail, ready)
+	}
+	s.execStart = s.findIssueSlot(ready)
+
+	// Execute both halves.
+	s.lat = 0
+	s.meta = robMeta{}
+	s.doHalf(cur)
+	if tail != nil {
+		s.doHalf(tail)
+	}
+	complete := s.execStart + s.lat
+	s.iq.push(s.execStart)
+
+	// Branch resolution and misprediction redirect.
+	if cur.Kind == trace.KindBranch {
+		s.resolveBranch(cur, complete)
+	}
+	if tail != nil && tail.Kind == trace.KindBranch {
+		s.resolveBranch(tail, complete)
+	}
+
+	// In-order commit, CommitWidth per cycle.
+	t := complete + 1
+	if t < s.lastCommit {
+		t = s.lastCommit
+	}
+	if t == s.lastCommit {
+		if s.commitCnt == s.commitWidth {
+			t++
+			s.commitCnt = 1
+		} else {
+			s.commitCnt++
+		}
+	} else {
+		s.commitCnt = 1
+	}
+	s.lastCommit = t
+	s.meta.commit = t
+	s.meta.complete = complete
+	s.rob[s.robPos] = s.meta
+
+	s.seq.store(cur.Seq, complete)
+	if tail != nil {
+		s.seq.store(tail.Seq, complete)
+	}
+
+	// Accounting: the dispatched slot is base work.
+	s.res.Truth.Cycles[CompBase] += s.invD
+	s.entryCount++
+	s.robPos++
+	if s.robPos == len(s.rob) {
+		s.robPos = 0
+	}
+	s.ctr.Uops++
+}
+
+// finish attributes the window-drain tail after the last dispatch and
+// folds the hierarchy statistics into the counters.
+func (s *Simulator) finish() {
+	res, ctr := s.res, s.ctr
+	accounted := float64(s.cycle) + float64(s.slots)/s.fD
+	pos := s.headPos
+	for j := s.headIdx; j < s.entryCount; j++ {
+		mm := &s.rob[pos]
+		pos++
+		if pos == len(s.rob) {
+			pos = 0
+		}
 		ct := float64(mm.commit)
 		if ct <= accounted {
 			continue
@@ -483,9 +612,8 @@ func (s *Simulator) Run(g trace.Source) (*Result, error) {
 		accounted = ct
 	}
 
-	// --- Counters from hierarchy statistics.
 	is, ds := s.hier.IStats, s.hier.DStats
-	ctr.Cycles = lastCommit
+	ctr.Cycles = s.lastCommit
 	ctr.L1IMisses = is.L1Misses
 	ctr.L2IMisses = is.L2Misses
 	ctr.L3IMisses = is.L3Misses
@@ -496,112 +624,7 @@ func (s *Simulator) Run(g trace.Source) (*Result, error) {
 	ctr.LLCDLoadMisses = ds.LLCLoadMisses
 	ctr.DTLBMisses = ds.TLBMisses
 
-	if memUnion > 0 {
-		res.MeasuredMLP = float64(memBusySum) / float64(memUnion)
-	}
-	if err := ctr.Validate(); err != nil {
-		return nil, fmt.Errorf("sim: inconsistent counters for %q on %s: %w",
-			g.Spec().Name, m.Name, err)
-	}
-	return res, nil
-}
-
-// mshrHeap tracks the free times of the machine's MSHRs as a binary
-// min-heap, so a memory trip finds the least-soon-free MSHR at the root
-// in O(1) and commits its new free time in O(log MSHRs) — replacing the
-// linear least-soon-free scan per trip. The occupancy pattern only ever
-// replaces the minimum with a later time (the trip starts no earlier
-// than the MSHR frees), so a single sift-down maintains the invariant.
-type mshrHeap struct {
-	a []uint64
-}
-
-func (h *mshrHeap) reset() {
-	for i := range h.a {
-		h.a[i] = 0
-	}
-}
-
-// min returns the earliest free time across all MSHRs.
-func (h *mshrHeap) min() uint64 { return h.a[0] }
-
-// replaceMin overwrites the earliest free time with v (which must be
-// ≥ the current minimum) and restores heap order.
-func (h *mshrHeap) replaceMin(v uint64) {
-	a := h.a
-	n := len(a)
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		sv := v
-		if l < n && a[l] < sv {
-			small, sv = l, a[l]
-		}
-		if r < n && a[r] < sv {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		a[i] = a[small]
-		i = small
-	}
-	a[i] = v
-}
-
-// minHeap is a binary min-heap of uint64 (issue-queue departure times).
-type minHeap struct {
-	a []uint64
-}
-
-func newMinHeap(capHint int) *minHeap {
-	return &minHeap{a: make([]uint64, 0, capHint)}
-}
-
-func (h *minHeap) len() int    { return len(h.a) }
-func (h *minHeap) min() uint64 { return h.a[0] }
-
-func (h *minHeap) push(v uint64) {
-	h.a = append(h.a, v)
-	i := len(h.a) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if h.a[p] <= h.a[i] {
-			break
-		}
-		h.a[p], h.a[i] = h.a[i], h.a[p]
-		i = p
-	}
-}
-
-func (h *minHeap) pop() uint64 {
-	v := h.a[0]
-	last := len(h.a) - 1
-	h.a[0] = h.a[last]
-	h.a = h.a[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < last && h.a[l] < h.a[small] {
-			small = l
-		}
-		if r < last && h.a[r] < h.a[small] {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		h.a[i], h.a[small] = h.a[small], h.a[i]
-		i = small
-	}
-	return v
-}
-
-// popUpTo removes all entries with value <= cycle (ops that have issued).
-func (h *minHeap) popUpTo(cycle uint64) {
-	for len(h.a) > 0 && h.a[0] <= cycle {
-		h.pop()
+	if s.memUnion > 0 {
+		res.MeasuredMLP = float64(s.memBusySum) / float64(s.memUnion)
 	}
 }

@@ -204,6 +204,16 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
+// depProb returns the geometric success probability of the producer-
+// distance draw: the reciprocal mean, clamped to a valid probability.
+func (s *Spec) depProb() float64 {
+	p := 1 / s.DepDistMean
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
 // Layout constants for synthetic address spaces.
 const (
 	codeBase   = 0x0040_0000 // where synthetic code is laid out
@@ -231,6 +241,22 @@ type Source interface {
 	Next(op *MicroOp) bool
 }
 
+// Chunked is an optional Source extension for batched cursor reads: a
+// source that can hand out a contiguous read-only view of its upcoming
+// ops lets the simulator iterate a plain slice instead of paying an
+// interface call (plus a µop copy) per op. NextChunk returns the next
+// ops — as many as the source has ready, at least one unless the stream
+// is exhausted (then nil) — and advances the cursor past them. The
+// returned slice aliases the source's backing store and must be treated
+// as immutable; it stays valid until the source is Reset.
+//
+// Interleaving NextChunk with Next is allowed and reads the same
+// stream: both advance the same cursor.
+type Chunked interface {
+	Source
+	NextChunk() []MicroOp
+}
+
 // Buffer is a materialized µop stream: the whole sequence a Generator
 // would emit, expanded once into memory and replayed from there. A
 // Buffer replay is bit-identical to the generating stream (it is that
@@ -253,13 +279,26 @@ type Buffer struct {
 // Generator. It panics if the spec is invalid, exactly as New does;
 // call Validate first for graceful handling.
 func Materialize(spec Spec) *Buffer {
+	return MaterializeInto(spec, nil)
+}
+
+// MaterializeInto is Materialize recycling a previously released
+// backing store: when ops has capacity it is truncated and refilled in
+// place, otherwise a fresh store is allocated. The caller must own ops
+// exclusively — recycle a buffer's store only after every cursor over
+// it is done (the plan engine recycles a workload's buffer once its
+// last machine finishes). The produced stream is identical either way.
+func MaterializeInto(spec Spec, ops []MicroOp) *Buffer {
 	g := New(spec)
-	b := &Buffer{spec: spec, ops: make([]MicroOp, 0, spec.NumOps)}
+	if cap(ops) < spec.NumOps {
+		ops = make([]MicroOp, 0, spec.NumOps)
+	}
+	ops = ops[:0]
 	var op MicroOp
 	for g.Next(&op) {
-		b.ops = append(b.ops, op)
+		ops = append(ops, op)
 	}
-	return b
+	return &Buffer{spec: spec, ops: ops}
 }
 
 // Spec returns the workload specification.
@@ -282,12 +321,37 @@ func (b *Buffer) Next(op *MicroOp) bool {
 	return true
 }
 
+// NextChunk returns the whole remaining stream as one immutable slice
+// view and advances the cursor to the end — the Chunked fast path the
+// simulator uses to consume a replayed buffer without per-op interface
+// calls.
+func (b *Buffer) NextChunk() []MicroOp {
+	if b.pos >= len(b.ops) {
+		return nil
+	}
+	out := b.ops[b.pos:]
+	b.pos = len(b.ops)
+	return out
+}
+
 // Replay returns a fresh cursor over the same materialized stream,
 // positioned at the start. Cursors share the immutable backing store,
 // so concurrent simulations of one workload on different machines cost
 // one materialization total.
 func (b *Buffer) Replay() *Buffer {
 	return &Buffer{spec: b.spec, ops: b.ops}
+}
+
+// ReleaseOps detaches the buffer's backing store and returns it for
+// recycling through MaterializeInto. The caller must be done with every
+// cursor over the buffer: the returned slice is the live store those
+// cursors alias, and refilling it overwrites their stream. The buffer
+// itself reads as exhausted afterwards.
+func (b *Buffer) ReleaseOps() []MicroOp {
+	ops := b.ops
+	b.ops = nil
+	b.pos = 0
+	return ops
 }
 
 // block is a static basic block of the synthetic program.
@@ -317,6 +381,14 @@ type Generator struct {
 	dataLines int
 	hotLines  int
 	hotFrac   float64
+
+	// Precomputed distribution constants for the per-µop draws. All are
+	// pure functions of the Spec, hoisted out of the hot loop: the drawn
+	// variates are bit-identical to computing them from scratch (see
+	// rng.NewZipf/rng.NewGeometric), the stream is unchanged.
+	dataZipf rng.ZipfDist      // pickDataLine's cold-path line skew
+	depGeo   rng.GeometricDist // assignDeps' producer-distance draw
+	kindCum  [5]float64        // pickKind's cumulative mix thresholds
 }
 
 // Both stream kinds satisfy the simulator's input contract.
@@ -349,6 +421,7 @@ func (g *Generator) buildProgram() {
 	}
 	g.blocks = make([]block, nBlocks)
 	pc := uint64(codeBase)
+	codeZipf := rng.NewZipf(nBlocks, 0.3+1.4*g.spec.CodeLocality)
 	for i := range g.blocks {
 		n := 4 + r.Intn(9) // 4..12 µops
 		var p float64
@@ -365,7 +438,7 @@ func (g *Generator) buildProgram() {
 		// large-code workloads (gcc-like, MBs of text at locality ~0.5)
 		// spill out of a 32KB L1I at a realistic rate while tight kernels
 		// (locality ~0.9) stay resident.
-		target := r.Zipf(nBlocks, 0.3+1.4*g.spec.CodeLocality)
+		target := codeZipf.Next(r)
 		g.blocks[i] = block{startPC: pc, numOps: n, takenProb: p, target: target}
 		pc += uint64(n * bytesPerOp)
 	}
@@ -382,6 +455,19 @@ func (g *Generator) buildProgram() {
 		if g.hotFrac == 0 {
 			g.hotFrac = 0.9
 		}
+	}
+
+	// Hoist the per-µop draw constants (identical values to computing
+	// them inline; see pickDataLine, pickKind and assignDeps).
+	s := &g.spec
+	g.dataZipf = rng.NewZipf(g.dataLines, 1.05+0.85*s.DataLocality)
+	g.depGeo = rng.NewGeometric(s.depProb())
+	g.kindCum = [5]float64{
+		s.LoadFrac,
+		s.LoadFrac + s.StoreFrac,
+		s.LoadFrac + s.StoreFrac + s.FPFrac,
+		s.LoadFrac + s.StoreFrac + s.FPFrac + s.MulFrac,
+		s.LoadFrac + s.StoreFrac + s.FPFrac + s.MulFrac + s.DivFrac,
 	}
 }
 
@@ -493,20 +579,22 @@ func (g *Generator) pendingFuseTail() bool {
 	return false
 }
 
-// pickKind draws a non-branch µop kind from the mix.
+// pickKind draws a non-branch µop kind from the mix. The cumulative
+// thresholds are hoisted into kindCum (same sums, same comparison
+// order), so the hot path is threshold compares only.
 func (g *Generator) pickKind() Kind {
-	s := &g.spec
 	u := g.r.Float64()
+	c := &g.kindCum
 	switch {
-	case u < s.LoadFrac:
+	case u < c[0]:
 		return KindLoad
-	case u < s.LoadFrac+s.StoreFrac:
+	case u < c[1]:
 		return KindStore
-	case u < s.LoadFrac+s.StoreFrac+s.FPFrac:
+	case u < c[2]:
 		return KindFP
-	case u < s.LoadFrac+s.StoreFrac+s.FPFrac+s.MulFrac:
+	case u < c[3]:
 		return KindMul
-	case u < s.LoadFrac+s.StoreFrac+s.FPFrac+s.MulFrac+s.DivFrac:
+	case u < c[4]:
 		return KindDiv
 	default:
 		return KindInt
@@ -525,8 +613,7 @@ func (g *Generator) pickDataLine() int {
 	if g.hotLines > 0 && g.r.Bool(g.hotFrac) {
 		return g.r.Intn(g.hotLines)
 	}
-	skew := 1.05 + 0.85*g.spec.DataLocality
-	return g.r.Zipf(g.dataLines, skew)
+	return g.dataZipf.Next(g.r)
 }
 
 // assignDeps draws producer distances for op.
@@ -541,13 +628,10 @@ func (g *Generator) assignDeps(op *MicroOp) {
 		if g.r.Bool(s.LongChainFrac) {
 			return 1
 		}
-		// Geometric with the requested mean, clamped to the window-ish
-		// range [1, 96] so dependences stay plausible.
-		p := 1 / s.DepDistMean
-		if p > 1 {
-			p = 1
-		}
-		d := uint32(g.r.Geometric(p)) + 1
+		// Geometric with the requested mean (success probability hoisted
+		// into depGeo), clamped to the window-ish range [1, 96] so
+		// dependences stay plausible.
+		d := uint32(g.depGeo.Next(g.r)) + 1
 		if d > 96 {
 			d = 96
 		}
