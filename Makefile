@@ -190,6 +190,26 @@ optimize-smoke:
 	@grep -q '"simulated": 0' $(CURDIR)/.bin/optimize-smoke.json
 	@grep -q '"traceGens": 0' $(CURDIR)/.bin/optimize-smoke.json
 
+# seeds-smoke is the statistical-replication counterpart of
+# optimize-smoke: a cold 3-seed sweep over the committed example spec
+# (each seed its own workload instantiation, so nothing is shareable
+# across seeds), then a warm -json rerun that must be pure store hits
+# with zero trace regenerations — asserted on both the store-stats line
+# and the wire report ("simulated": 0, "traceGens": 0), the same fields
+# POST /v1/seeds answers.
+seeds-smoke:
+	@mkdir -p $(CURDIR)/.bin
+	@echo "Running a cold 3-seed replication sweep (ops=$(SMOKE_OPS)) against the run store..."
+	@go run ./cmd/sweep -seeds examples/seeds/core2-seeds.json \
+		-ops $(SMOKE_OPS) -starts 2 -store $(RUNSTORE) > /dev/null
+	@echo "Re-running warm: must be pure store hits and zero trace regenerations..."
+	@go run ./cmd/sweep -seeds examples/seeds/core2-seeds.json -json \
+		-ops $(SMOKE_OPS) -starts 2 -store $(RUNSTORE) \
+		2>&1 >$(CURDIR)/.bin/seeds-smoke.json \
+		| grep "0 simulated (100.0% hit rate), 0 traces generated"
+	@grep -q '"simulated": 0' $(CURDIR)/.bin/seeds-smoke.json
+	@grep -q '"traceGens": 0' $(CURDIR)/.bin/seeds-smoke.json
+
 fuzz-smoke:
 	@echo "Fuzzing campaign parsing for 20s..."
 	@go test ./internal/experiments -run '^$$' -fuzz '^FuzzParseCampaign$$' -fuzztime 20s
@@ -256,4 +276,4 @@ clean-store:
 	@echo "Removing the run store at $(RUNSTORE)..."
 	@rm -rf $(RUNSTORE)
 
-.PHONY: all build test test-short race lint staticcheck profile bench-smoke bench-full bench-baseline bench-baseline-update sim-smoke sweep-smoke plan-smoke sim-nondeterminism optimize-smoke fuzz-smoke serve-smoke jobs-smoke clean-store
+.PHONY: all build test test-short race lint staticcheck profile bench-smoke bench-full bench-baseline bench-baseline-update sim-smoke sweep-smoke plan-smoke sim-nondeterminism optimize-smoke seeds-smoke fuzz-smoke serve-smoke jobs-smoke clean-store

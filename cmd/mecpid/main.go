@@ -19,13 +19,17 @@
 // replayed across the whole grid), and POST /v1/optimize (a design-space
 // search that probes only the grid cells coordinate descent or
 // successive halving needs, minimizing CPI or a cost proxy under a CPI
-// budget, or mapping a Pareto frontier) — the daemon runs an async job
-// engine: POST /v1/jobs executes whole campaigns, sweeps, plans and
-// optimizations in the background through the same entry points as
+// budget, or mapping a Pareto frontier), and POST /v1/seeds (a
+// multi-seed replication sweep reporting mean, sample deviation and
+// Student-t 95% intervals on CPI and model error plus per-coefficient
+// fit stability) — the daemon runs an async job engine: POST /v1/jobs
+// executes whole campaigns, sweeps, plans, optimizations and seed
+// sweeps in the background through the same entry points as
 // cmd/experiments and cmd/sweep (so batch and daemon answers stay
 // bit-identical), with per-job progress counters — per-run and, where
-// it applies, per-cell or per-probe — cancellation via DELETE, and
-// terminal states persisted as JSON artifacts next to the run store.
+// it applies, per-cell, per-probe or per-seed — cancellation via
+// DELETE, and terminal states persisted as JSON artifacts next to the
+// run store.
 //
 // Usage:
 //

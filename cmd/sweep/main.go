@@ -23,6 +23,15 @@
 // the probe count. -json emits the wire-format report instead of the
 // table.
 //
+// -seeds replicates a whole campaign across workload-generator seeds:
+// it loads a strict-JSON seeds spec ({"base": ..., "suite": ...,
+// "seeds": [...]} or {"campaign": ..., "count": N} — the POST /v1/seeds
+// format), simulates and fits every (machine, suite) cell once per
+// seed, and prints mean, sample standard deviation and Student-t 95%
+// confidence intervals on CPI and model error, plus a per-coefficient
+// fit-stability table. Store keys include the seed, so reruns and
+// overlapping sweeps stay warm.
+//
 // Usage:
 //
 //	sweep -base core2 -param rob -values 32,64,128,256
@@ -30,6 +39,7 @@
 //	sweep -base core2 -param rob -values 64,128 -param memlat -values 150,300
 //	sweep -plan grid.json [-ops N] [-starts N] [-store DIR]
 //	sweep -optimize spec.json [-json] [-ops N] [-starts N] [-store DIR]
+//	sweep -seeds spec.json [-json] [-ops N] [-starts N] [-store DIR]
 //	      [-cpuprofile FILE] [-memprofile FILE]
 //
 // Everything is deterministic; with -store DIR a repeated run
@@ -72,7 +82,8 @@ func main() {
 	flag.Var(&valueLists, "values", "comma-separated values for the matching -param (repeat once per axis), e.g. 32,64,128,256")
 	planFile := flag.String("plan", "", "plan file (strict JSON {base, axes, suite}); replaces -base/-param/-values/-suite")
 	optimizeFile := flag.String("optimize", "", "optimize spec file (strict JSON {base, axes, suite, objective[, search]}); replaces -base/-param/-values/-suite")
-	jsonOut := flag.Bool("json", false, "with -optimize or a grid plan, print the wire-format JSON report instead of the table")
+	seedsFile := flag.String("seeds", "", "seeds spec file (strict JSON {base, suite, seeds|count} or {campaign, seeds|count}); replaces -base/-param/-values/-suite")
+	jsonOut := flag.Bool("json", false, "with -optimize, -seeds or a grid plan, print the wire-format JSON report instead of the table")
 	suite := flag.String("suite", "cpu2006", "suite to simulate and fit on")
 	ops := flag.Int("ops", 300000, "µops per workload")
 	starts := flag.Int("starts", 12, "regression multi-start count")
@@ -86,7 +97,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
-	err = realMain(os.Stdout, *base, params, valueLists, *suite, *ops, *starts, *storeDir, *planFile, *optimizeFile, *jsonOut)
+	err = realMain(os.Stdout, *base, params, valueLists, *suite, *ops, *starts, *storeDir, *planFile, *optimizeFile, *seedsFile, *jsonOut)
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -132,7 +143,7 @@ func parseAxes(params, valueLists []string) ([]experiments.PlanAxis, error) {
 	return axes, nil
 }
 
-func realMain(out io.Writer, baseName string, params, valueLists []string, suiteName string, ops, starts int, storeDir, planFile, optimizeFile string, jsonOut bool) error {
+func realMain(out io.Writer, baseName string, params, valueLists []string, suiteName string, ops, starts int, storeDir, planFile, optimizeFile, seedsFile string, jsonOut bool) error {
 	opts := experiments.Options{NumOps: ops, FitStarts: starts}
 	if storeDir != "" {
 		store, err := runstore.Open(storeDir)
@@ -140,6 +151,23 @@ func realMain(out io.Writer, baseName string, params, valueLists []string, suite
 			return err
 		}
 		opts.Store = store
+	}
+
+	// A seeds spec carries its own subject (base+suite or campaign) and
+	// replication list.
+	if seedsFile != "" {
+		if planFile != "" || optimizeFile != "" || len(params) > 0 || len(valueLists) > 0 {
+			return fmt.Errorf("-seeds replaces -plan/-optimize/-param/-values; give one or the other")
+		}
+		spec, err := experiments.LoadSeedsSpec(seedsFile)
+		if err != nil {
+			return err
+		}
+		sweep, err := spec.Resolve()
+		if err != nil {
+			return err
+		}
+		return runSeeds(out, sweep, opts, jsonOut)
 	}
 
 	// An optimize spec carries its own base, axes, suite and objective.
@@ -243,6 +271,46 @@ func runOptimize(out io.Writer, o *experiments.Optimize, opts experiments.Option
 	}
 	fmt.Fprintf(os.Stderr, "optimize done in %v: %d of %d cells probed\n",
 		time.Since(t0).Round(time.Millisecond), res.Probes, res.GridCells)
+	st := res.Stats
+	if opts.Store != nil {
+		fmt.Fprintf(os.Stderr, "run store %s: %d hits, %d simulated (%.1f%% hit rate), %d traces generated\n",
+			opts.Store.Dir(), st.Hits, st.Simulated,
+			100*float64(st.Hits)/float64(st.Hits+st.Simulated), st.TraceGens)
+	} else {
+		fmt.Fprintf(os.Stderr, "%d simulated, %d traces generated\n", st.Simulated, st.TraceGens)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	if jsonOut {
+		data, err := json.MarshalIndent(res.Report(), "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		_, err = out.Write(data)
+		return err
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+// runSeeds executes a validated seed sweep and prints the rendered
+// statistics (or, with -json, the same wire-format report POST
+// /v1/seeds answers — machine-greppable for smoke tests).
+func runSeeds(out io.Writer, s *experiments.Seeds, opts experiments.Options, jsonOut bool) error {
+	var machineNames []string
+	for _, m := range s.Machines {
+		machineNames = append(machineNames, m.Name)
+	}
+	fmt.Fprintf(os.Stderr, "seed-sweeping %s × %s over %d seeds %v (%d µops/workload)...\n",
+		strings.Join(machineNames, ","), strings.Join(s.Suites, ","),
+		len(s.SeedList), s.SeedList, opts.NumOps)
+	t0 := time.Now()
+	res, err := experiments.RunSeeds(s, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "seeds done in %v\n", time.Since(t0).Round(time.Millisecond))
 	st := res.Stats
 	if opts.Store != nil {
 		fmt.Fprintf(os.Stderr, "run store %s: %d hits, %d simulated (%.1f%% hit rate), %d traces generated\n",

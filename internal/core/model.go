@@ -30,6 +30,17 @@ func (p Params) slice() []float64 {
 	return []float64{p.B1, p.B2, p.B3, p.B4, p.B5, p.B6, p.B7, p.B8, p.B9, p.B10}
 }
 
+// Slice returns the parameters in b1..b10 order, matching ParamNames.
+// Callers that aggregate coefficients across fits (e.g. fit-stability
+// over seeds) index the two in lockstep.
+func (p Params) Slice() []float64 { return p.slice() }
+
+// ParamNames returns the wire-stable names of the ten regression
+// parameters, in the same order Slice reports their values.
+func ParamNames() []string {
+	return []string{"b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8", "b9", "b10"}
+}
+
 func paramsFromSlice(s []float64) Params {
 	return Params{s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7], s[8], s[9]}
 }

@@ -138,7 +138,7 @@ func NewCampaignLab(c Campaign, opts Options) (*Lab, error) {
 			return nil, fmt.Errorf("experiments: campaign lists suite %q twice", name)
 		}
 		seen[name] = true
-		s, err := suites.ByName(name, suites.Options{NumOps: opts.NumOps})
+		s, err := suites.ByName(name, suites.Options{NumOps: opts.NumOps, SeedBase: opts.SeedBase})
 		if err != nil {
 			return nil, err
 		}

@@ -142,7 +142,7 @@ func tinySuite(t *testing.T) string {
 		for i := 0; i < 12; i++ {
 			f := float64(i)
 			s.Workloads = append(s.Workloads, trace.Spec{
-				Name: fmt.Sprintf("w%02d", i), Seed: uint64(100 + i), NumOps: opts.NumOps,
+				Name: fmt.Sprintf("w%02d", i), Seed: uint64(100+i) + opts.SeedBase, NumOps: opts.NumOps,
 				LoadFrac: 0.22 + 0.01*f, StoreFrac: 0.1, FPFrac: 0.02 * f,
 				BranchHardFrac: 0.05 + 0.03*f,
 				CodeFootprint:  int64(16+40*i) << 10, CodeLocality: 0.85 - 0.02*f,

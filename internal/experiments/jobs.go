@@ -21,14 +21,16 @@ import (
 // Job kinds: a declarative campaign (machines × suites, the
 // cmd/experiments grid), a one-axis sensitivity sweep (the cmd/sweep
 // experiment), a multi-axis exploration plan (the crossed grid of
-// derived machines behind POST /v1/plan and cmd/sweep's grid mode), or
-// a design-space optimization (the searched grid behind POST
-// /v1/optimize and cmd/sweep's -optimize mode).
+// derived machines behind POST /v1/plan and cmd/sweep's grid mode), a
+// design-space optimization (the searched grid behind POST /v1/optimize
+// and cmd/sweep's -optimize mode), or a seed-sweep campaign (the
+// replication sweep behind POST /v1/seeds and cmd/sweep's -seeds mode).
 const (
 	JobKindCampaign = "campaign"
 	JobKindSweep    = "sweep"
 	JobKindPlan     = "plan"
 	JobKindOptimize = "optimize"
+	JobKindSeeds    = "seeds"
 )
 
 // JobState is a job's lifecycle position. Jobs move
@@ -74,6 +76,7 @@ type JobSpec struct {
 	Sweep    *SweepSpec    `json:"sweep,omitempty"`
 	Plan     *PlanSpec     `json:"plan,omitempty"`
 	Optimize *OptimizeSpec `json:"optimize,omitempty"`
+	Seeds    *SeedsSpec    `json:"seeds,omitempty"`
 }
 
 // JobProgress counts a job's simulation runs. Counters only ever
@@ -86,8 +89,10 @@ type JobSpec struct {
 // of the search's probe bound — are the meaningful completion gauge.
 // Plan jobs additionally report grid-cell completion: a cell is done
 // once every workload of its derived machine has a run (the base fit
-// point counts as a cell too). Cell and probe counters stay zero for
-// the kinds they don't apply to.
+// point counts as a cell too). Seeds jobs report replication
+// completion: a seed is done once every (machine, suite) cell of that
+// replication is simulated and fitted. Cell, probe and seed counters
+// stay zero for the kinds they don't apply to.
 type JobProgress struct {
 	TotalRuns   int `json:"totalRuns"`
 	DoneRuns    int `json:"doneRuns"`
@@ -97,6 +102,8 @@ type JobProgress struct {
 	DoneCells   int `json:"doneCells,omitempty"`
 	TotalProbes int `json:"totalProbes,omitempty"`
 	DoneProbes  int `json:"doneProbes,omitempty"`
+	TotalSeeds  int `json:"totalSeeds,omitempty"`
+	DoneSeeds   int `json:"doneSeeds,omitempty"`
 }
 
 // JobStatus is an immutable snapshot of one job: what the GET /v1/jobs
@@ -269,11 +276,12 @@ func (c JobsConfig) withDefaults() JobsConfig {
 	return c
 }
 
-// Jobs executes campaigns, sweeps and plans asynchronously: Submit
-// validates and enqueues, a bounded worker pool executes through the
-// same Lab.Simulate / RunSweep / RunPlan entry points the blocking CLIs
-// use (so batch and daemon answers stay bit-identical, and the run
-// store is shared),
+// Jobs executes campaigns, sweeps, plans, optimizations and seed
+// sweeps asynchronously: Submit validates and enqueues, a bounded
+// worker pool executes through the same Lab.Simulate / RunSweep /
+// RunPlan / RunOptimize / RunSeeds entry points the blocking CLIs use
+// (so batch and daemon answers stay bit-identical, and the run store is
+// shared),
 // per-job progress counters are fed from the store-hit/simulated
 // callbacks, Cancel stops a job mid-flight via context cancellation,
 // and terminal states are persisted as JSON artifacts. Safe for
@@ -298,6 +306,7 @@ type job struct {
 	spec      JobSpec
 	plan      *Plan     // resolved grid for plan jobs; nil otherwise
 	optimize  *Optimize // resolved search for optimize jobs; nil otherwise
+	seeds     *Seeds    // resolved sweep for seeds jobs; nil otherwise
 	submitted time.Time
 	ctx       context.Context
 	cancel    context.CancelFunc
@@ -346,57 +355,63 @@ func newJobID() string {
 // validate checks a spec without running anything and returns the total
 // run count its execution will dispatch or serve from the store (for an
 // optimize job: the search's upper bound). For a plan job it also
-// returns the resolved grid, and for an optimize job the resolved
-// search, so Submit can record totals and the worker never re-derives
-// the machines.
-func (j *Jobs) validate(spec JobSpec) (int, *Plan, *Optimize, error) {
+// returns the resolved grid, for an optimize job the resolved search,
+// and for a seeds job the resolved sweep, so Submit can record totals
+// and the worker never re-derives the machines.
+func (j *Jobs) validate(spec JobSpec) (int, *Plan, *Optimize, *Seeds, error) {
 	if err := spec.payloadMatchesKind(); err != nil {
-		return 0, nil, nil, err
+		return 0, nil, nil, nil, err
 	}
 	switch spec.Kind {
 	case JobKindCampaign:
 		lab, err := campaignJobLab(*spec.Campaign, j.opts)
 		if err != nil {
-			return 0, nil, nil, err
+			return 0, nil, nil, nil, err
 		}
-		return len(lab.Machines()) * lab.NumWorkloads(), nil, nil, nil
+		return len(lab.Machines()) * lab.NumWorkloads(), nil, nil, nil, nil
 	case JobKindSweep:
 		sw := spec.Sweep
 		base, err := sw.Base.Resolve()
 		if err != nil {
-			return 0, nil, nil, err
+			return 0, nil, nil, nil, err
 		}
 		if _, err := NewPlan(base, []PlanAxis{{Param: sw.Param, Values: sw.Values}}, sw.Suite); err != nil {
-			return 0, nil, nil, err
+			return 0, nil, nil, nil, err
 		}
 		suite, err := suites.ByName(sw.Suite, suites.Options{NumOps: j.opts.NumOps})
 		if err != nil {
-			return 0, nil, nil, err
+			return 0, nil, nil, nil, err
 		}
-		return (1 + len(sw.Values)) * len(suite.Workloads), nil, nil, nil
+		return (1 + len(sw.Values)) * len(suite.Workloads), nil, nil, nil, nil
 	case JobKindPlan:
 		plan, err := spec.Plan.Resolve()
 		if err != nil {
-			return 0, nil, nil, err
+			return 0, nil, nil, nil, err
 		}
 		suite, err := suites.ByName(plan.Suite, suites.Options{NumOps: j.opts.NumOps})
 		if err != nil {
-			return 0, nil, nil, err
+			return 0, nil, nil, nil, err
 		}
-		return len(plan.Machines) * len(suite.Workloads), plan, nil, nil
+		return len(plan.Machines) * len(suite.Workloads), plan, nil, nil, nil
 	case JobKindOptimize:
 		o, err := spec.Optimize.Resolve()
 		if err != nil {
-			return 0, nil, nil, err
+			return 0, nil, nil, nil, err
 		}
 		suite, err := suites.ByName(o.Plan.Suite, suites.Options{NumOps: j.opts.NumOps})
 		if err != nil {
-			return 0, nil, nil, err
+			return 0, nil, nil, nil, err
 		}
-		return o.runBound(len(suite.Workloads)), nil, o, nil
+		return o.runBound(len(suite.Workloads)), nil, o, nil, nil
+	case JobKindSeeds:
+		s, err := spec.Seeds.Resolve()
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		return s.TotalRuns(), nil, nil, s, nil
 	default:
-		return 0, nil, nil, fmt.Errorf("experiments: unknown job kind %q (want %q, %q, %q or %q)",
-			spec.Kind, JobKindCampaign, JobKindSweep, JobKindPlan, JobKindOptimize)
+		return 0, nil, nil, nil, fmt.Errorf("experiments: unknown job kind %q (want %q, %q, %q, %q or %q)",
+			spec.Kind, JobKindCampaign, JobKindSweep, JobKindPlan, JobKindOptimize, JobKindSeeds)
 	}
 }
 
@@ -406,7 +421,8 @@ func (j *Jobs) validate(spec JobSpec) (int, *Plan, *Optimize, error) {
 // wrong experiment.
 func (spec JobSpec) payloadMatchesKind() error {
 	if spec.Kind != JobKindCampaign && spec.Kind != JobKindSweep &&
-		spec.Kind != JobKindPlan && spec.Kind != JobKindOptimize {
+		spec.Kind != JobKindPlan && spec.Kind != JobKindOptimize &&
+		spec.Kind != JobKindSeeds {
 		return nil // validate's default case names the valid kinds
 	}
 	payloads := []struct {
@@ -417,6 +433,7 @@ func (spec JobSpec) payloadMatchesKind() error {
 		{JobKindSweep, spec.Sweep != nil},
 		{JobKindPlan, spec.Plan != nil},
 		{JobKindOptimize, spec.Optimize != nil},
+		{JobKindSeeds, spec.Seeds != nil},
 	}
 	for _, p := range payloads {
 		if p.kind == spec.Kind && !p.set {
@@ -452,7 +469,7 @@ func campaignJobLab(c Campaign, opts Options) (*Lab, error) {
 // It fails fast — without enqueuing — on an invalid spec, a full queue,
 // or an engine that is draining.
 func (j *Jobs) Submit(spec JobSpec) (JobStatus, error) {
-	total, plan, optimize, err := j.validate(spec)
+	total, plan, optimize, seeds, err := j.validate(spec)
 	if err != nil {
 		return JobStatus{}, err
 	}
@@ -462,6 +479,7 @@ func (j *Jobs) Submit(spec JobSpec) (JobStatus, error) {
 		spec:      spec,
 		plan:      plan,
 		optimize:  optimize,
+		seeds:     seeds,
 		submitted: time.Now().UTC(),
 		ctx:       ctx,
 		cancel:    cancel,
@@ -470,6 +488,9 @@ func (j *Jobs) Submit(spec JobSpec) (JobStatus, error) {
 	}
 	if optimize != nil {
 		jb.progress.TotalProbes = optimize.ProbeBound()
+	}
+	if seeds != nil {
+		jb.progress.TotalSeeds = len(seeds.SeedList)
 	}
 	if plan != nil {
 		// Cell totals are known at submission: the 202 snapshot already
@@ -676,6 +697,8 @@ func (j *Jobs) execute(jb *job) (any, error) {
 		return j.runPlanJob(jb, opts)
 	case JobKindOptimize:
 		return j.runOptimizeJob(jb, opts)
+	case JobKindSeeds:
+		return j.runSeedsJob(jb, opts)
 	default:
 		return nil, fmt.Errorf("experiments: unknown job kind %q", jb.spec.Kind) // unreachable past Submit
 	}
@@ -814,6 +837,26 @@ func (j *Jobs) runOptimizeJob(jb *job, opts Options) (*OptimizeReport, error) {
 		j.mu.Unlock()
 	}
 	res, err := RunOptimizeContext(jb.ctx, jb.optimize, opts, onProbe)
+	if err != nil {
+		return nil, err
+	}
+	return res.Report(), nil
+}
+
+// runSeedsJob executes a seed sweep exactly as cmd/sweep's -seeds mode
+// does (RunSeedsContext, over the sweep Submit already resolved) and
+// returns its wire report. The run counters flow through the shared
+// progress hook; the seed counter is fed by the sweep's own hook,
+// firing after each fully evaluated replication. A cancelled job keeps
+// every completed simulation in the store, so a resubmission resumes
+// warm.
+func (j *Jobs) runSeedsJob(jb *job, opts Options) (*SeedsReport, error) {
+	onSeed := func(done int) {
+		j.mu.Lock()
+		jb.progress.DoneSeeds = done
+		j.mu.Unlock()
+	}
+	res, err := RunSeedsContext(jb.ctx, jb.seeds, opts, onSeed)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -768,6 +769,174 @@ func TestJobsOptimizeCancelMidFlight(t *testing.T) {
 	}
 	if res.Best == nil {
 		t.Fatal("follow-up search found no best point")
+	}
+	if res.Stats.Hits < final.Progress.Simulated {
+		t.Errorf("follow-up hit %d runs, want at least the %d the cancelled job simulated",
+			res.Stats.Hits, final.Progress.Simulated)
+	}
+}
+
+// TestJobsSeedsRunsWithSeedProgress executes a seeds job to done: the
+// submission snapshot reports the sweep's run total and seed count, the
+// seed counter tracks fully evaluated replications, and the finished
+// job's report is bit-identical to a blocking RunSeeds on the same
+// (now-warm) store.
+func TestJobsSeedsRunsWithSeedProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end fit is slow")
+	}
+	sn := tinySuite(t)
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{NumOps: 2000, FitStarts: 2, Store: store}
+	jobs := NewJobs(opts, JobsConfig{})
+	drainJobs(t, jobs)
+	seedsSpec := &SeedsSpec{Base: &MachineSpec{Name: "core2"}, Suite: sn, Count: 2}
+
+	st, err := jobs.Submit(JobSpec{Kind: JobKindSeeds, Seeds: seedsSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobQueued || st.Kind != JobKindSeeds {
+		t.Errorf("submitted snapshot = %+v, want queued seeds job", st)
+	}
+	if st.Progress.TotalRuns != 2*12 {
+		t.Errorf("TotalRuns = %d, want 24 (2 seeds × 12 workloads)", st.Progress.TotalRuns)
+	}
+	if st.Progress.TotalSeeds != 2 || st.Progress.DoneSeeds != 0 {
+		t.Errorf("submitted seed progress %+v, want 2 total / 0 done", st.Progress)
+	}
+
+	final := waitJob(t, jobs, st.ID, 60*time.Second)
+	if final.State != JobDone {
+		t.Fatalf("seeds job finished %s (error %q), want done", final.State, final.Error)
+	}
+	if final.Progress.DoneSeeds != 2 || final.Progress.DoneRuns != 24 {
+		t.Errorf("final progress %+v, want 2 seeds / 24 runs done", final.Progress)
+	}
+	var rep SeedsReport
+	if err := json.Unmarshal(final.Result, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Seeds) != 2 || len(rep.Cells) != 1 || len(rep.Cells[0].CPI.PerSeed) != 2 {
+		t.Fatalf("seeds report shape: %+v", rep)
+	}
+
+	// Bit-identical to the blocking path on the store the job warmed
+	// (JSON float round-trips are exact, so the comparison is per-bit).
+	s, err := seedsSpec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocking, err := RunSeeds(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocking.Stats.Simulated != 0 || blocking.Stats.TraceGens != 0 {
+		t.Errorf("blocking rerun stats %+v; job left the store cold", blocking.Stats)
+	}
+	if !reflect.DeepEqual(rep.Cells, blocking.Report().Cells) {
+		t.Error("job report diverged from the blocking sweep")
+	}
+
+	// Mis-tagged and invalid seeds submissions fail at Submit.
+	if _, err := jobs.Submit(JobSpec{Kind: JobKindSeeds}); err == nil ||
+		!strings.Contains(err.Error(), "without a seeds payload") {
+		t.Errorf("payload-free seeds job = %v", err)
+	}
+	if _, err := jobs.Submit(JobSpec{Kind: JobKindSeeds, Seeds: seedsSpec,
+		Plan: &PlanSpec{}}); err == nil || !strings.Contains(err.Error(), "with a plan payload") {
+		t.Errorf("seeds job with plan payload = %v", err)
+	}
+	if _, err := jobs.Submit(JobSpec{Kind: JobKindCampaign, Campaign: &Campaign{
+		Machines: []MachineSpec{{Name: "core2"}}, Suites: []string{sn}},
+		Seeds: seedsSpec}); err == nil || !strings.Contains(err.Error(), "with a seeds payload") {
+		t.Errorf("campaign job with seeds payload = %v", err)
+	}
+	bad := *seedsSpec
+	bad.Count = 0
+	bad.Seeds = []uint64{0}
+	if _, err := jobs.Submit(JobSpec{Kind: JobKindSeeds, Seeds: &bad}); err == nil ||
+		!strings.Contains(err.Error(), "reserved") {
+		t.Errorf("seed 0 at submission = %v", err)
+	}
+}
+
+// TestJobsSeedsCancelMidFlight is the seeds flavour of the cancellation
+// contract under the race detector: cancelling a mid-flight sweep stops
+// the dispatch of new simulations and leaves the run store
+// warm-consistent — a follow-up blocking sweep hits everything the
+// cancelled job persisted and completes the replications.
+func TestJobsSeedsCancelMidFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end sweep is slow")
+	}
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One simulation worker and a real µop count keep the sweep in
+	// flight long enough to cancel deterministically mid-run.
+	opts := Options{NumOps: 50000, FitStarts: 2, Workers: 1, Store: store}
+	jobs := NewJobs(opts, JobsConfig{})
+	drainJobs(t, jobs)
+
+	seedsSpec := &SeedsSpec{Base: &MachineSpec{Name: "core2"}, Suite: "cpu2000", Count: 3}
+	st, err := jobs.Submit(JobSpec{Kind: JobKindSeeds, Seeds: seedsSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := st.Progress.TotalRuns
+	if total != 3*48 || st.Progress.TotalSeeds != 3 {
+		t.Fatalf("submission bounds %+v, want 144 runs / 3 seeds", st.Progress)
+	}
+
+	// Wait until the job is demonstrably mid-flight, then cancel.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur, ok := jobs.Get(st.ID)
+		if !ok {
+			t.Fatal("job disappeared")
+		}
+		if cur.State == JobRunning && cur.Progress.DoneRuns >= 2 {
+			break
+		}
+		if cur.State.Terminal() {
+			t.Fatalf("job finished %s before it could be cancelled; raise NumOps", cur.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never got mid-flight")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, ok := jobs.Cancel(st.ID); !ok {
+		t.Fatal("Cancel reported unknown job")
+	}
+	final := waitJob(t, jobs, st.ID, 30*time.Second)
+	if final.State != JobCancelled {
+		t.Fatalf("state after cancel = %s, want cancelled", final.State)
+	}
+	if final.Progress.DoneRuns >= total {
+		t.Errorf("cancelled job completed all %d runs; cancellation did nothing", total)
+	}
+	if final.Progress.DoneSeeds >= final.Progress.TotalSeeds {
+		t.Errorf("cancelled job completed all %d seeds", final.Progress.TotalSeeds)
+	}
+
+	// The store stayed warm-consistent: the blocking follow-up hits
+	// every run the cancelled job persisted and completes the sweep.
+	s, err := seedsSpec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSeeds(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Hits+res.Stats.Simulated != total {
+		t.Errorf("follow-up covered %d runs, want %d", res.Stats.Hits+res.Stats.Simulated, total)
 	}
 	if res.Stats.Hits < final.Progress.Simulated {
 		t.Errorf("follow-up hit %d runs, want at least the %d the cancelled job simulated",

@@ -32,6 +32,13 @@ type Options struct {
 	FitStarts int
 	// Seed drives fitting restarts (default 1).
 	Seed uint64
+	// SeedBase offsets every workload generator seed (default 0, the
+	// canonical instantiation). Distinct SeedBase values draw entirely
+	// fresh synthetic workloads with the same names and statistical
+	// recipe — the replication axis seed-sweep campaigns vary. It is
+	// part of the trace spec, so run-store keys and fitted-model cache
+	// keys distinguish replications automatically.
+	SeedBase uint64
 	// Workers bounds simulation parallelism (default NumCPU).
 	Workers int
 	// Store, when non-nil, is consulted before every simulation and

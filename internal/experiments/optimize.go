@@ -443,7 +443,7 @@ func RunOptimize(o *Optimize, opts Options) (*OptimizeResult, error) {
 // through here.
 func RunOptimizeContext(ctx context.Context, o *Optimize, opts Options, onProbe func(done int)) (*OptimizeResult, error) {
 	opts = opts.withDefaults()
-	suite, err := suites.ByName(o.Plan.Suite, suites.Options{NumOps: opts.NumOps})
+	suite, err := suites.ByName(o.Plan.Suite, suites.Options{NumOps: opts.NumOps, SeedBase: opts.SeedBase})
 	if err != nil {
 		return nil, err
 	}
@@ -859,7 +859,7 @@ func (z *optimizer) probeLow(ops int, idxs []int) (map[int]*OptimizePoint, error
 	if len(missing) == 0 {
 		return out, nil
 	}
-	suite, err := suites.ByName(z.o.Plan.Suite, suites.Options{NumOps: ops})
+	suite, err := suites.ByName(z.o.Plan.Suite, suites.Options{NumOps: ops, SeedBase: z.opts.SeedBase})
 	if err != nil {
 		return nil, err
 	}

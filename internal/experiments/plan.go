@@ -238,7 +238,7 @@ func RunPlan(p *Plan, opts Options) (*PlanResult, error) {
 // resumes warm. The async Jobs engine runs plan jobs through here.
 func RunPlanContext(ctx context.Context, p *Plan, opts Options) (*PlanResult, error) {
 	opts = opts.withDefaults()
-	suite, err := suites.ByName(p.Suite, suites.Options{NumOps: opts.NumOps})
+	suite, err := suites.ByName(p.Suite, suites.Options{NumOps: opts.NumOps, SeedBase: opts.SeedBase})
 	if err != nil {
 		return nil, err
 	}

@@ -105,18 +105,28 @@ func (p *Provider) CachedModels() int {
 
 // key content-addresses one fitted model: everything that determines its
 // value — the complete machine configuration, the suite, and the fit
-// options (ops is part of the suite instantiation; starts and seed drive
-// the regression restarts).
-func (p *Provider) key(m *uarch.Machine, suiteName string) string {
-	return fmt.Sprintf("%s\n%s\nops=%d starts=%d seed=%d",
-		m.ConfigHash(), suiteName, p.opts.NumOps, p.opts.FitStarts, p.opts.Seed)
+// options (ops and seedbase are part of the suite instantiation; starts
+// and seed drive the regression restarts).
+func (p *Provider) key(m *uarch.Machine, suiteName string, opts Options) string {
+	return fmt.Sprintf("%s\n%s\nops=%d starts=%d seed=%d seedbase=%d",
+		m.ConfigHash(), suiteName, opts.NumOps, opts.FitStarts, opts.Seed, opts.SeedBase)
 }
 
 // Fitted returns the fitted model (plus its observations and runs) for
 // the machine on the named suite, simulating and fitting at most once
 // per distinct key no matter how many callers ask concurrently.
 func (p *Provider) Fitted(m *uarch.Machine, suiteName string) (*Fitted, error) {
-	key := p.key(m, suiteName)
+	f, _, err := p.fittedWith(m, suiteName, p.opts)
+	return f, err
+}
+
+// fittedWith is Fitted parametrized by fit options — the seeds path
+// varies Seed/SeedBase per replication while sharing the provider's
+// model cache, since the key covers the options. The returned SimStats
+// are this call's alone: a cache or singleflight join reports zeros,
+// which is how warm seeds reruns can prove "simulated": 0 end to end.
+func (p *Provider) fittedWith(m *uarch.Machine, suiteName string, opts Options) (*Fitted, SimStats, error) {
+	key := p.key(m, suiteName, opts)
 	p.mu.Lock()
 	if c, ok := p.models[key]; ok {
 		p.mu.Unlock()
@@ -128,7 +138,7 @@ func (p *Provider) Fitted(m *uarch.Machine, suiteName string) (*Fitted, error) {
 			p.stats.ModelHits++
 			p.mu.Unlock()
 		}
-		return c.res, c.err
+		return c.res, SimStats{}, c.err
 	}
 	c := &fitCall{done: make(chan struct{})}
 	p.models[key] = c
@@ -151,20 +161,23 @@ func (p *Provider) Fitted(m *uarch.Machine, suiteName string) (*Fitted, error) {
 		p.mu.Unlock()
 		close(c.done)
 	}()
-	c.res, c.err = p.fit(m, suiteName)
-	return c.res, c.err
+	var st SimStats
+	c.res, st, c.err = p.fit(m, suiteName, opts)
+	p.addSimStats(st)
+	return c.res, st, c.err
 }
 
 // fit simulates the suite on the machine (through the run store when
 // configured) and fits the model, via the same runSimJobs /
-// observationsFor / fitModel path Lab uses.
-func (p *Provider) fit(m *uarch.Machine, suiteName string) (*Fitted, error) {
+// observationsFor / fitModel path Lab uses. The caller accounts the
+// returned SimStats.
+func (p *Provider) fit(m *uarch.Machine, suiteName string, opts Options) (*Fitted, SimStats, error) {
 	if err := m.Validate(); err != nil {
-		return nil, err
+		return nil, SimStats{}, err
 	}
-	suite, err := suites.ByName(suiteName, suites.Options{NumOps: p.opts.NumOps})
+	suite, err := suites.ByName(suiteName, suites.Options{NumOps: opts.NumOps, SeedBase: opts.SeedBase})
 	if err != nil {
-		return nil, err
+		return nil, SimStats{}, err
 	}
 	jobs := make([]simJob, 0, len(suite.Workloads))
 	for _, w := range suite.Workloads {
@@ -172,12 +185,11 @@ func (p *Provider) fit(m *uarch.Machine, suiteName string) (*Fitted, error) {
 			run: RunKey{Machine: m.Name, Suite: suiteName, Workload: w.Name}})
 	}
 	runs := make(map[string]*sim.Result, len(jobs))
-	st, err := runSimJobs(context.Background(), jobs, p.opts, func(rk RunKey, r *sim.Result) {
+	st, err := runSimJobs(context.Background(), jobs, opts, func(rk RunKey, r *sim.Result) {
 		runs[rk.Workload] = r
 	})
-	p.addSimStats(st)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	obs, err := observationsFor(m.Name, suite, func(workload string) (*sim.Result, error) {
 		r, ok := runs[workload]
@@ -187,13 +199,13 @@ func (p *Provider) fit(m *uarch.Machine, suiteName string) (*Fitted, error) {
 		return r, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
-	model, err := fitModel(m, obs, p.opts)
+	model, err := fitModel(m, obs, opts)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
-	return &Fitted{Machine: m, Suite: suite, Model: model, Obs: obs, Runs: runs}, nil
+	return &Fitted{Machine: m, Suite: suite, Model: model, Obs: obs, Runs: runs}, st, nil
 }
 
 // Plan runs a multi-axis exploration plan through the provider: the

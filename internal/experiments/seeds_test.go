@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/runstore"
+	"repro/internal/stats"
+	"repro/internal/suites"
+)
+
+func TestParseSeedsSpecStrict(t *testing.T) {
+	spec, err := ParseSeedsSpec([]byte(`{"base": {"name": "core2"}, "suite": "cpu2000", "count": 3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Base == nil || spec.Base.Name != "core2" || spec.Count != 3 {
+		t.Errorf("parsed spec = %+v", spec)
+	}
+	for name, doc := range map[string]string{
+		"unknown field": `{"base": {"name": "core2"}, "suite": "cpu2000", "count": 3, "ops": 500}`,
+		"trailing data": `{"base": {"name": "core2"}, "suite": "cpu2000", "count": 3} {}`,
+		"not JSON":      `seeds!`,
+	} {
+		if _, err := ParseSeedsSpec([]byte(doc)); err == nil {
+			t.Errorf("%s should fail to parse", name)
+		}
+	}
+}
+
+func TestSeedsSpecValidation(t *testing.T) {
+	base := &MachineSpec{Name: "core2"}
+	camp := &Campaign{Machines: []MachineSpec{{Name: "core2"}}, Suites: []string{"cpu2000"}}
+	cases := []struct {
+		name    string
+		spec    SeedsSpec
+		wantErr string
+	}{
+		{"no subject", SeedsSpec{Count: 2}, "base+suite or a campaign"},
+		{"base and campaign", SeedsSpec{Base: base, Suite: "cpu2000", Campaign: camp, Count: 2}, "not both"},
+		{"base without suite", SeedsSpec{Base: base, Count: 2}, "need a suite"},
+		{"unknown machine", SeedsSpec{Base: &MachineSpec{Name: "core9"}, Suite: "cpu2000", Count: 2}, "unknown machine"},
+		{"campaign with ops", SeedsSpec{Campaign: &Campaign{Machines: camp.Machines,
+			Suites: camp.Suites, NumOps: 500}, Count: 2}, "must not set ops"},
+		{"campaign with seed", SeedsSpec{Campaign: &Campaign{Machines: camp.Machines,
+			Suites: camp.Suites, Seed: 7}, Count: 2}, "must not set ops"},
+		{"campaign without machines", SeedsSpec{Campaign: &Campaign{Suites: camp.Suites}, Count: 2}, "no machines"},
+		{"campaign without suites", SeedsSpec{Campaign: &Campaign{Machines: camp.Machines}, Count: 2}, "no suites"},
+		{"duplicate suite", SeedsSpec{Campaign: &Campaign{Machines: camp.Machines,
+			Suites: []string{"cpu2000", "cpu2000"}}, Count: 2}, "twice"},
+		{"seeds and count", SeedsSpec{Base: base, Suite: "cpu2000", Seeds: []uint64{1}, Count: 2}, "not both"},
+		{"no replications", SeedsSpec{Base: base, Suite: "cpu2000"}, "seed list or a count"},
+		{"seed zero", SeedsSpec{Base: base, Suite: "cpu2000", Seeds: []uint64{1, 0}}, "reserved"},
+		{"duplicate seed", SeedsSpec{Base: base, Suite: "cpu2000", Seeds: []uint64{3, 3}}, "listed twice"},
+		{"negative count", SeedsSpec{Base: base, Suite: "cpu2000", Count: -1}, "positive"},
+		{"count over limit", SeedsSpec{Base: base, Suite: "cpu2000", Count: MaxSeeds + 1}, "exceed"},
+		{"list over limit", SeedsSpec{Base: base, Suite: "cpu2000",
+			Seeds: func() []uint64 {
+				xs := make([]uint64, MaxSeeds+1)
+				for i := range xs {
+					xs[i] = uint64(i + 1)
+				}
+				return xs
+			}()}, "exceed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.spec.Resolve(); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("Resolve error = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// An unknown suite yields the registry sentinel the serving layer
+	// classifies into its structured error code.
+	_, err := SeedsSpec{Base: base, Suite: "cpu2017", Count: 2}.Resolve()
+	if !errors.Is(err, suites.ErrUnknownSuite) {
+		t.Errorf("unknown suite error = %v, want errors.Is(ErrUnknownSuite)", err)
+	}
+
+	// A count expands to seeds 1..N; run accounting covers the grid.
+	s, err := SeedsSpec{Base: base, Suite: "cpu2000", Count: 3}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.SeedList, []uint64{1, 2, 3}) {
+		t.Errorf("SeedList = %v, want [1 2 3]", s.SeedList)
+	}
+	if s.TotalRuns() != 3*48 {
+		t.Errorf("TotalRuns = %d, want 144 (3 seeds × 48 cpu2000 workloads)", s.TotalRuns())
+	}
+}
+
+// TestSeedsSingleSeedMatchesCampaign pins the seed mapping: a sweep over
+// the single seed {1} is the canonical single-seed campaign, per-float
+// bit-identical — same measured CPIs, same model error, same fitted
+// coefficients — and its degenerate statistics stay finite (no interval,
+// zero spread).
+func TestSeedsSingleSeedMatchesCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end fit is slow")
+	}
+	sn := tinySuite(t)
+	opts := Options{NumOps: 2000, FitStarts: 2}
+	s, err := SeedsSpec{Base: &MachineSpec{Name: "core2"}, Suite: sn, Seeds: []uint64{1}}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSeeds(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(res.Cells))
+	}
+	cell := res.Cells[0]
+
+	// The reference: the existing campaign path with the same options.
+	lab, err := NewCampaignLab(Campaign{Machines: []MachineSpec{{Name: "core2"}},
+		Suites: []string{sn}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	model, err := lab.Model("core2", sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := lab.Observations("core2", sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cpis, errs []float64
+	for i := range obs {
+		cpis = append(cpis, obs[i].MeasuredCPI)
+		errs = append(errs, stats.RelErr(model.PredictCPI(obs[i].Feat), obs[i].MeasuredCPI))
+	}
+	wantCPI, wantMARE := stats.Mean(cpis), stats.Mean(errs)
+
+	if math.Float64bits(cell.CPI.PerSeed[0]) != math.Float64bits(wantCPI) ||
+		math.Float64bits(cell.CPI.Mean) != math.Float64bits(wantCPI) {
+		t.Errorf("seed-1 CPI %v, campaign %v (bit mismatch)", cell.CPI.Mean, wantCPI)
+	}
+	if math.Float64bits(cell.MARE.Mean) != math.Float64bits(wantMARE) {
+		t.Errorf("seed-1 MARE %v, campaign %v (bit mismatch)", cell.MARE.Mean, wantMARE)
+	}
+	for i, want := range model.P.Slice() {
+		if math.Float64bits(cell.Coeffs[i].Mean) != math.Float64bits(want) {
+			t.Errorf("coefficient %s = %v, campaign fit %v (bit mismatch)",
+				cell.Coeffs[i].Name, cell.Coeffs[i].Mean, want)
+		}
+		if cell.Coeffs[i].CV != 0 {
+			t.Errorf("coefficient %s CV = %v, want 0 for a single seed", cell.Coeffs[i].Name, cell.Coeffs[i].CV)
+		}
+	}
+
+	// One replication: no interval exists, bounds collapse to the mean,
+	// spread is zero — every field finite and JSON-safe.
+	if cell.CPI.SampleStd != 0 || cell.MARE.SampleStd != 0 || cell.MaxCoeffCV != 0 {
+		t.Errorf("single-seed spread nonzero: %+v", cell)
+	}
+	if cell.CPI.CI95Lo != cell.CPI.Mean || cell.CPI.CI95Hi != cell.CPI.Mean {
+		t.Errorf("single-seed CI [%v, %v], want collapsed to mean %v",
+			cell.CPI.CI95Lo, cell.CPI.CI95Hi, cell.CPI.Mean)
+	}
+}
+
+// TestRunSeedsWarmRerun is the store-economics contract: distinct seeds
+// never collide in the run store (the cold sweep simulates every run),
+// and a repeated sweep is answered entirely from the store — zero
+// simulations, zero regenerated traces, identical floats.
+func TestRunSeedsWarmRerun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end fit is slow")
+	}
+	sn := tinySuite(t)
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{NumOps: 2000, FitStarts: 2, Store: store}
+	s, err := SeedsSpec{Base: &MachineSpec{Name: "core2"}, Suite: sn, Count: 2}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := RunSeeds(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := s.TotalRuns()
+	if cold.Stats.Simulated != total || cold.Stats.Hits != 0 {
+		t.Errorf("cold sweep stats %+v, want all %d runs simulated (seeds must not collide in the store)",
+			cold.Stats, total)
+	}
+	cell := cold.Cells[0]
+	if math.Float64bits(cell.CPI.PerSeed[0]) == math.Float64bits(cell.CPI.PerSeed[1]) {
+		t.Error("seeds 1 and 2 produced bit-identical CPI; the seed base is not reaching the generators")
+	}
+
+	warm, err := RunSeeds(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := warm.Report()
+	if rep.Sims.Simulated != 0 || rep.Sims.TraceGens != 0 {
+		t.Errorf("warm rerun sims = %+v, want zero simulated and zero trace generations", rep.Sims)
+	}
+	if rep.Sims.StoreHits != total {
+		t.Errorf("warm rerun hit %d runs, want %d", rep.Sims.StoreHits, total)
+	}
+	if !reflect.DeepEqual(cold.Cells, warm.Cells) {
+		t.Error("warm rerun diverged from the cold sweep")
+	}
+}
+
+// TestProviderSeedsMatchesRunSeeds: the provider path — per-cell fits
+// joining the seed-keyed model cache — emits the same report per-float
+// as the blocking path, reports only its own sourcing (zeros once the
+// cache is warm), and observes cancellation.
+func TestProviderSeedsMatchesRunSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end fit is slow")
+	}
+	sn := tinySuite(t)
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{NumOps: 2000, FitStarts: 2, Store: store}
+	s, err := SeedsSpec{Base: &MachineSpec{Name: "core2"}, Suite: sn, Count: 2}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocking, err := RunSeeds(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prov := NewProvider(opts)
+	var done []int
+	res, err := prov.Seeds(context.Background(), s, func(d int) { done = append(done, d) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Cells, blocking.Cells) {
+		t.Error("provider sweep diverged from the blocking sweep")
+	}
+	if !reflect.DeepEqual(done, []int{1, 2}) {
+		t.Errorf("onSeed calls = %v, want [1 2]", done)
+	}
+	// The blocking sweep warmed the run store, so the provider's own
+	// sourcing is all hits; its model cache now holds one fit per seed.
+	if res.Stats.Simulated != 0 || res.Stats.TraceGens != 0 || res.Stats.Hits != s.TotalRuns() {
+		t.Errorf("provider sweep stats %+v, want %d store hits and nothing simulated",
+			res.Stats, s.TotalRuns())
+	}
+	if prov.CachedModels() != len(s.SeedList) {
+		t.Errorf("cached models = %d, want one per seed", prov.CachedModels())
+	}
+
+	// A repeated sweep joins the cache outright: identical cells, zero
+	// sourcing of any kind.
+	again, err := prov.Seeds(context.Background(), s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Cells, res.Cells) {
+		t.Error("cached provider sweep diverged")
+	}
+	if again.Stats != (SimStats{}) {
+		t.Errorf("cached sweep stats %+v, want zeros", again.Stats)
+	}
+
+	// Cancellation is observed before any work on both paths.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := prov.Seeds(ctx, s, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("provider sweep on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := RunSeedsContext(ctx, s, opts, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("blocking sweep on cancelled ctx = %v, want context.Canceled", err)
+	}
+}

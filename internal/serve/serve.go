@@ -19,7 +19,8 @@
 //	POST   /v1/sweep       one-axis what-if sweep over a derived machine
 //	POST   /v1/plan        multi-axis exploration grid, fitted once and extrapolated per cell
 //	POST   /v1/optimize    design-space search (min CPI / min cost / Pareto) over a grid
-//	POST   /v1/jobs        submit an async campaign, sweep, plan or optimize job
+//	POST   /v1/seeds       multi-seed replication sweep: mean/CI on CPI and model error, fit stability
+//	POST   /v1/jobs        submit an async campaign, sweep, plan, optimize or seeds job
 //	GET    /v1/jobs        list jobs (submission order)
 //	GET    /v1/jobs/{id}   one job's state, progress and result
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
@@ -55,8 +56,8 @@ type Server struct {
 
 	inflight atomic.Int64
 	reqs     struct {
-		discovery, healthz, machines, suites, params, predict, sweep, plan, optimize, stats atomic.Int64
-		jobSubmit, jobList, jobGet, jobCancel                                               atomic.Int64
+		discovery, healthz, machines, suites, params, predict, sweep, plan, optimize, seeds, stats atomic.Int64
+		jobSubmit, jobList, jobGet, jobCancel                                                      atomic.Int64
 	}
 }
 
@@ -81,7 +82,8 @@ func New(prov *experiments.Provider, jobs *experiments.Jobs) *Server {
 	add("POST", "/v1/sweep", "one-axis what-if sweep over a derived machine", s.handleSweep)
 	add("POST", "/v1/plan", "multi-axis exploration grid, fitted once and extrapolated per cell", s.handlePlan)
 	add("POST", "/v1/optimize", "design-space search (min CPI / min cost / Pareto) over a grid", s.handleOptimize)
-	add("POST", "/v1/jobs", "submit an async campaign, sweep, plan or optimize job", s.handleJobSubmit)
+	add("POST", "/v1/seeds", "multi-seed replication sweep: mean/CI on CPI and model error, fit stability", s.handleSeeds)
+	add("POST", "/v1/jobs", "submit an async campaign, sweep, plan, optimize or seeds job", s.handleJobSubmit)
 	add("GET", "/v1/jobs", "list jobs (submission order)", s.handleJobList)
 	add("GET", "/v1/jobs/{id}", "one job's state, progress and result", s.handleJobGet)
 	add("DELETE", "/v1/jobs/{id}", "cancel a queued or running job", s.handleJobCancel)
@@ -717,6 +719,40 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res.Report())
 }
 
+// SeedsRequest is the POST /v1/seeds body: a declarative seed-sweep
+// campaign, strict-decoded with the seeds-file rules. See
+// experiments.SeedsSpec for the subject and replication knobs.
+type SeedsRequest = experiments.SeedsSpec
+
+// SeedsResponse is the POST /v1/seeds body: per-(machine, suite)
+// across-seed distributions — mean, sample standard deviation and
+// Student-t 95% CI on CPI and model error, plus per-coefficient fit
+// stability — and run sourcing (a warm store and model cache answer
+// with zero simulations and zero trace generations).
+type SeedsResponse = experiments.SeedsReport
+
+func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
+	s.reqs.seeds.Add(1)
+	var req SeedsRequest
+	if err := decodeStrict(r, w, &req); err != nil {
+		badRequest(w, err)
+		return
+	}
+	// Resolve validates everything — subject machines, suite names (via
+	// the registry sentinels), the seed list — before anything simulates.
+	sweep, err := req.Resolve()
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	res, err := s.prov.Seeds(r.Context(), sweep, nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res.Report())
+}
+
 // JobSubmitRequest is the POST /v1/jobs body: a job spec, strict-decoded
 // with exactly the scenario-file rules (unknown fields are errors, down
 // into the nested campaign).
@@ -814,6 +850,7 @@ type RequestStats struct {
 	Sweep     int64 `json:"sweep"`
 	Plan      int64 `json:"plan"`
 	Optimize  int64 `json:"optimize"`
+	Seeds     int64 `json:"seeds"`
 	JobSubmit int64 `json:"jobSubmit"`
 	JobList   int64 `json:"jobList"`
 	JobGet    int64 `json:"jobGet"`
@@ -872,6 +909,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Sweep:     s.reqs.sweep.Load(),
 			Plan:      s.reqs.plan.Load(),
 			Optimize:  s.reqs.optimize.Load(),
+			Seeds:     s.reqs.seeds.Load(),
 			JobSubmit: s.reqs.jobSubmit.Load(),
 			JobList:   s.reqs.jobList.Load(),
 			JobGet:    s.reqs.jobGet.Load(),

@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -582,15 +583,15 @@ func TestDiscoveryEndpoint(t *testing.T) {
 	for _, want := range []string{
 		"GET /v1", "GET /healthz", "GET /v1/machines", "GET /v1/suites",
 		"GET /v1/params", "POST /v1/predict", "POST /v1/sweep", "POST /v1/plan",
-		"POST /v1/optimize", "POST /v1/jobs", "GET /v1/jobs", "GET /v1/jobs/{id}",
-		"DELETE /v1/jobs/{id}", "GET /v1/stats",
+		"POST /v1/optimize", "POST /v1/seeds", "POST /v1/jobs", "GET /v1/jobs",
+		"GET /v1/jobs/{id}", "DELETE /v1/jobs/{id}", "GET /v1/stats",
 	} {
 		if !routes[want] {
 			t.Errorf("discovery missing route %q", want)
 		}
 	}
-	if len(resp.Endpoints) != 14 {
-		t.Errorf("discovery lists %d endpoints, want 14", len(resp.Endpoints))
+	if len(resp.Endpoints) != 15 {
+		t.Errorf("discovery lists %d endpoints, want 15", len(resp.Endpoints))
 	}
 
 	var st StatsResponse
@@ -738,4 +739,102 @@ func slicesEqual(a, b []int) bool {
 		}
 	}
 	return true
+}
+
+// TestSeedsEndpointValidation asserts every bogus seeds request is
+// rejected with the structured error envelope before anything
+// simulates, registry sentinels classified into their codes.
+func TestSeedsEndpointValidation(t *testing.T) {
+	ts, prov := newTestServer(t, experiments.Options{})
+	cases := []struct {
+		name, body, wantCode, wantErr string
+	}{
+		{"unknown field", `{"base": {"name": "core2"}, "suite": "cpu2000", "count": 2, "ops": 500}`, CodeBadRequest, "unknown field"},
+		{"no subject", `{"count": 2}`, CodeBadRequest, "base+suite or a campaign"},
+		{"base and campaign", `{"base": {"name": "core2"}, "suite": "cpu2000", "campaign": {"machines": [{"name": "core2"}], "suites": ["cpu2000"]}, "count": 2}`, CodeBadRequest, "not both"},
+		{"campaign with ops", `{"campaign": {"machines": [{"name": "core2"}], "suites": ["cpu2000"], "ops": 500}, "count": 2}`, CodeBadRequest, "must not set ops"},
+		{"seeds and count", `{"base": {"name": "core2"}, "suite": "cpu2000", "seeds": [1], "count": 2}`, CodeBadRequest, "not both"},
+		{"no replications", `{"base": {"name": "core2"}, "suite": "cpu2000"}`, CodeBadRequest, "seed list or a count"},
+		{"seed zero", `{"base": {"name": "core2"}, "suite": "cpu2000", "seeds": [0]}`, CodeBadRequest, "reserved"},
+		{"duplicate seed", `{"base": {"name": "core2"}, "suite": "cpu2000", "seeds": [5, 5]}`, CodeBadRequest, "listed twice"},
+		{"count over limit", `{"base": {"name": "core2"}, "suite": "cpu2000", "count": 65}`, CodeBadRequest, "exceed"},
+		{"unknown suite", `{"base": {"name": "core2"}, "suite": "cpu2017", "count": 2}`, CodeUnknownSuite, "unknown suite"},
+		{"unknown base", `{"base": {"name": "core9"}, "suite": "cpu2000", "count": 2}`, CodeUnknownMachine, "unknown machine"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := postJSON(t, ts.URL+"/v1/seeds", tc.body)
+			if code != http.StatusBadRequest {
+				t.Errorf("status %d, want 400 (%s)", code, body)
+			}
+			var e errorResponse
+			if err := json.Unmarshal(body, &e); err != nil {
+				t.Fatalf("error body is not JSON: %s", body)
+			}
+			if e.Error.Code != tc.wantCode {
+				t.Errorf("error code %q, want %q", e.Error.Code, tc.wantCode)
+			}
+			if !strings.Contains(e.Error.Message, tc.wantErr) {
+				t.Errorf("error %q should mention %q", e.Error.Message, tc.wantErr)
+			}
+		})
+	}
+	if st := prov.Stats(); st.Fits != 0 || st.Sim.Simulated != 0 {
+		t.Errorf("invalid seeds requests cost simulations: %+v", st)
+	}
+}
+
+// TestSeedsEndpointMatchesBlockingRunSeeds is the replication flavour of
+// the daemon-vs-CLI bit-identity proof: a served 2-seed sweep must
+// reproduce the blocking RunSeeds statistics per-float — same per-seed
+// values, same means, intervals and coefficient stability.
+func TestSeedsEndpointMatchesBlockingRunSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end replication sweep is slow")
+	}
+	ts, _ := newTestServer(t, experiments.Options{})
+	code, body := postJSON(t, ts.URL+"/v1/seeds",
+		`{"base": {"name": "core2"}, "suite": "cpu2000", "count": 2}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp SeedsResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Seeds) != 2 || resp.Ops != testOps || resp.FitStarts != 2 {
+		t.Fatalf("seeds response envelope: %+v", resp)
+	}
+	if len(resp.Machines) != 1 || len(resp.Suites) != 1 || len(resp.Cells) != 1 {
+		t.Fatalf("seeds response shape: %+v", resp)
+	}
+	// Two seeds × 48 workloads, nothing shareable between seeds.
+	if resp.Sims.Simulated != 2*48 {
+		t.Errorf("sourcing %+v, want 96 simulated", resp.Sims)
+	}
+
+	// Blocking reference: RunSeeds with the daemon's options. The
+	// statistical surface must agree per-float (JSON float round-trips
+	// are exact); sourcing is a per-path property and compared above.
+	s, err := experiments.SeedsSpec{Base: &experiments.MachineSpec{Name: "core2"},
+		Suite: "cpu2000", Count: 2}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := experiments.RunSeeds(s, experiments.Options{NumOps: testOps, FitStarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Cells, ref.Report().Cells) {
+		t.Error("served seeds cells diverge from the blocking sweep")
+	}
+	if !reflect.DeepEqual(resp.Seeds, ref.Seeds) {
+		t.Errorf("served seeds %v, blocking %v", resp.Seeds, ref.Seeds)
+	}
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Requests.Seeds != 1 {
+		t.Errorf("seeds request count = %d, want 1", st.Requests.Seeds)
+	}
 }

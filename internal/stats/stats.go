@@ -23,8 +23,12 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-// GeoMean returns the geometric mean of xs. All values must be positive;
-// non-positive values are skipped (and if all are skipped the result is 0).
+// GeoMean returns the geometric mean of xs. The geometric mean is only
+// defined over positive reals (log(0) is -Inf and log of a negative is
+// NaN), so the domain is guarded explicitly: non-positive values are
+// skipped and the mean is taken over the positive ones alone; when no
+// value is positive — all zero, all negative, or an empty slice — the
+// result is a defined 0, never -Inf or NaN.
 func GeoMean(xs []float64) float64 {
 	var s float64
 	var n int
@@ -56,6 +60,67 @@ func Variance(xs []float64) float64 {
 
 // StdDev returns the population standard deviation of xs.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// SampleVariance returns the unbiased sample variance of xs (Bessel's
+// correction: the squared deviations divided by n-1, not n). This is the
+// estimator confidence intervals need when xs is a sample — a handful of
+// seeds — rather than the whole population. Fewer than two samples carry
+// no spread information; the result is then a defined 0 rather than the
+// NaN a naive 0/0 would produce.
+func SampleVariance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// SampleStdDev returns the sample standard deviation of xs (the square
+// root of SampleVariance), 0 for fewer than two samples.
+func SampleStdDev(xs []float64) float64 { return math.Sqrt(SampleVariance(xs)) }
+
+// tCrit95 holds the two-sided Student-t critical values t(0.975, df) for
+// df 1..30. Seed sweeps have single-digit sample counts, where the
+// normal 1.96 badly understates the interval (df=2 needs 4.30); past
+// df 30 the t distribution is within ~2% of normal and tCrit falls back
+// to 1.96.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+func tCrit(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= len(tCrit95) {
+		return tCrit95[df-1]
+	}
+	return 1.96
+}
+
+// CI95 returns the Student-t 95% confidence interval for the mean of xs,
+// treating xs as an i.i.d. sample: mean ± t(0.975, n-1)·s/√n with s the
+// sample (Bessel-corrected) standard deviation. With fewer than two
+// samples no interval exists: ok is false and both bounds collapse to
+// the mean, so callers that serialize the bounds unconditionally still
+// emit finite JSON.
+func CI95(xs []float64) (lo, hi float64, ok bool) {
+	n := len(xs)
+	m := Mean(xs)
+	if n < 2 {
+		return m, m, false
+	}
+	h := tCrit(n-1) * SampleStdDev(xs) / math.Sqrt(float64(n))
+	return m - h, m + h, true
+}
 
 // Min returns the minimum of xs, or +Inf for an empty slice.
 func Min(xs []float64) float64 {
@@ -132,9 +197,15 @@ func RelSqErrSum(pred, actual []float64) float64 {
 
 // Percentile returns the p-th percentile of xs (p in [0,100]) using linear
 // interpolation between order statistics. It does not modify xs.
+//
+// An empty slice has no order statistics; the result is then a defined 0.
+// It used to be NaN, which encoding/json refuses to marshal — any wire
+// response embedding a percentile of an empty sample would 500 at encode
+// time. Callers that must distinguish "empty" from "zero-valued" check
+// len(xs) themselves (Summary carries N for exactly that reason).
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
-		return math.NaN()
+		return 0
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
@@ -189,6 +260,8 @@ func CDF(xs []float64) []CDFPoint {
 }
 
 // Summary describes a sample in one struct, convenient for table output.
+// N distinguishes an empty sample (every field a defined 0) from a
+// sample whose statistics happen to be 0.
 type Summary struct {
 	N      int
 	Mean   float64
@@ -199,8 +272,14 @@ type Summary struct {
 	P90    float64
 }
 
-// Summarize computes a Summary of xs.
+// Summarize computes a Summary of xs. An empty sample yields the zero
+// Summary (N=0, every statistic 0) — not the NaN median/P90 and ±Inf
+// min/max the underlying helpers would report, none of which
+// encoding/json can marshal. The zero value round-trips through JSON.
 func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
 	return Summary{
 		N:      len(xs),
 		Mean:   Mean(xs),

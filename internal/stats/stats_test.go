@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -23,8 +24,17 @@ func TestGeoMean(t *testing.T) {
 	approx(t, GeoMean([]float64{1, 4}), 2, 1e-12, "geomean 1,4")
 	approx(t, GeoMean([]float64{2, 8}), 4, 1e-12, "geomean 2,8")
 	approx(t, GeoMean(nil), 0, 0, "geomean empty")
-	// Non-positive values are skipped.
+	// Non-positive values are outside the geometric mean's domain and
+	// must be skipped — log(0) is -Inf and log(<0) is NaN, neither of
+	// which may leak out.
 	approx(t, GeoMean([]float64{-1, 0, 9}), 9, 1e-12, "geomean skips nonpositive")
+	approx(t, GeoMean([]float64{0, 0, 0}), 0, 0, "geomean all zero")
+	approx(t, GeoMean([]float64{-3, -7}), 0, 0, "geomean all negative")
+	for _, xs := range [][]float64{nil, {0}, {-1}, {0, -2, 0}} {
+		if g := GeoMean(xs); math.IsNaN(g) || math.IsInf(g, 0) {
+			t.Errorf("GeoMean(%v) = %v, want finite", xs, g)
+		}
+	}
 }
 
 func TestVarianceStd(t *testing.T) {
@@ -32,6 +42,67 @@ func TestVarianceStd(t *testing.T) {
 	approx(t, Variance(xs), 4, 1e-12, "variance")
 	approx(t, StdDev(xs), 2, 1e-12, "std")
 	approx(t, Variance([]float64{3}), 0, 0, "variance single")
+}
+
+func TestSampleVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Population variance 4 over n=8 becomes 32/7 under Bessel.
+	approx(t, SampleVariance(xs), 32.0/7, 1e-12, "sample variance")
+	approx(t, SampleStdDev(xs), math.Sqrt(32.0/7), 1e-12, "sample std")
+	// n < 2 carries no spread information: defined 0, never NaN.
+	approx(t, SampleVariance(nil), 0, 0, "sample variance empty")
+	approx(t, SampleVariance([]float64{3}), 0, 0, "sample variance single")
+	approx(t, SampleStdDev([]float64{3}), 0, 0, "sample std single")
+	// Sample variance is strictly larger than population variance for
+	// any sample with spread.
+	if SampleVariance(xs) <= Variance(xs) {
+		t.Error("sample variance should exceed population variance")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	// n=4, mean 5, sample std 2: half-width t(0.975,3)·2/√4 = 3.182.
+	xs := []float64{3, 4, 6, 7}
+	lo, hi, ok := CI95(xs)
+	if !ok {
+		t.Fatal("CI95 over 4 samples should be defined")
+	}
+	m, s := Mean(xs), SampleStdDev(xs)
+	h := 3.182 * s / 2
+	approx(t, lo, m-h, 1e-12, "ci lo")
+	approx(t, hi, m+h, 1e-12, "ci hi")
+
+	// Small n uses the t table, not the normal 1.96: for n=2 the
+	// critical value is 12.706.
+	lo2, hi2, ok2 := CI95([]float64{1, 3})
+	if !ok2 {
+		t.Fatal("CI95 over 2 samples should be defined")
+	}
+	h2 := 12.706 * SampleStdDev([]float64{1, 3}) / math.Sqrt2
+	approx(t, lo2, 2-h2, 1e-9, "ci lo n=2")
+	approx(t, hi2, 2+h2, 1e-9, "ci hi n=2")
+
+	// Beyond df 30 the critical value falls back to 1.96.
+	big := make([]float64, 40)
+	for i := range big {
+		big[i] = float64(i % 5)
+	}
+	loB, hiB, _ := CI95(big)
+	hB := 1.96 * SampleStdDev(big) / math.Sqrt(40)
+	approx(t, loB, Mean(big)-hB, 1e-12, "ci lo large n")
+	approx(t, hiB, Mean(big)+hB, 1e-12, "ci hi large n")
+
+	// No interval exists under two samples: ok=false, bounds collapse
+	// to the mean and stay finite.
+	for _, xs := range [][]float64{nil, {7}} {
+		lo, hi, ok := CI95(xs)
+		if ok {
+			t.Errorf("CI95(%v) ok = true, want false", xs)
+		}
+		if lo != Mean(xs) || hi != Mean(xs) {
+			t.Errorf("CI95(%v) = [%v, %v], want collapsed to mean", xs, lo, hi)
+		}
+	}
 }
 
 func TestMinMax(t *testing.T) {
@@ -87,9 +158,10 @@ func TestPercentile(t *testing.T) {
 	approx(t, Percentile(xs, 50), 3, 1e-12, "p50")
 	approx(t, Percentile(xs, 25), 2, 1e-12, "p25")
 	approx(t, Percentile(xs, 10), 1.4, 1e-12, "p10 interpolated")
-	if !math.IsNaN(Percentile(nil, 50)) {
-		t.Error("Percentile(nil) should be NaN")
-	}
+	// An empty sample has no order statistics: defined 0, never the NaN
+	// that encoding/json refuses to marshal.
+	approx(t, Percentile(nil, 50), 0, 0, "percentile empty")
+	approx(t, Percentile([]float64{}, 90), 0, 0, "percentile empty slice")
 	// Percentile must not mutate its input.
 	ys := []float64{3, 1, 2}
 	Percentile(ys, 50)
@@ -127,6 +199,44 @@ func TestSummarize(t *testing.T) {
 	approx(t, s.Max, 5, 0, "summary max")
 	if s.String() == "" {
 		t.Error("empty summary string")
+	}
+}
+
+// TestSummarizeEmptyRoundTripsJSON pins the empty-input contract: the
+// summary of no samples is the zero Summary, and it survives a JSON
+// round trip. Before the guard, Median/P90 were NaN and Min/Max ±Inf —
+// encoding/json errors on all of them, so any wire response embedding
+// an empty-sample summary failed at encode time with a 500.
+func TestSummarizeEmptyRoundTripsJSON(t *testing.T) {
+	for _, xs := range [][]float64{nil, {}} {
+		s := Summarize(xs)
+		if s != (Summary{}) {
+			t.Errorf("Summarize(%v) = %+v, want zero Summary", xs, s)
+		}
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal empty summary: %v", err)
+		}
+		var back Summary
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal empty summary: %v", err)
+		}
+		if back != s {
+			t.Errorf("round trip changed summary: %+v vs %+v", back, s)
+		}
+	}
+	// A non-empty summary must round-trip too (all fields finite).
+	s := Summarize([]float64{1, 2, 3})
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal summary: %v", err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("round trip changed summary: %+v vs %+v", back, s)
 	}
 }
 

@@ -94,7 +94,7 @@ func (p profile) specs(suite string, opts Options) []trace.Spec {
 		if dep < 1.2 {
 			dep = 1.2
 		}
-		out = append(out, trace.Spec{
+		spec := trace.Spec{
 			Name:             name,
 			Seed:             seed,
 			NumOps:           opts.NumOps,
@@ -113,7 +113,17 @@ func (p profile) specs(suite string, opts Options) []trace.Spec {
 			LongChainFrac:    jitter(p.chain, 0.1),
 			FusibleFrac:      0.45,
 			HotBytes:         int64(p.hotMB * (0.92 + 0.16*r.Float64()) * (1 << 20)),
-		})
+		}
+		// The hot-set and footprint jitters are independent draws, so a
+		// hot set near the footprint's low range can come out larger than
+		// the footprint itself — a spec trace.New rejects. Clamp to the
+		// footprint: a fully hot working set is the physical reading, and
+		// every in-range draw (the whole canonical seed base among them)
+		// is untouched, keeping existing store keys warm.
+		if spec.HotBytes > spec.DataFootprint {
+			spec.HotBytes = spec.DataFootprint
+		}
+		out = append(out, spec)
 	}
 	return out
 }

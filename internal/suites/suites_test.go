@@ -189,3 +189,28 @@ func TestSuitesGenerateTraces(t *testing.T) {
 		}
 	}
 }
+
+// TestSuiteSpecsValidAcrossSeedBases: every workload of every
+// registered suite must produce a valid trace spec under every seed
+// base a seed sweep can reach, not just the canonical instantiation.
+// Regression: the hot-set and footprint jitters are independent draws,
+// and certain bases used to draw HotBytes beyond DataFootprint (e.g.
+// cpu2000/art at base 3), panicking trace generation mid-sweep.
+func TestSuiteSpecsValidAcrossSeedBases(t *testing.T) {
+	for _, name := range Names() {
+		if _, err := ByName(name, Options{}); err != nil {
+			continue // a registry-test fixture with a misbehaving builder
+		}
+		for base := uint64(0); base < 64; base++ {
+			s, err := ByName(name, Options{NumOps: 1000, SeedBase: base})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range s.Workloads {
+				if err := w.Validate(); err != nil {
+					t.Errorf("suite %s seed base %d: %v", name, base, err)
+				}
+			}
+		}
+	}
+}
