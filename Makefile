@@ -210,6 +210,41 @@ seeds-smoke:
 	@grep -q '"simulated": 0' $(CURDIR)/.bin/seeds-smoke.json
 	@grep -q '"traceGens": 0' $(CURDIR)/.bin/seeds-smoke.json
 
+# trace-smoke exercises the recorded-trace path end to end: tracetool
+# generates a one-off trace file from an inline spec and inspects it,
+# exports the cpu2000 suite to .mtrc files, import-verifies the
+# directory, then runs a one-cell grid plan over the imported traces
+# through the "file:DIR" suite form. The warm -json rerun must be pure
+# store hits with zero trace loads — recorded streams replay from the
+# store, not from disk ("simulated": 0, "traceGens": 0 in the wire
+# report, the same fields POST /v1/plan answers). Export is
+# deterministic, so the file content hashes — and therefore the store
+# keys — are stable across CI runs and the cached run store stays warm.
+trace-smoke:
+	@mkdir -p $(CURDIR)/.bin
+	@rm -rf $(CURDIR)/.bin/traces
+	@echo "Generating a one-off trace file from an inline spec..."
+	@printf '%s\n' '{"Name": "toy", "Seed": 7, "NumOps": 5000, "LoadFrac": 0.25, "StoreFrac": 0.1, "BranchHardFrac": 0.2, "CodeFootprint": 32768, "CodeLocality": 0.8, "DataFootprint": 1048576, "DataLocality": 0.6, "DepDistMean": 8}' \
+		> $(CURDIR)/.bin/trace-smoke-spec.json
+	@go run ./cmd/tracetool generate -spec $(CURDIR)/.bin/trace-smoke-spec.json -out $(CURDIR)/.bin/toy.mtrc
+	@go run ./cmd/tracetool inspect $(CURDIR)/.bin/toy.mtrc
+	@echo "Exporting the cpu2000 suite (ops=$(SMOKE_OPS)) to trace files..."
+	@go run ./cmd/tracetool export -suite cpu2000 -ops $(SMOKE_OPS) -out $(CURDIR)/.bin/traces
+	@echo "Import-verifying the exported directory..."
+	@go run ./cmd/tracetool import $(CURDIR)/.bin/traces > /dev/null
+	@echo "Running a cold one-cell plan over the imported traces..."
+	@printf '%s\n' '{"base": {"name": "core2"}, "axes": [{"param": "rob", "values": [96]}], "suite": "file:$(CURDIR)/.bin/traces"}' \
+		> $(CURDIR)/.bin/trace-smoke-plan.json
+	@go run ./cmd/sweep -plan $(CURDIR)/.bin/trace-smoke-plan.json \
+		-ops $(SMOKE_OPS) -starts 2 -store $(RUNSTORE) > /dev/null
+	@echo "Re-running warm: must be pure store hits and zero trace loads..."
+	@go run ./cmd/sweep -plan $(CURDIR)/.bin/trace-smoke-plan.json -json \
+		-ops $(SMOKE_OPS) -starts 2 -store $(RUNSTORE) \
+		2>&1 >$(CURDIR)/.bin/trace-smoke.json \
+		| grep "0 simulated (100.0% hit rate), 0 traces generated"
+	@grep -q '"simulated": 0' $(CURDIR)/.bin/trace-smoke.json
+	@grep -q '"traceGens": 0' $(CURDIR)/.bin/trace-smoke.json
+
 fuzz-smoke:
 	@echo "Fuzzing campaign parsing for 20s..."
 	@go test ./internal/experiments -run '^$$' -fuzz '^FuzzParseCampaign$$' -fuzztime 20s
@@ -276,4 +311,4 @@ clean-store:
 	@echo "Removing the run store at $(RUNSTORE)..."
 	@rm -rf $(RUNSTORE)
 
-.PHONY: all build test test-short race lint staticcheck profile bench-smoke bench-full bench-baseline bench-baseline-update sim-smoke sweep-smoke plan-smoke sim-nondeterminism optimize-smoke seeds-smoke fuzz-smoke serve-smoke jobs-smoke clean-store
+.PHONY: all build test test-short race lint staticcheck profile bench-smoke bench-full bench-baseline bench-baseline-update sim-smoke sweep-smoke plan-smoke sim-nondeterminism optimize-smoke seeds-smoke trace-smoke fuzz-smoke serve-smoke jobs-smoke clean-store

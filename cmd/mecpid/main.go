@@ -36,6 +36,13 @@
 //	mecpid [-addr 127.0.0.1:8080] [-addrfile FILE] [-store DIR]
 //	       [-jobs DIR] [-jobworkers N] [-ops N] [-starts N]
 //	       [-workers N] [-drain DURATION] [-pprof-addr 127.0.0.1:0]
+//	       [-trace-suite NAME=PATH]...
+//
+// Each -trace-suite registers an imported trace file (or a directory of
+// .mtrc files) as a named file-backed suite, usable anywhere a suite
+// name is — predict, plan, optimize, jobs. GET /v1/suites reports such
+// suites with "source": "file". The unregistered "file:PATH" suite-spec
+// form works too, without any flag.
 //
 // With -pprof-addr the daemon additionally serves net/http/pprof on a
 // dedicated listener at that address (off by default). The profiling
@@ -64,12 +71,14 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/runstore"
 	"repro/internal/serve"
+	"repro/internal/suites"
 )
 
 func main() {
@@ -83,7 +92,14 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation worker bound (default: NumCPU)")
 	drain := flag.Duration("drain", 2*time.Minute, "how long to drain in-flight requests and jobs on shutdown")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address over a dedicated listener (empty = off; never served on -addr)")
+	var traceSuites stringList
+	flag.Var(&traceSuites, "trace-suite", "register a file-backed suite as NAME=PATH, where PATH is one .mtrc trace file or a directory of them (repeatable)")
 	flag.Parse()
+
+	if err := registerTraceSuites(traceSuites); err != nil {
+		fmt.Fprintln(os.Stderr, "mecpid:", err)
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -91,6 +107,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mecpid:", err)
 		os.Exit(1)
 	}
+}
+
+// stringList collects the values of a repeatable flag.
+type stringList []string
+
+func (l *stringList) String() string     { return strings.Join(*l, ",") }
+func (l *stringList) Set(v string) error { *l = append(*l, v); return nil }
+
+// registerTraceSuites resolves each NAME=PATH pair into a file-backed
+// suite in the process-global registry. Files are read and verified up
+// front, so a bad path or corrupt trace fails daemon startup instead of
+// the first request that names the suite.
+func registerTraceSuites(pairs []string) error {
+	for _, p := range pairs {
+		name, path, ok := strings.Cut(p, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("-trace-suite %q: want NAME=PATH", p)
+		}
+		if err := suites.RegisterFile(name, path); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // realMain runs the daemon until ctx is cancelled (graceful shutdown) or

@@ -1,0 +1,262 @@
+// Command tracetool works with trace files: the versioned binary .mtrc
+// format (see internal/trace) that lets workloads leave the process
+// that generated them and come back as file-backed suites.
+//
+// Usage:
+//
+//	tracetool generate -spec SPEC.json [-out FILE]
+//	tracetool export -suite NAME [-workload WL] [-ops N] [-seedbase N] -out DIR
+//	tracetool inspect [-json] FILE...
+//	tracetool import PATH
+//	tracetool convert -out FILE IN
+//
+// generate materializes one workload from a strict-JSON trace.Spec and
+// writes it as a trace file. export materializes every workload of a
+// registered suite (or any "file:PATH" suite spec) into a directory of
+// trace files — the directory then works as a file-backed suite
+// ("file:DIR", suites.RegisterFile, or mecpid -trace-suite). import
+// verifies a trace file or directory exactly as suite resolution would
+// — checksums included — and prints the workload roster. inspect prints
+// one file's embedded spec, op count and content hash. convert decodes
+// a trace file and re-encodes it at the current format version.
+//
+// Every file is checksummed on read; a corrupt, truncated or
+// wrong-version file is a hard error, never a partial answer.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/suites"
+	"repro/internal/trace"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "generate":
+		err = cmdGenerate(args[1:], stdout)
+	case "export":
+		err = cmdExport(args[1:], stdout)
+	case "inspect":
+		err = cmdInspect(args[1:], stdout)
+	case "import":
+		err = cmdImport(args[1:], stdout)
+	case "convert":
+		err = cmdConvert(args[1:], stdout)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "tracetool: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "tracetool:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  tracetool generate -spec SPEC.json [-out FILE]
+  tracetool export -suite NAME [-workload WL] [-ops N] [-seedbase N] -out DIR
+  tracetool inspect [-json] FILE...
+  tracetool import PATH
+  tracetool convert -out FILE IN
+`)
+}
+
+// cmdGenerate materializes one workload from a strict-JSON spec file.
+func cmdGenerate(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "trace spec as strict JSON (required)")
+	out := fs.String("out", "", "output trace file (default: <spec name>"+trace.FileExt+")")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("generate: -spec is required")
+	}
+	raw, err := os.ReadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	var spec trace.Spec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return fmt.Errorf("generate: %s: %v", *specPath, err)
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	buf, err := trace.MaterializeSpec(spec)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = spec.Name + trace.FileExt
+	}
+	if err := trace.WriteFile(path, buf); err != nil {
+		return err
+	}
+	written, err := trace.ReadFileSpec(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s: workload %s, %d ops, content %s\n", path, written.Name, written.NumOps, written.Content)
+	return nil
+}
+
+// cmdExport materializes a suite's workloads into a directory of trace
+// files, one per workload, named after the workload.
+func cmdExport(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	suiteName := fs.String("suite", "", "suite to export: a registered name or file:PATH (required)")
+	workload := fs.String("workload", "", "export only this workload (default: all)")
+	ops := fs.Int("ops", 300000, "µops per workload (generated suites only)")
+	seedBase := fs.Uint64("seedbase", 0, "seed base for replication variants (generated suites only)")
+	out := fs.String("out", "", "output directory (required; created if missing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *suiteName == "" || *out == "" {
+		return fmt.Errorf("export: -suite and -out are required")
+	}
+	suite, err := suites.ByName(*suiteName, suites.Options{NumOps: *ops, SeedBase: *seedBase})
+	if err != nil {
+		return err
+	}
+	specs := suite.Workloads
+	if *workload != "" {
+		spec, ok := suite.Find(*workload)
+		if !ok {
+			return fmt.Errorf("export: suite %s has no workload %q", suite.Name, *workload)
+		}
+		specs = []trace.Spec{spec}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	for _, spec := range specs {
+		buf, err := trace.MaterializeSpec(spec)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*out, spec.Name+trace.FileExt)
+		if err := trace.WriteFile(path, buf); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d ops)\n", path, buf.NumOps())
+	}
+	fmt.Fprintf(stdout, "exported %d workloads from %s to %s\n", len(specs), suite.Name, *out)
+	return nil
+}
+
+// cmdInspect prints one or more files' embedded spec and identity.
+func cmdInspect(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit one JSON object per file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("inspect: no files given")
+	}
+	for _, path := range fs.Args() {
+		spec, err := trace.ReadFileSpec(path)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(struct {
+				File    string     `json:"file"`
+				Version int        `json:"version"`
+				Spec    trace.Spec `json:"spec"`
+			}{path, trace.FileVersion, spec}); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Fprintf(stdout, "%s: workload %s, %d ops, format version %d\n", path, spec.Name, spec.NumOps, trace.FileVersion)
+		fmt.Fprintf(stdout, "  content %s\n", spec.Content)
+		if len(spec.Phases) > 0 {
+			fmt.Fprintf(stdout, "  phases  %d piecewise-stationary segments\n", len(spec.Phases))
+		}
+		if spec.BurstFrac > 0 {
+			fmt.Fprintf(stdout, "  bursts  %.0f%% of accesses in mean-%.0f-access bursts\n", 100*spec.BurstFrac, spec.BurstLen)
+		}
+	}
+	return nil
+}
+
+// cmdImport verifies a trace file or directory as a file-backed suite —
+// the same resolution campaigns and the daemon perform — and prints the
+// roster it would contribute.
+func cmdImport(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("import", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("import: want exactly one PATH")
+	}
+	path := fs.Arg(0)
+	suite, err := suites.ByName(suites.FilePrefix+path, suites.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "suite %s: %d workloads verified\n", suite.Name, len(suite.Workloads))
+	for _, wl := range suite.Workloads {
+		fmt.Fprintf(stdout, "  %-24s %8d ops  content %.16s…\n", wl.Name, wl.NumOps, wl.Content)
+	}
+	return nil
+}
+
+// cmdConvert decodes a trace file and re-encodes it at the current
+// format version. For a current-version file this is a verified,
+// normalized rewrite; for files from older builds it is the upgrade
+// path.
+func cmdConvert(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
+	out := fs.String("out", "", "output trace file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" || fs.NArg() != 1 {
+		return fmt.Errorf("convert: want -out FILE and exactly one input")
+	}
+	buf, err := trace.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteFile(*out, buf); err != nil {
+		return err
+	}
+	spec, err := trace.ReadFileSpec(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "converted %s -> %s (format version %d, content %s)\n", fs.Arg(0), *out, trace.FileVersion, spec.Content)
+	return nil
+}

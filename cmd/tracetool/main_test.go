@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func run(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := realMain(args, &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+func TestGenerateInspectImportConvert(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	spec := trace.Spec{
+		Name: "toy", Seed: 7, NumOps: 5000,
+		LoadFrac: 0.25, StoreFrac: 0.1,
+		BranchHardFrac: 0.2, CodeFootprint: 32 << 10, CodeLocality: 0.8,
+		DataFootprint: 1 << 20, DataLocality: 0.6,
+		DepDistMean: 8,
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(specPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "toy.mtrc")
+	stdout, stderr, code := run(t, "generate", "-spec", specPath, "-out", out)
+	if code != 0 {
+		t.Fatalf("generate failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "workload toy, 5000 ops") {
+		t.Errorf("generate output %q", stdout)
+	}
+
+	stdout, stderr, code = run(t, "inspect", out)
+	if code != 0 {
+		t.Fatalf("inspect failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "workload toy, 5000 ops") || !strings.Contains(stdout, "content ") {
+		t.Errorf("inspect output %q", stdout)
+	}
+
+	stdout, _, code = run(t, "inspect", "-json", out)
+	if code != 0 {
+		t.Fatal("inspect -json failed")
+	}
+	var rep struct {
+		Version int        `json:"version"`
+		Spec    trace.Spec `json:"spec"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("inspect -json emitted bad JSON: %v", err)
+	}
+	if rep.Version != trace.FileVersion || rep.Spec.Name != "toy" || rep.Spec.Content == "" {
+		t.Errorf("inspect -json report %+v", rep)
+	}
+
+	stdout, stderr, code = run(t, "import", out)
+	if code != 0 {
+		t.Fatalf("import failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "1 workloads verified") || !strings.Contains(stdout, "toy") {
+		t.Errorf("import output %q", stdout)
+	}
+
+	conv := filepath.Join(dir, "toy2.mtrc")
+	_, stderr, code = run(t, "convert", "-out", conv, out)
+	if code != 0 {
+		t.Fatalf("convert failed (%d): %s", code, stderr)
+	}
+	a, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("converting a current-version file is not byte-identical")
+	}
+}
+
+func TestExportSuiteDirectory(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bursty")
+	stdout, stderr, code := run(t, "export", "-suite", "bursty", "-ops", "4000", "-out", out)
+	if code != 0 {
+		t.Fatalf("export failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "exported 8 workloads from bursty") {
+		t.Errorf("export output %q", stdout)
+	}
+	files, err := filepath.Glob(filepath.Join(out, "*"+trace.FileExt))
+	if err != nil || len(files) != 8 {
+		t.Fatalf("exported %d trace files (%v), want 8", len(files), err)
+	}
+
+	// The directory must resolve as a file-backed suite.
+	stdout, stderr, code = run(t, "import", out)
+	if code != 0 {
+		t.Fatalf("import of exported dir failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "8 workloads verified") {
+		t.Errorf("import output %q", stdout)
+	}
+}
+
+func TestExportSingleWorkload(t *testing.T) {
+	dir := t.TempDir()
+	stdout, stderr, code := run(t, "export", "-suite", "phased", "-workload", "gc-pause", "-ops", "4000", "-out", dir)
+	if code != 0 {
+		t.Fatalf("export failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "exported 1 workloads") {
+		t.Errorf("export output %q", stdout)
+	}
+	if _, err := trace.ReadFileSpec(filepath.Join(dir, "gc-pause.mtrc")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, _, code := run(t, "bogus"); code != 2 {
+		t.Error("unknown command should exit 2")
+	}
+	if _, _, code := run(t); code != 2 {
+		t.Error("no command should exit 2")
+	}
+	if _, stderr, code := run(t, "export", "-suite", "nope", "-out", t.TempDir()); code != 1 || !strings.Contains(stderr, "unknown suite") {
+		t.Errorf("export of unknown suite: code %d, stderr %q", code, stderr)
+	}
+	if _, _, code := run(t, "import", filepath.Join(t.TempDir(), "missing.mtrc")); code != 1 {
+		t.Error("import of missing path should exit 1")
+	}
+	// A corrupt file must error cleanly through every verb.
+	bad := filepath.Join(t.TempDir(), "bad.mtrc")
+	if err := os.WriteFile(bad, []byte("MECPITRC but not really"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, verb := range [][]string{
+		{"inspect", bad},
+		{"import", bad},
+		{"convert", "-out", bad + ".out", bad},
+	} {
+		if _, _, code := run(t, verb...); code != 1 {
+			t.Errorf("%v on corrupt file: exit %d, want 1", verb, code)
+		}
+	}
+}

@@ -5,15 +5,78 @@
 // The paper's contribution — the gray-box CPI model of Equations (1)–(6),
 // its inference by non-linear regression on performance counters, and
 // CPI/CPI-delta stacks — lives in internal/core. Everything the paper
-// merely *uses* is built here too: a cycle-level out-of-order simulator
-// standing in for the three Intel machines (internal/sim + cache, branch,
-// uarch), synthetic SPEC-like workload suites (internal/suites +
-// internal/trace), a latency calibrator (internal/calibrator), the
-// regression and ANN machinery (internal/regress, internal/ann), and an
-// experiment harness regenerating every table and figure
-// (internal/experiments, cmd/experiments).
+// merely *uses* is built here too: the machines, the workloads, the
+// counters, the calibration harness, and the experiment pipeline that
+// regenerates every table and figure.
+//
+// # Package index
+//
+// The hardware substrate (stands in for the paper's three Intel boxes):
+//
+//   - internal/uarch — machine configurations: Pentium 4, Core 2,
+//     Core i7 (Tables 1–2), a registry of named machines, and derived
+//     variants (base + overrides) for scenario files and sweeps.
+//   - internal/sim — the cycle-level out-of-order simulator with
+//     FMT-style ground-truth CPI accounting; internal/cache and
+//     internal/branch supply its cache/TLB hierarchy and branch
+//     predictors.
+//   - internal/perfctr — the performance-counter façade the model
+//     reads, standing in for perfex/perfmon.
+//   - internal/calibrator — latency microbenchmarks recovering the
+//     machine parameters the model consumes (the paper's Calibrator).
+//
+// The workloads:
+//
+//   - internal/trace — the synthetic µop-trace generator
+//     (deterministic, seeded, phase- and burst-capable) and the
+//     versioned .mtrc trace file format: Encode/Decode with checksums,
+//     WriteFile/ReadFile, and spec-level loading for file-backed
+//     workloads.
+//   - internal/suites — the SPEC-like suites (cpu2000, cpu2006), the
+//     non-stationary families (phased, bursty), and the suite registry
+//     including file-backed suites ("file:PATH", RegisterFile).
+//   - internal/rng — the splittable deterministic RNG and the
+//     Zipf/geometric distributions the generator draws from.
+//
+// The model and its baselines:
+//
+//   - internal/core — Equations (1)–(6), the mechanistic-empirical
+//     model, its fitting, CPI stacks and delta stacks.
+//   - internal/regress — non-linear least squares with multi-start.
+//   - internal/ann — the ANN baseline of Figure 4.
+//   - internal/stats — sample statistics, Student-t intervals, and
+//     relative-error helpers for the multi-seed layer.
+//
+// The experiment pipeline and serving:
+//
+//   - internal/experiments — campaigns (the paper grid and declarative
+//     scenarios), every table/figure emitter, one-axis sweeps,
+//     multi-axis grid plans with shared trace replay, design-space
+//     optimization, and multi-seed replication sweeps.
+//   - internal/runstore — the disk-backed content-addressed cache of
+//     simulation results keyed by machine config × workload spec ×
+//     simulator version.
+//   - internal/serve — the HTTP/JSON v1 API (predict, sweep, plan,
+//     optimize, seeds, async jobs) over the same provider path the
+//     CLIs use.
+//   - internal/prof, internal/stack — pprof wiring and small shared
+//     plumbing.
+//
+// The commands:
+//
+//   - cmd/experiments — regenerate the paper's tables and figures, or
+//     run a declarative scenario.
+//   - cmd/mecpi — fit one model, print one CPI stack.
+//   - cmd/sweep — parameter sweeps, grid plans (-plan), design-space
+//     search (-optimize), and seed sweeps (-seeds).
+//   - cmd/tracetool — generate, export, inspect, import and convert
+//     .mtrc trace files.
+//   - cmd/mecpid — the long-running model-serving daemon.
+//   - cmd/calibrate — run the latency calibrator.
+//   - cmd/benchjson — benchmark snapshots and the CI regression gate.
 //
 // See README.md for a guided tour, DESIGN.md for the system inventory and
-// substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
-// top-level bench_test.go regenerates each table/figure as a benchmark.
+// substitutions (§14 documents the trace file format), and EXPERIMENTS.md
+// for paper-vs-measured results. The top-level bench_test.go regenerates
+// each table/figure as a benchmark.
 package repro

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/runstore"
+	"repro/internal/sim"
+	"repro/internal/suites"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// TestPlanOverImportedTraces is the import acceptance pin: a plan over
+// an exported-then-imported suite must agree per-float with the plan
+// over the generated suite, its store keys must NOT collide with the
+// generated runs (the file's content hash is part of workload
+// identity), and a warm rerun over the imported traces must be pure
+// store hits with zero trace loads.
+func TestPlanOverImportedTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four small plans")
+	}
+	const suiteName = "cpu2000"
+	dir := t.TempDir()
+	suite, err := suites.ByName(suiteName, suites.Options{NumOps: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range suite.Workloads {
+		buf, err := trace.MaterializeSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteFile(filepath.Join(dir, spec.Name+trace.FileExt), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fileSuite := suites.FilePrefix + dir
+
+	base := uarch.CoreTwo()
+	axes := []PlanAxis{{Param: "rob", Values: []int{48, 96}}}
+	genStore, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	genOpts := Options{NumOps: 2000, FitStarts: 2, Store: genStore}
+
+	genPlan, err := NewPlan(base, axes, suiteName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := RunPlan(genPlan, genOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	filePlan, err := NewPlan(base, axes, fileSuite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileStore, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileOpts := genOpts
+	fileOpts.Store = fileStore
+	cold, err := RunPlan(filePlan, fileOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := (len(axes[0].Values) + 1) * len(suite.Workloads) // base + cells
+	if cold.Stats.Simulated != runs || cold.Stats.Hits != 0 {
+		t.Errorf("cold imported plan stats %+v, want %d simulated", cold.Stats, runs)
+	}
+	if cold.Stats.TraceGens != len(suite.Workloads) {
+		t.Errorf("cold imported plan loaded %d traces, want one per workload (%d)",
+			cold.Stats.TraceGens, len(suite.Workloads))
+	}
+
+	// Per-float identity with the generated-suite plan: the recorded
+	// streams are the generated streams, so every simulator counter and
+	// every fitted coefficient must agree exactly.
+	if len(gen.Points) != len(cold.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(gen.Points), len(cold.Points))
+	}
+	for i := range gen.Points {
+		g, f := gen.Points[i], cold.Points[i]
+		if g.SimCPI != f.SimCPI || g.ModelCPI != f.ModelCPI {
+			t.Errorf("point %d: generated vs imported CPIs differ: sim %v vs %v, model %v vs %v",
+				i, g.SimCPI, f.SimCPI, g.ModelCPI, f.ModelCPI)
+		}
+		for _, c := range sim.Components() {
+			if g.SimStack.Cycles[c] != f.SimStack.Cycles[c] || g.ModelStack.Cycles[c] != f.ModelStack.Cycles[c] {
+				t.Errorf("point %d component %s differs between generated and imported", i, c)
+			}
+		}
+	}
+
+	// Imported workloads must not collide with generated ones in the
+	// store: running the imported plan against the generated plan's warm
+	// store stays fully cold.
+	crossOpts := fileOpts
+	crossOpts.Store = genStore
+	cross, err := RunPlan(filePlan, crossOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross.Stats.Hits != 0 || cross.Stats.Simulated != runs {
+		t.Errorf("imported plan hit the generated store (%+v): content hash is not folding into keys", cross.Stats)
+	}
+
+	// Warm rerun over the imported traces: pure hits, nothing loaded.
+	warm, err := RunPlan(filePlan, fileOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.Hits != runs || warm.Stats.Simulated != 0 || warm.Stats.TraceGens != 0 {
+		t.Errorf("warm imported plan stats %+v, want %d pure hits and zero trace loads", warm.Stats, runs)
+	}
+	for i := range warm.Points {
+		if warm.Points[i].SimCPI != cold.Points[i].SimCPI || warm.Points[i].ModelCPI != cold.Points[i].ModelCPI {
+			t.Errorf("point %d differs between cold and warm imported runs", i)
+		}
+	}
+}
+
+// TestSeedsRejectFileSuites pins the eager rejection: a seed sweep
+// over a file-backed suite must fail at Resolve, before any cell runs.
+func TestSeedsRejectFileSuites(t *testing.T) {
+	dir := t.TempDir()
+	spec := trace.Spec{
+		Name: "rec", Seed: 5, NumOps: 1000,
+		LoadFrac: 0.2, BranchHardFrac: 0.2,
+		CodeFootprint: 16 << 10, CodeLocality: 0.8,
+		DataFootprint: 1 << 20, DataLocality: 0.5, DepDistMean: 6,
+	}
+	if err := trace.WriteFile(filepath.Join(dir, "rec.mtrc"), trace.Materialize(spec)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := SeedsSpec{
+		Base:  &MachineSpec{Name: "core2", Base: "core2"},
+		Suite: suites.FilePrefix + dir,
+		Count: 2,
+	}.Resolve()
+	if err == nil {
+		t.Fatal("seed sweep over a file-backed suite resolved")
+	}
+}
+
+// TestRunnerReportsFileErrors: a workload whose backing file disappears
+// after suite resolution must fail the run with an error — not a panic,
+// not a silent skip.
+func TestRunnerReportsFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	spec := trace.Spec{
+		Name: "gone", Seed: 5, NumOps: 1000,
+		LoadFrac: 0.2, BranchHardFrac: 0.2,
+		CodeFootprint: 16 << 10, CodeLocality: 0.8,
+		DataFootprint: 1 << 20, DataLocality: 0.5, DepDistMean: 6,
+	}
+	path := filepath.Join(dir, "gone.mtrc")
+	if err := trace.WriteFile(path, trace.Materialize(spec)); err != nil {
+		t.Fatal(err)
+	}
+	suite, err := suites.ByName(suites.FilePrefix+dir, suites.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	lab, err := NewCustomLab([]*uarch.Machine{uarch.CoreTwo()}, []suites.Suite{suite}, Options{NumOps: 1000, FitStarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.Simulate(); err == nil {
+		t.Fatal("simulating a vanished trace file succeeded")
+	}
+}

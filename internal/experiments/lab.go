@@ -115,11 +115,12 @@ type SimStats struct {
 	// Simulated is the number of runs actually dispatched to workers
 	// (store misses, or all runs when no store is configured).
 	Simulated int
-	// TraceGens is the number of µop streams actually generated: one
-	// per materialized shared buffer plus one per unshared simulation.
-	// Store hits generate nothing, and a grid sharing one buffer across
-	// M machines counts 1, not M — the regeneration the plan engine's
-	// replay path removes.
+	// TraceGens is the number of µop streams actually produced — by the
+	// generator for synthetic specs, or decoded from disk for
+	// file-backed ones: one per materialized shared buffer plus one per
+	// unshared simulation. Store hits produce nothing, and a grid
+	// sharing one buffer across M machines counts 1, not M — the
+	// regeneration the plan engine's replay path removes.
 	TraceGens int
 }
 

@@ -184,8 +184,18 @@ func runSimJobs(ctx context.Context, jobs []simJob, opts Options, record func(Ru
 			for _, sh := range groups {
 				select {
 				case ops := <-freeSlots:
-					sh.buf = trace.MaterializeInto(sh.spec, ops)
-					traceGens.Add(1)
+					// File-aware: generated specs expand through the
+					// generator, file-backed ones decode from disk with
+					// their content hash verified. On failure the slot
+					// goes back so later groups still materialize.
+					buf, err := trace.MaterializeSpecInto(sh.spec, ops)
+					if err != nil {
+						freeSlots <- ops
+						fail(fmt.Errorf("experiments: materialize %s: %w", sh.spec.Name, err))
+					} else {
+						sh.buf = buf
+						traceGens.Add(1)
+					}
 				case <-ctx.Done():
 				case <-abort:
 				}
@@ -221,7 +231,12 @@ func runSimJobs(ctx context.Context, jobs []simJob, opts Options, record func(Ru
 					}
 					src = buf.Replay()
 				} else {
-					src = trace.New(j.spec)
+					var err error
+					src, err = trace.NewSpecSource(j.spec)
+					if err != nil {
+						fail(fmt.Errorf("experiments: %s on %s: %w", j.spec.Name, j.machine.Name, err))
+						continue
+					}
 					traceGens.Add(1)
 				}
 				res, err := s.Run(src)

@@ -138,6 +138,13 @@ func (spec SeedsSpec) Resolve() (*Seeds, error) {
 	// workload roster depends only on the suite name, never on ops or
 	// seed base, so the default instantiation is the cheap one to ask.
 	for _, name := range s.Suites {
+		// Seed sweeps redraw every workload from a shifted seed base,
+		// which a recorded trace file cannot do — reject file-backed
+		// suites here, before any cell runs, rather than failing on the
+		// first non-canonical seed mid-campaign.
+		if suites.IsFileBacked(name) {
+			return nil, fmt.Errorf("experiments: suite %q is file-backed: recorded traces cannot be re-seeded for a seed sweep", name)
+		}
 		suite, err := suites.ByName(name, suites.Options{})
 		if err != nil {
 			return nil, err

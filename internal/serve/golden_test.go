@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"flag"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -49,6 +50,49 @@ func TestPredictGoldenResponse(t *testing.T) {
 	}
 	if !bytes.Equal(body, want) {
 		t.Errorf("/v1/predict response drifted from golden (%d vs %d bytes):\n%s", len(body), len(want), body)
+	}
+}
+
+// TestSuitesGoldenResponse pins the GET /v1/suites wire format — the
+// suite roster, each suite's source classification ("builtin" vs
+// "file"), and the workload lists. Regenerate with
+//
+//	go test ./internal/serve -run TestSuitesGoldenResponse -update-golden
+//
+// only for an intentional roster or wire-format change (e.g. a new
+// registered suite family).
+func TestSuitesGoldenResponse(t *testing.T) {
+	ts, _ := newTestServer(t, experiments.Options{})
+	resp, err := http.Get(ts.URL + "/v1/suites")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "suites_ops2000.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("/v1/suites response drifted from golden (%d vs %d bytes):\n%s", len(body), len(want), body)
 	}
 }
 

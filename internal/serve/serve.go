@@ -243,8 +243,13 @@ func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
 }
 
 // SuiteInfo describes one registered suite at the daemon's µop count.
+// Source is "builtin" for generated suites and "file" for suites backed
+// by imported trace files (registered via -trace-suite); file-backed
+// workloads carry recorded streams, so their op counts are fixed by the
+// file rather than the daemon's -ops.
 type SuiteInfo struct {
 	Name      string   `json:"name"`
+	Source    string   `json:"source"`
 	Workloads []string `json:"workloads"`
 }
 
@@ -264,7 +269,12 @@ func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, CodeInternal, err)
 			return
 		}
-		info := SuiteInfo{Name: name}
+		src, err := suites.SuiteSource(name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, err)
+			return
+		}
+		info := SuiteInfo{Name: name, Source: string(src)}
 		for _, wl := range suite.Workloads {
 			info.Workloads = append(info.Workloads, wl.Name)
 		}

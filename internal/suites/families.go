@@ -1,0 +1,172 @@
+package suites
+
+import "repro/internal/trace"
+
+// The synthetic families deliberately violate the stationarity the two
+// SPEC-like suites (and the paper's model) assume. The "phased" suite
+// is piecewise-stationary — locality, pointer chasing, and branch
+// predictability jump at segment boundaries, the way real programs move
+// between loop nests — and the "bursty" suite clusters its cache misses
+// in time so the same long-run miss ratio arrives in MSHR-saturating
+// storms. Model error on these families measures how much the
+// mechanistic-empirical model's steady-state assumptions cost outside
+// the paper's 3×2 grid.
+
+// familyBase is the common starting spec for family workloads: a
+// moderately memory-intensive integer program that individual workloads
+// then reshape. Seeding follows the registry convention
+// (hashName(suite+"/"+name) + SeedBase), so family streams are
+// decorrelated across workloads and across seed-sweep replications.
+func familyBase(suite, name string, opts Options) trace.Spec {
+	return trace.Spec{
+		Name:             name,
+		Seed:             hashName(suite+"/"+name) + opts.SeedBase,
+		NumOps:           opts.NumOps,
+		LoadFrac:         0.27,
+		StoreFrac:        0.10,
+		FPFrac:           0.08,
+		MulFrac:          0.02,
+		DivFrac:          0.003,
+		BranchHardFrac:   0.22,
+		CodeFootprint:    96 << 10,
+		CodeLocality:     0.75,
+		DataFootprint:    64 << 20,
+		DataLocality:     0.5,
+		PointerChaseFrac: 0.05,
+		DepDistMean:      9,
+		LongChainFrac:    0.10,
+		FusibleFrac:      0.45,
+	}
+}
+
+// PhasedSuite returns the phase-changing family: each workload is a
+// schedule of piecewise-stationary segments with distinct data
+// locality, pointer chasing, and branch noise. A model fitted to the
+// aggregate counters sees the average program; the hardware ran the
+// phases.
+func PhasedSuite(opts Options) Suite {
+	opts = opts.withDefaults()
+	const name = "phased"
+	mk := func(wl string, mut func(*trace.Spec)) trace.Spec {
+		s := familyBase(name, wl, opts)
+		mut(&s)
+		return s
+	}
+	return Suite{Name: name, Workloads: []trace.Spec{
+		// Cold start scattering over the heap, then a resident hot loop.
+		mk("startup-steady", func(s *trace.Spec) {
+			s.Phases = []trace.Phase{
+				{Frac: 0.3, DataLocality: 0.15, PointerChaseFrac: 0.10},
+				{Frac: 0.7, DataLocality: 0.90, PointerChaseFrac: 0.02},
+			}
+		}),
+		// Two loop nests the program alternates between.
+		mk("loop-alternate", func(s *trace.Spec) {
+			s.Phases = []trace.Phase{
+				{Frac: 0.25, DataLocality: 0.90, PointerChaseFrac: 0.02},
+				{Frac: 0.25, DataLocality: 0.20, PointerChaseFrac: 0.20},
+				{Frac: 0.25, DataLocality: 0.90, PointerChaseFrac: 0.02},
+				{Frac: 0.25, DataLocality: 0.20, PointerChaseFrac: 0.20},
+			}
+		}),
+		// Working set grows past each cache level in turn.
+		mk("drift", func(s *trace.Spec) {
+			s.DataFootprint = 256 << 20
+			s.Phases = []trace.Phase{
+				{Frac: 0.25, DataLocality: 0.85},
+				{Frac: 0.25, DataLocality: 0.60},
+				{Frac: 0.25, DataLocality: 0.40},
+				{Frac: 0.25, DataLocality: 0.15},
+			}
+		}),
+		// Array traversal that switches to linked-structure chasing.
+		mk("chase-onset", func(s *trace.Spec) {
+			s.DataFootprint = 192 << 20
+			s.Phases = []trace.Phase{
+				{Frac: 0.5, DataLocality: 0.55},
+				{Frac: 0.5, DataLocality: 0.30, PointerChaseFrac: 0.45},
+			}
+		}),
+		// Data-dependent control flow in the middle third only.
+		mk("noisy-middle", func(s *trace.Spec) {
+			s.Phases = []trace.Phase{
+				{Frac: 0.33, DataLocality: 0.70},
+				{Frac: 0.34, DataLocality: 0.70, BranchNoise: 0.60},
+				{Frac: 0.33, DataLocality: 0.70},
+			}
+		}),
+		// A collector-like sweep interrupting a well-behaved mutator.
+		mk("gc-pause", func(s *trace.Spec) {
+			s.DataFootprint = 128 << 20
+			s.Phases = []trace.Phase{
+				{Frac: 0.45, DataLocality: 0.85, PointerChaseFrac: 0.04},
+				{Frac: 0.10, DataLocality: 0.05, PointerChaseFrac: 0.50, BranchNoise: 0.30},
+				{Frac: 0.45, DataLocality: 0.85, PointerChaseFrac: 0.04},
+			}
+		}),
+		// Everything shifts at once, twice.
+		mk("mixed-storm", func(s *trace.Spec) {
+			s.DataFootprint = 128 << 20
+			s.Phases = []trace.Phase{
+				{Frac: 0.4, DataLocality: 0.80, PointerChaseFrac: 0.02, BranchNoise: 0},
+				{Frac: 0.2, DataLocality: 0.10, PointerChaseFrac: 0.35, BranchNoise: 0.50},
+				{Frac: 0.4, DataLocality: 0.65, PointerChaseFrac: 0.10, BranchNoise: 0.10},
+			}
+		}),
+		// Eight fine-grained segments: phase length approaches the
+		// window the model's interval analysis averages over.
+		mk("fine-grain", func(s *trace.Spec) {
+			ph := make([]trace.Phase, 8)
+			for i := range ph {
+				ph[i] = trace.Phase{Frac: 0.125, DataLocality: 0.85}
+				if i%2 == 1 {
+					ph[i].DataLocality = 0.25
+					ph[i].BranchNoise = 0.25
+				}
+			}
+			s.Phases = ph
+		}),
+	}}
+}
+
+// BurstySuite returns the clustered-miss family: stationary parameters
+// except that data accesses alternate between calm locality-governed
+// stretches and bursts that scatter uniformly over the footprint. Mean
+// behaviour matches a stationary workload of the same miss ratio; the
+// variance — miss storms piling into the MSHRs — is what the paper's
+// steady-state memory-level-parallelism term does not see.
+func BurstySuite(opts Options) Suite {
+	opts = opts.withDefaults()
+	const name = "bursty"
+	mk := func(wl string, frac, length float64, mut func(*trace.Spec)) trace.Spec {
+		s := familyBase(name, wl, opts)
+		s.BurstFrac = frac
+		s.BurstLen = length
+		if mut != nil {
+			mut(&s)
+		}
+		return s
+	}
+	return Suite{Name: name, Workloads: []trace.Spec{
+		// Short, rare bursts: near-stationary control point.
+		mk("drizzle", 0.05, 8, nil),
+		// The reference storm: a fifth of accesses in 32-access bursts.
+		mk("squall", 0.20, 32, nil),
+		// Long heavy bursts over a big footprint.
+		mk("monsoon", 0.40, 128, func(s *trace.Spec) { s.DataFootprint = 256 << 20 }),
+		// Very short frequent bursts — scattered misses, minimal runs.
+		mk("microburst", 0.10, 4, nil),
+		// Bursts long enough to drain and refill the whole MSHR file.
+		mk("longstorm", 0.30, 512, func(s *trace.Spec) { s.DataFootprint = 256 << 20 }),
+		// Serialized storms: bursts whose loads also chase pointers, so
+		// the clustered misses cannot overlap.
+		mk("chase-storm", 0.20, 64, func(s *trace.Spec) { s.PointerChaseFrac = 0.30 }),
+		// A cache-resident hot set between storms.
+		mk("hot-calm", 0.15, 48, func(s *trace.Spec) {
+			s.HotBytes = 2 << 20
+			s.DataFootprint = 128 << 20
+		}),
+		// Burst-dominated: the calm state is the exception.
+		mk("saturate", 0.60, 256, func(s *trace.Spec) { s.DataFootprint = 256 << 20 }),
+	}}
+}

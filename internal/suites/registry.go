@@ -3,8 +3,13 @@ package suites
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+
+	"repro/internal/trace"
 )
 
 // ErrUnknownSuite is wrapped by ByName failures for names absent from
@@ -13,36 +18,54 @@ import (
 // collide with.
 var ErrUnknownSuite = errors.New("unknown suite")
 
+// Source classifies where a suite's workloads come from.
+type Source string
+
+const (
+	// SourceBuiltin marks suites whose workloads are generated from
+	// curated Specs (the paper suites and synthetic families).
+	SourceBuiltin Source = "builtin"
+	// SourceFile marks suites whose workloads are recorded trace files
+	// imported from disk.
+	SourceFile Source = "file"
+)
+
+// FilePrefix is the dynamic suite-spec form: "file:PATH" resolves PATH
+// (one .mtrc trace file, or a directory of them) as a suite without
+// registration, anywhere a suite name is accepted — campaigns, sweeps,
+// plans, and the daemon.
+const FilePrefix = "file:"
+
 // The suite registry maps names to suite builders, mirroring the machine
 // registry in internal/uarch: experiments name suites declaratively and
 // the registry resolves them, so new workload collections plug in
-// without touching the experiment stack. The two paper suites
-// self-register in init.
+// without touching the experiment stack. The paper suites and synthetic
+// families self-register in init; trace files join via RegisterFile or
+// the "file:" spec form.
 var (
 	regMu    sync.RWMutex
-	registry = map[string]Builder{}
+	registry = map[string]entry{}
 )
+
+type entry struct {
+	build  func(Options) (Suite, error)
+	source Source
+}
 
 // Builder instantiates a suite with the given options.
 type Builder func(Options) Suite
 
-// Register adds a named suite builder. The builder must produce suites
-// whose Name matches the registered name. Registering a name twice is an
-// error.
+// Register adds a named builtin suite builder. The builder must produce
+// suites whose Name matches the registered name. Registering a name
+// twice is an error.
 func Register(name string, b Builder) error {
-	if name == "" {
-		return fmt.Errorf("suites: cannot register suite with empty name")
-	}
 	if b == nil {
 		return fmt.Errorf("suites: nil builder for suite %q", name)
 	}
-	regMu.Lock()
-	defer regMu.Unlock()
-	if _, dup := registry[name]; dup {
-		return fmt.Errorf("suites: suite %q already registered", name)
-	}
-	registry[name] = b
-	return nil
+	return register(name, entry{
+		build:  func(opts Options) (Suite, error) { return b(opts), nil },
+		source: SourceBuiltin,
+	})
 }
 
 // MustRegister is Register, panicking on error.
@@ -50,6 +73,46 @@ func MustRegister(name string, b Builder) {
 	if err := Register(name, b); err != nil {
 		panic(err)
 	}
+}
+
+// RegisterFile adds a named file-backed suite from path — one .mtrc
+// trace file or a directory of them. The files are read and verified
+// now (checksums included), and the resulting workload set is cached:
+// listing the suite later costs nothing, and a file rewritten after
+// registration is caught at materialization time by the content-hash
+// check. File suites carry their own recorded streams, so the builder
+// ignores Options.NumOps and rejects non-zero SeedBase.
+func RegisterFile(name, path string) error {
+	suite, err := loadFileSuite(path)
+	if err != nil {
+		return err
+	}
+	suite.Name = name
+	return register(name, entry{
+		build: func(opts Options) (Suite, error) {
+			if opts.SeedBase != 0 {
+				return Suite{}, fmt.Errorf("suites: %s: file-backed suites carry recorded traces and cannot be re-seeded (SeedBase=%d)", name, opts.SeedBase)
+			}
+			return suite, nil
+		},
+		source: SourceFile,
+	})
+}
+
+func register(name string, e entry) error {
+	if name == "" {
+		return fmt.Errorf("suites: cannot register suite with empty name")
+	}
+	if strings.HasPrefix(name, FilePrefix) {
+		return fmt.Errorf("suites: name %q collides with the %q spec form", name, FilePrefix)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("suites: suite %q already registered", name)
+	}
+	registry[name] = e
+	return nil
 }
 
 // Names returns all registered suite names, sorted.
@@ -64,17 +127,96 @@ func Names() []string {
 	return out
 }
 
-// ByName instantiates the registered suite with the given options.
+// ByName instantiates the suite with the given options. Besides
+// registered names it accepts the dynamic "file:PATH" form, which
+// resolves PATH as a file-backed suite on the spot.
 func ByName(name string, opts Options) (Suite, error) {
+	if path, ok := strings.CutPrefix(name, FilePrefix); ok {
+		if opts.SeedBase != 0 {
+			return Suite{}, fmt.Errorf("suites: %s: file-backed suites carry recorded traces and cannot be re-seeded (SeedBase=%d)", name, opts.SeedBase)
+		}
+		s, err := loadFileSuite(path)
+		if err != nil {
+			return Suite{}, err
+		}
+		s.Name = name
+		return s, nil
+	}
 	regMu.RLock()
-	b, ok := registry[name]
+	e, ok := registry[name]
 	regMu.RUnlock()
 	if !ok {
 		return Suite{}, fmt.Errorf("suites: %w %q (registered: %v)", ErrUnknownSuite, name, Names())
 	}
-	s := b(opts)
+	s, err := e.build(opts)
+	if err != nil {
+		return Suite{}, err
+	}
 	if s.Name != name {
 		return Suite{}, fmt.Errorf("suites: builder for %q produced suite named %q", name, s.Name)
+	}
+	return s, nil
+}
+
+// SuiteSource classifies a suite name without instantiating it:
+// SourceFile for "file:" specs and registered file suites, SourceBuiltin
+// for generated ones, ErrUnknownSuite otherwise.
+func SuiteSource(name string) (Source, error) {
+	if strings.HasPrefix(name, FilePrefix) {
+		return SourceFile, nil
+	}
+	regMu.RLock()
+	e, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("suites: %w %q", ErrUnknownSuite, name)
+	}
+	return e.source, nil
+}
+
+// IsFileBacked reports whether the name denotes a file-backed suite —
+// either the "file:" spec form or a RegisterFile registration. Unknown
+// names report false; resolution errors surface later in ByName.
+func IsFileBacked(name string) bool {
+	src, err := SuiteSource(name)
+	return err == nil && src == SourceFile
+}
+
+// loadFileSuite resolves path into a suite: a single trace file becomes
+// a one-workload suite, a directory contributes every *.mtrc file in
+// sorted name order. Each file is fully verified (ReadFileSpec streams
+// it through the checksum) but nothing is materialized.
+func loadFileSuite(path string) (Suite, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return Suite{}, fmt.Errorf("suites: %w", err)
+	}
+	var files []string
+	if info.IsDir() {
+		files, err = filepath.Glob(filepath.Join(path, "*"+trace.FileExt))
+		if err != nil {
+			return Suite{}, fmt.Errorf("suites: %s: %w", path, err)
+		}
+		if len(files) == 0 {
+			return Suite{}, fmt.Errorf("suites: %s: no %s trace files in directory", path, trace.FileExt)
+		}
+		sort.Strings(files)
+	} else {
+		files = []string{path}
+	}
+
+	s := Suite{Name: FilePrefix + path}
+	seen := make(map[string]string, len(files))
+	for _, f := range files {
+		spec, err := trace.ReadFileSpec(f)
+		if err != nil {
+			return Suite{}, fmt.Errorf("suites: %w", err)
+		}
+		if prev, dup := seen[spec.Name]; dup {
+			return Suite{}, fmt.Errorf("suites: %s: workload %q appears in both %s and %s", path, spec.Name, prev, f)
+		}
+		seen[spec.Name] = f
+		s.Workloads = append(s.Workloads, spec)
 	}
 	return s, nil
 }
@@ -82,4 +224,6 @@ func ByName(name string, opts Options) (Suite, error) {
 func init() {
 	MustRegister("cpu2000", CPU2000Like)
 	MustRegister("cpu2006", CPU2006Like)
+	MustRegister("phased", PhasedSuite)
+	MustRegister("bursty", BurstySuite)
 }

@@ -13,6 +13,22 @@
 // The CPU2006-like suite is deliberately more memory-intensive than the
 // CPU2000-like one (larger data footprints), reproducing the contrast the
 // paper leans on in Section 6.
+//
+// Two further synthetic families deliberately break the stationarity
+// those suites (and the paper's model) assume: "phased" workloads are
+// piecewise-stationary phase schedules and "bursty" workloads cluster
+// their cache misses in time (see families.go). Model error on them
+// measures what the steady-state assumptions cost.
+//
+// Suites resolve by name through a registry (Register/ByName). Besides
+// the built-in generated suites, recorded traces resolve as file-backed
+// suites: the "file:PATH" spec form points at a .mtrc trace file or a
+// directory of them (see internal/trace's file format), and
+// RegisterFile mounts such a directory under a plain name. File-backed
+// workloads carry the file's content hash in their spec, so their runs
+// key separately from generated ones in the content-addressed run
+// store, and they have no seed axis — re-seeding a recording is
+// rejected rather than silently ignored.
 package suites
 
 import (

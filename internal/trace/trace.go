@@ -19,6 +19,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"repro/internal/rng"
 )
@@ -146,6 +147,71 @@ type Spec struct {
 	// FusibleFrac is the fraction of µop pairs marked fusible; fusing
 	// machines merge a machine-dependent share of them.
 	FusibleFrac float64
+
+	// Phases, when non-empty, makes the workload piecewise-stationary:
+	// the stream is split into len(Phases) consecutive segments, each a
+	// Frac share of NumOps, and within a segment the data locality,
+	// pointer chasing, and branch predictability take that phase's
+	// values instead of the spec-wide ones. Stationary workloads (the
+	// only kind the generator produced before this field existed) leave
+	// Phases empty; their streams and ConfigHashes are unchanged. At
+	// least two phases are required when the field is used, and the
+	// Frac values must sum to 1.
+	Phases []Phase `json:"phases,omitempty"`
+
+	// BurstFrac and BurstLen modulate data accesses with a two-state
+	// (calm/burst) Markov process: a BurstFrac share of accesses falls
+	// inside bursts of mean length BurstLen accesses, during which
+	// addresses scatter uniformly over the whole footprint — clustered
+	// cold misses — while calm stretches follow the usual locality
+	// draw. This is temporal clustering the stationary Zipf picker
+	// cannot express: the same long-run miss ratio arrives in storms
+	// that pile up in the MSHRs instead of spreading evenly, stressing
+	// the model's steady-state memory-level-parallelism assumption.
+	// BurstFrac 0 (the default) disables the modulation and leaves
+	// existing streams untouched; when set it must be in (0, 0.9] with
+	// BurstLen >= 1.
+	BurstFrac float64 `json:"burstFrac,omitempty"`
+	BurstLen  float64 `json:"burstLen,omitempty"`
+
+	// Content is the identity override for file-backed workloads: the
+	// content hash (hex SHA-256 file checksum) of the trace file the
+	// spec was read from. It folds into ConfigHash, so two files that
+	// declare identical generation parameters but carry different µop
+	// streams can never collide in content-addressed caches. Generated
+	// workloads leave it empty; Decode sets it.
+	Content string `json:"content,omitempty"`
+
+	// SourceFile is the path of the trace file backing this spec, set
+	// by ReadFile/ReadFileSpec. It is deliberately excluded from JSON
+	// (and therefore from ConfigHash): moving or copying a trace file
+	// must not change the identity of its runs — Content carries that.
+	SourceFile string `json:"-"`
+}
+
+// MaxPhases bounds how many piecewise-stationary segments a spec may
+// declare; a phase schedule longer than this is a malformed file, not a
+// workload.
+const MaxPhases = 64
+
+// Phase is one piecewise-stationary segment of a phase-changing
+// workload. Each phase fully specifies its behavioural knobs — there is
+// no inheritance from the spec-wide values, so a phase schedule reads
+// as a table of regimes.
+type Phase struct {
+	// Frac is this phase's share of NumOps, in (0,1]; all phases must
+	// sum to 1. Segment boundaries land on whole µops (rounded), with
+	// the last phase absorbing the remainder.
+	Frac float64 `json:"frac"`
+	// DataLocality replaces Spec.DataLocality within the phase.
+	DataLocality float64 `json:"dataLocality"`
+	// PointerChaseFrac replaces Spec.PointerChaseFrac within the phase.
+	PointerChaseFrac float64 `json:"pointerChaseFrac"`
+	// BranchNoise is the fraction of this phase's branch executions
+	// whose outcome is re-drawn 50/50, degrading predictability without
+	// touching the static program: 0 keeps each block's bias, 1 makes
+	// every branch a coin flip.
+	BranchNoise float64 `json:"branchNoise"`
 }
 
 // ConfigHash returns a stable content hash of the workload description.
@@ -200,6 +266,45 @@ func (s *Spec) Validate() error {
 	}
 	if s.HotBytes < 0 || s.HotBytes > s.DataFootprint {
 		return fmt.Errorf("trace: %s: HotBytes %d outside [0, footprint]", s.Name, s.HotBytes)
+	}
+	if len(s.Phases) == 1 {
+		return fmt.Errorf("trace: %s: a phase-changing spec needs at least two phases", s.Name)
+	}
+	if len(s.Phases) > MaxPhases {
+		return fmt.Errorf("trace: %s: %d phases exceed the %d-phase cap", s.Name, len(s.Phases), MaxPhases)
+	}
+	if len(s.Phases) > 0 {
+		sum := 0.0
+		for i, p := range s.Phases {
+			if p.Frac <= 0 || p.Frac > 1 {
+				return fmt.Errorf("trace: %s: phase %d Frac=%v outside (0,1]", s.Name, i, p.Frac)
+			}
+			for _, f := range []struct {
+				name string
+				v    float64
+			}{
+				{"DataLocality", p.DataLocality},
+				{"PointerChaseFrac", p.PointerChaseFrac},
+				{"BranchNoise", p.BranchNoise},
+			} {
+				if f.v < 0 || f.v > 1 {
+					return fmt.Errorf("trace: %s: phase %d %s=%v outside [0,1]", s.Name, i, f.name, f.v)
+				}
+			}
+			sum += p.Frac
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("trace: %s: phase fractions sum to %v, want 1", s.Name, sum)
+		}
+	}
+	if s.BurstFrac < 0 || s.BurstFrac > 0.9 {
+		return fmt.Errorf("trace: %s: BurstFrac=%v outside [0, 0.9]", s.Name, s.BurstFrac)
+	}
+	if s.BurstFrac > 0 && s.BurstLen < 1 {
+		return fmt.Errorf("trace: %s: BurstLen=%v must be >= 1 when BurstFrac is set", s.Name, s.BurstLen)
+	}
+	if s.BurstFrac == 0 && s.BurstLen != 0 {
+		return fmt.Errorf("trace: %s: BurstLen=%v without BurstFrac", s.Name, s.BurstLen)
 	}
 	return nil
 }
@@ -389,6 +494,29 @@ type Generator struct {
 	dataZipf rng.ZipfDist      // pickDataLine's cold-path line skew
 	depGeo   rng.GeometricDist // assignDeps' producer-distance draw
 	kindCum  [5]float64        // pickKind's cumulative mix thresholds
+
+	// Phase-changing workloads (Spec.Phases): the active phase's knobs
+	// are copied into cur* on each boundary crossing, so the hot loop
+	// reads one field instead of indexing the schedule. Stationary
+	// specs load cur* once from the spec-wide values and never pay a
+	// phase check beyond the `phased` bool.
+	phased      bool
+	phaseIdx    int
+	phaseEnd    int            // first µop of the next phase (NumOps for the last)
+	phaseBounds []int          // cumulative segment boundaries, one per phase
+	phaseZipf   []rng.ZipfDist // per-phase cold-path line skew
+	curZipf     rng.ZipfDist   // active cold-path line skew
+	curChase    float64        // active pointer-chase fraction
+	curNoise    float64        // active branch-outcome noise
+
+	// Bursty workloads (Spec.BurstFrac): two-state modulation of the
+	// data-access stream. stateLeft counts accesses remaining in the
+	// current state; burstGeo/calmGeo draw the next dwell lengths.
+	bursty    bool
+	inBurst   bool
+	stateLeft int
+	burstGeo  rng.GeometricDist
+	calmGeo   rng.GeometricDist
 }
 
 // Both stream kinds satisfy the simulator's input contract.
@@ -469,6 +597,35 @@ func (g *Generator) buildProgram() {
 		s.LoadFrac + s.StoreFrac + s.FPFrac + s.MulFrac,
 		s.LoadFrac + s.StoreFrac + s.FPFrac + s.MulFrac + s.DivFrac,
 	}
+
+	// Phase schedule: cumulative boundaries in µops (the last phase
+	// absorbs rounding remainder) and a pre-built Zipf per phase so
+	// boundary crossings are copies, not allocations.
+	if len(s.Phases) > 0 {
+		g.phased = true
+		g.phaseBounds = make([]int, len(s.Phases))
+		g.phaseZipf = make([]rng.ZipfDist, len(s.Phases))
+		cum := 0.0
+		for i, p := range s.Phases {
+			cum += p.Frac
+			g.phaseBounds[i] = int(math.Round(cum * float64(s.NumOps)))
+			g.phaseZipf[i] = rng.NewZipf(g.dataLines, 1.05+0.85*p.DataLocality)
+		}
+		g.phaseBounds[len(s.Phases)-1] = s.NumOps
+	}
+
+	// Burst modulation: dwell lengths are 1+geometric draws, so the
+	// burst-state mean is BurstLen and the calm-state mean is sized to
+	// make bursts a BurstFrac share of accesses in the long run.
+	if s.BurstFrac > 0 {
+		g.bursty = true
+		g.burstGeo = rng.NewGeometric(1 / s.BurstLen)
+		calmP := s.BurstFrac / (s.BurstLen * (1 - s.BurstFrac))
+		if calmP > 1 {
+			calmP = 1
+		}
+		g.calmGeo = rng.NewGeometric(calmP)
+	}
 }
 
 // Reset restarts the dynamic stream from the beginning. The static
@@ -482,6 +639,23 @@ func (g *Generator) Reset() {
 	g.hasLoad = false
 	g.opsSinceInstr = 0
 	g.fuseArmed = false
+	if g.phased {
+		g.phaseIdx = 0
+		g.phaseEnd = g.phaseBounds[0]
+		g.curZipf = g.phaseZipf[0]
+		g.curChase = g.spec.Phases[0].PointerChaseFrac
+		g.curNoise = g.spec.Phases[0].BranchNoise
+	} else {
+		g.curZipf = g.dataZipf
+		g.curChase = g.spec.PointerChaseFrac
+		g.curNoise = 0
+	}
+	if g.bursty {
+		// Start in a calm stretch; the dwell draw comes from the fresh
+		// stream RNG, so Reset reproduces the identical modulation.
+		g.inBurst = false
+		g.stateLeft = g.calmGeo.Next(g.r) + 1
+	}
 }
 
 // Spec returns the workload specification.
@@ -497,6 +671,16 @@ func (g *Generator) Next(op *MicroOp) bool {
 		return false
 	}
 	s := &g.spec
+	if g.phased && g.emitted >= g.phaseEnd {
+		for g.phaseIdx+1 < len(g.phaseBounds) && g.emitted >= g.phaseEnd {
+			g.phaseIdx++
+			g.phaseEnd = g.phaseBounds[g.phaseIdx]
+		}
+		p := &s.Phases[g.phaseIdx]
+		g.curZipf = g.phaseZipf[g.phaseIdx]
+		g.curChase = p.PointerChaseFrac
+		g.curNoise = p.BranchNoise
+	}
 	blk := &g.blocks[g.blockIdx]
 
 	*op = MicroOp{
@@ -509,6 +693,12 @@ func (g *Generator) Next(op *MicroOp) bool {
 		// Terminating conditional branch of the block.
 		op.Kind = KindBranch
 		op.Taken = g.r.Bool(blk.takenProb)
+		if g.phased && g.r.Bool(g.curNoise) {
+			// Phase noise re-draws the outcome 50/50 *before* target
+			// selection, so the target stays consistent with Taken. The
+			// draws are gated on phased: stationary streams are untouched.
+			op.Taken = g.r.Bool(0.5)
+		}
 		if op.Taken {
 			op.Target = g.blocks[blk.target].startPC
 		} else {
@@ -610,10 +800,28 @@ func (g *Generator) pickKind() Kind {
 // beyond-4MB and beyond-8MB tails is what lets a larger last-level
 // cache remove misses (the paper's Core i7 observation).
 func (g *Generator) pickDataLine() int {
+	if g.bursty {
+		if g.stateLeft <= 0 {
+			g.inBurst = !g.inBurst
+			if g.inBurst {
+				g.stateLeft = g.burstGeo.Next(g.r) + 1
+			} else {
+				g.stateLeft = g.calmGeo.Next(g.r) + 1
+			}
+		}
+		g.stateLeft--
+		if g.inBurst {
+			// Burst state: scatter uniformly over the whole footprint —
+			// a storm of cold lines clustered in time.
+			return g.r.Intn(g.dataLines)
+		}
+	}
 	if g.hotLines > 0 && g.r.Bool(g.hotFrac) {
 		return g.r.Intn(g.hotLines)
 	}
-	return g.dataZipf.Next(g.r)
+	// curZipf is dataZipf for stationary specs (same draws) and the
+	// active phase's skew for phase-changing ones.
+	return g.curZipf.Next(g.r)
 }
 
 // assignDeps draws producer distances for op.
@@ -644,7 +852,7 @@ func (g *Generator) assignDeps(op *MicroOp) {
 		return d
 	}
 
-	if op.Kind == KindLoad && g.hasLoad && g.r.Bool(s.PointerChaseFrac) {
+	if op.Kind == KindLoad && g.hasLoad && g.r.Bool(g.curChase) {
 		// Pointer chase: address depends on the most recent load.
 		d := seq - g.lastLoad
 		if d >= 1 && d <= 256 {

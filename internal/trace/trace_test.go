@@ -391,7 +391,7 @@ func TestBufferReplaysGeneratorStreamExactly(t *testing.T) {
 	if buf.NumOps() != spec.NumOps {
 		t.Fatalf("buffer holds %d ops, want %d", buf.NumOps(), spec.NumOps)
 	}
-	if buf.Spec() != spec {
+	if buf.Spec().ConfigHash() != spec.ConfigHash() {
 		t.Error("buffer spec round-trip failed")
 	}
 	var want, got MicroOp
