@@ -53,7 +53,7 @@ staticcheck:
 bench-smoke:
 	@echo "Running benchmark smoke (ops=$(BENCH_OPS)) against the run store at $(RUNSTORE)..."
 	@REPRO_RUNSTORE=$(RUNSTORE) REPRO_BENCH_OPS=$(BENCH_OPS) \
-		go test -run '^$$' -bench 'Fig2ModelAccuracy|SimulatorThroughput|TraceGeneration|TraceReplay|GridPlan|ModelPredict' \
+		go test -run '^$$' -bench 'Fig2ModelAccuracy|SimulatorThroughput|TraceGeneration|TraceReplay|GridPlan|ModelPredict|TLBAccess|IQSchedule|SeedsParallel' \
 		-benchtime 1x -benchmem .
 
 # profile runs the simulator throughput benchmark under the CPU
@@ -77,7 +77,7 @@ profile:
 # The committed benchmark baseline this PR's trajectory point lives in;
 # regenerate with `make bench-baseline-update` after an intentional
 # performance change.
-BENCH_BASELINE ?= BENCH_7.json
+BENCH_BASELINE ?= BENCH_10.json
 
 # bench-baseline re-runs the benchmark smoke, converts the output into a
 # machine-readable JSON snapshot (.bin/bench-current.json, uploaded as a
@@ -101,9 +101,21 @@ bench-baseline:
 	@echo "Gating GridPlan/replay against $(BENCH_BASELINE)..."
 	@go run ./cmd/benchjson -check -in $(CURDIR)/.bin/bench.out -baseline $(BENCH_BASELINE) \
 		-bench GridPlan/replay -metric Mops/s -max-regress 0.20
+	@echo "Gating TLBAccess against $(BENCH_BASELINE)..."
+	@go run ./cmd/benchjson -check -in $(CURDIR)/.bin/bench.out -baseline $(BENCH_BASELINE) \
+		-bench TLBAccess -metric Mops/s -max-regress 0.30
+	@echo "Gating IQSchedule against $(BENCH_BASELINE)..."
+	@go run ./cmd/benchjson -check -in $(CURDIR)/.bin/bench.out -baseline $(BENCH_BASELINE) \
+		-bench IQSchedule -metric Mops/s -max-regress 0.20
+	@echo "Gating SeedsParallel wall clock against $(BENCH_BASELINE)..."
+	@go run ./cmd/benchjson -check -in $(CURDIR)/.bin/bench.out -baseline $(BENCH_BASELINE) \
+		-bench SeedsParallel -metric ns/op -max-regress 0.35 -lower-better
 	@echo "Gating SimulatorThroughput allocs/op against $(BENCH_BASELINE)..."
 	@go run ./cmd/benchjson -check -in $(CURDIR)/.bin/bench.out -baseline $(BENCH_BASELINE) \
 		-bench SimulatorThroughput -metric allocs/op -max-regress 0 -lower-better
+	@echo "Gating TLBAccess allocs/op against $(BENCH_BASELINE)..."
+	@go run ./cmd/benchjson -check -in $(CURDIR)/.bin/bench.out -baseline $(BENCH_BASELINE) \
+		-bench TLBAccess -metric allocs/op -max-regress 0 -lower-better
 
 bench-baseline-update:
 	@mkdir -p $(CURDIR)/.bin
@@ -170,6 +182,48 @@ sim-nondeterminism:
 	@echo "Comparing run-store artifacts..."
 	@diff -r $(CURDIR)/.bin/det-store-1 $(CURDIR)/.bin/det-store-n
 	@echo "sim-nondeterminism: byte-identical across GOMAXPROCS"
+
+# scale-smoke is sim-nondeterminism's wall-clock companion: the same
+# 2x2 grid plan, but built with the race detector and run cold twice —
+# once at GOMAXPROCS=1 and once with every core — each against a fresh
+# store. Plan JSON and store artifacts must stay byte-identical, and on
+# machines with at least 4 cores the parallel run must beat the serial
+# one by >=1.5x wall clock: the gate that plan-cell parallelism doesn't
+# quietly rot into serialized execution. SCALE_OPS is larger than
+# SMOKE_OPS so per-cell work dominates process startup even under
+# -race's slowdown.
+SCALE_OPS ?= 120000
+
+scale-smoke:
+	@mkdir -p $(CURDIR)/.bin
+	@rm -rf $(CURDIR)/.bin/scale-store-1 $(CURDIR)/.bin/scale-store-n
+	@echo "Building cmd/sweep with the race detector..."
+	@go build -race -o $(CURDIR)/.bin/sweep-race ./cmd/sweep
+	@echo "Running a cold 2x2 grid plan at GOMAXPROCS=1 (ops=$(SCALE_OPS))..."
+	@t0=$$(date +%s%N); \
+	GOMAXPROCS=1 $(CURDIR)/.bin/sweep-race -base core2 -param rob -values 48,96 -param mshrs -values 4,8 \
+		-suite cpu2000 -ops $(SCALE_OPS) -starts 2 -json \
+		-store $(CURDIR)/.bin/scale-store-1 > $(CURDIR)/.bin/scale-plan-1.json; \
+	echo $$(( $$(date +%s%N) - t0 )) > $(CURDIR)/.bin/scale-ns-1
+	@echo "Running the same cold plan at GOMAXPROCS=$$(nproc)..."
+	@t0=$$(date +%s%N); \
+	GOMAXPROCS=$$(nproc) $(CURDIR)/.bin/sweep-race -base core2 -param rob -values 48,96 -param mshrs -values 4,8 \
+		-suite cpu2000 -ops $(SCALE_OPS) -starts 2 -json \
+		-store $(CURDIR)/.bin/scale-store-n > $(CURDIR)/.bin/scale-plan-n.json; \
+	echo $$(( $$(date +%s%N) - t0 )) > $(CURDIR)/.bin/scale-ns-n
+	@echo "Comparing plan JSON..."
+	@cmp $(CURDIR)/.bin/scale-plan-1.json $(CURDIR)/.bin/scale-plan-n.json
+	@echo "Comparing run-store artifacts..."
+	@diff -r $(CURDIR)/.bin/scale-store-1 $(CURDIR)/.bin/scale-store-n
+	@serial=$$(cat $(CURDIR)/.bin/scale-ns-1); par=$$(cat $(CURDIR)/.bin/scale-ns-n); \
+	speedup=$$(awk "BEGIN { printf \"%.2f\", $$serial / $$par }"); \
+	echo "scale-smoke: serial $$(( serial / 1000000 )) ms, parallel $$(( par / 1000000 )) ms, speedup $${speedup}x on $$(nproc) cores"; \
+	if [ "$$(nproc)" -ge 4 ]; then \
+		awk "BEGIN { exit !($$serial >= 1.5 * $$par) }" || \
+			{ echo "scale-smoke: speedup $${speedup}x < 1.5x"; exit 1; }; \
+	else \
+		echo "scale-smoke: fewer than 4 cores, skipping the 1.5x wall-clock gate"; \
+	fi
 
 # optimize-smoke is the design-space-search counterpart of plan-smoke:
 # a cold coordinate-descent search over the committed example spec, then
@@ -311,4 +365,4 @@ clean-store:
 	@echo "Removing the run store at $(RUNSTORE)..."
 	@rm -rf $(RUNSTORE)
 
-.PHONY: all build test test-short race lint staticcheck profile bench-smoke bench-full bench-baseline bench-baseline-update sim-smoke sweep-smoke plan-smoke sim-nondeterminism optimize-smoke seeds-smoke trace-smoke fuzz-smoke serve-smoke jobs-smoke clean-store
+.PHONY: all build test test-short race lint staticcheck profile bench-smoke bench-full bench-baseline bench-baseline-update sim-smoke sweep-smoke plan-smoke sim-nondeterminism scale-smoke optimize-smoke seeds-smoke trace-smoke fuzz-smoke serve-smoke jobs-smoke clean-store

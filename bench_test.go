@@ -18,9 +18,11 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/calibrator"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/rng"
 	"repro/internal/runstore"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -344,6 +346,100 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(w.NumOps)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mops/s")
+}
+
+// BenchmarkTLBAccess isolates the hottest hierarchy structure: the
+// fully-associative true-LRU TLB, rebuilt in PR 10 as an open-addressed
+// page→slot table with an intrusive LRU list (O(1), allocation-free on
+// hits and misses). The address stream mixes page-local runs with
+// working-set hops sized past the capacity, so the fast path, the probe
+// path and the evict path are all on the clock. Each iteration replays
+// the whole 64K-access stream so a -benchtime 1x CI run still measures
+// thousands of accesses; the bench-baseline job gates the Mops/s.
+func BenchmarkTLBAccess(b *testing.B) {
+	tlb, err := cache.NewTLB(uarch.CoreI7().DTLB) // 256 entries, 4K pages
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Deterministic stream: 8 accesses per page on average, working set
+	// 4× the TLB reach.
+	r := rng.New(12345)
+	addrs := make([]uint64, 1<<16)
+	span := uint64(4 * 256 * 4096)
+	addr := uint64(0)
+	for i := range addrs {
+		if r.Intn(8) == 0 {
+			addr = r.Uint64n(span)
+		} else {
+			addr += uint64(r.Intn(512))
+		}
+		addrs[i] = addr
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range addrs {
+			tlb.Access(a)
+		}
+	}
+	b.ReportMetric(float64(len(addrs))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mops/s")
+}
+
+// BenchmarkIQSchedule stresses the issue-queue scheduler — PR 10's
+// calendar ring replacing the departure-time min-heap — by shrinking
+// the IQ until occupancy stalls dominate: every dispatch then exercises
+// popUpTo/min/push instead of sailing through an empty queue. Reported
+// as whole-loop ns/op (the ring has no seam to time in isolation
+// without distorting it); the bench-baseline CI job gates it.
+func BenchmarkIQSchedule(b *testing.B) {
+	m := uarch.CoreTwo()
+	m.Name = "core2-iq8"
+	m.IQSize = 8
+	s, err := sim.New(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	suite := suites.CPU2006Like(suites.Options{NumOps: 100000})
+	w, _ := suite.Find("mcf")
+	src := trace.Materialize(w).Replay()
+	var res sim.Result
+	if err := s.RunInto(&res, src); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.RunInto(&res, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(w.NumOps)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mops/s")
+}
+
+// BenchmarkSeedsParallel measures a whole seed sweep — PR 10 fans the
+// replications out across the worker pool instead of running one lab
+// per seed sequentially — end to end: simulation of every (seed,
+// workload) run plus the per-seed fits, no store, so every iteration
+// pays the full cost. The bench-baseline CI job gates the wall-clock
+// ns/op.
+func BenchmarkSeedsParallel(b *testing.B) {
+	s, err := experiments.SeedsSpec{
+		Base:  &experiments.MachineSpec{Name: "core2"},
+		Suite: "cpu2000",
+		Count: 4,
+	}.Resolve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.Options{NumOps: 10000, FitStarts: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSeeds(s, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Cells) != 1 {
+			b.Fatal("unexpected report shape")
+		}
+	}
 }
 
 func BenchmarkTraceGeneration(b *testing.B) {

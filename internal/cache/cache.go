@@ -146,21 +146,34 @@ func (c *Cache) Reset() {
 	c.misses = 0
 }
 
+// tlbHashK is the 64-bit golden-ratio multiplier (Fibonacci hashing):
+// the high bits of page*K are well mixed even for the sequential and
+// strided page numbers trace generators produce.
+const tlbHashK = 0x9E3779B97F4A7C15
+
 // TLB is a fully-associative translation buffer with true-LRU
-// replacement. Lookups go through a page→slot map (plus a last-page fast
-// path) so the hot path is O(1); the linear LRU victim scan only runs on
-// misses.
+// replacement. Residency is tracked in an open-addressed page→slot
+// table (linear probing, backward-shift deletion, ≤50% load) and
+// recency in an intrusive doubly-linked list threaded through the
+// slots, so both the hit and the miss/evict path are O(1) and
+// allocation-free. A last-page fast path skips even the table probe on
+// repeated accesses; deferring the list move is safe because the last
+// page is by definition already at the MRU position.
 type TLB struct {
-	cfg       uarch.TLBConfig
-	pages     []uint64
-	valid     []bool
-	lru       []uint64
-	slot      map[uint64]int // page → slot index for valid entries
-	lastPage  uint64
-	lastSlot  int
-	lastValid bool
-	stamp     uint64
-	pageShift uint
+	cfg   uarch.TLBConfig
+	pages []uint64 // per-slot resident page number
+	// LRU list over slots; index Entries is the sentinel. next walks
+	// MRU→LRU, so next[sentinel] is the MRU slot and prev[sentinel]
+	// the victim.
+	next, prev []int32
+	key        []uint64 // open-addressed table: page keys...
+	slot       []int32  // ...and their slot index, -1 when empty
+	tmask      uint64   // len(key)-1; len(key) is a power of two
+	hashShift  uint     // 64 - log2(len(key))
+	filled     int      // slots allocated since Reset (they fill 0..Entries-1 in order)
+	lastPage   uint64
+	lastValid  bool
+	pageShift  uint
 
 	hits, misses uint64
 }
@@ -173,65 +186,146 @@ func NewTLB(cfg uarch.TLBConfig) (*TLB, error) {
 	if cfg.PageBytes&(cfg.PageBytes-1) != 0 {
 		return nil, fmt.Errorf("cache: TLB page size %d not a power of two", cfg.PageBytes)
 	}
+	tsize := 8
+	for tsize < 2*cfg.Entries {
+		tsize <<= 1
+	}
 	t := &TLB{
 		cfg:   cfg,
 		pages: make([]uint64, cfg.Entries),
-		valid: make([]bool, cfg.Entries),
-		lru:   make([]uint64, cfg.Entries),
-		slot:  make(map[uint64]int, cfg.Entries),
+		next:  make([]int32, cfg.Entries+1),
+		prev:  make([]int32, cfg.Entries+1),
+		key:   make([]uint64, tsize),
+		slot:  make([]int32, tsize),
+		tmask: uint64(tsize - 1),
+	}
+	t.hashShift = 64
+	for s := tsize; s > 1; s >>= 1 {
+		t.hashShift--
 	}
 	for cfg.PageBytes>>t.pageShift > 1 {
 		t.pageShift++
 	}
+	t.clearState()
 	return t, nil
+}
+
+// clearState restores the freshly-constructed empty state; NewTLB and
+// Reset share it so Reset is bit-identical to a new TLB.
+func (t *TLB) clearState() {
+	for i := range t.pages {
+		t.pages[i] = 0
+		t.next[i] = 0
+		t.prev[i] = 0
+	}
+	s := int32(len(t.pages)) // sentinel
+	t.next[s] = s
+	t.prev[s] = s
+	for i := range t.slot {
+		t.key[i] = 0
+		t.slot[i] = -1
+	}
+	t.filled = 0
+	t.lastPage = 0
+	t.lastValid = false
+	t.hits = 0
+	t.misses = 0
+}
+
+// home returns the preferred table index for page.
+func (t *TLB) home(page uint64) uint64 {
+	return (page * tlbHashK) >> t.hashShift
+}
+
+// unlink removes slot s from the LRU list.
+func (t *TLB) unlink(s int32) {
+	n, p := t.next[s], t.prev[s]
+	t.next[p] = n
+	t.prev[n] = p
+}
+
+// pushFront makes slot s the MRU entry.
+func (t *TLB) pushFront(s int32) {
+	sent := int32(len(t.pages))
+	n := t.next[sent]
+	t.next[s] = n
+	t.prev[s] = sent
+	t.prev[n] = s
+	t.next[sent] = s
+}
+
+// tableDel empties table index i, backward-shifting the following
+// probe-chain entries so lookups never need tombstones.
+func (t *TLB) tableDel(i uint64) {
+	t.slot[i] = -1
+	j := i
+	for {
+		j = (j + 1) & t.tmask
+		if t.slot[j] < 0 {
+			return
+		}
+		h := t.home(t.key[j])
+		// Move j's entry into the hole unless its home lies strictly
+		// after the hole on the cyclic probe path ending at j.
+		if (j-h)&t.tmask >= (j-i)&t.tmask {
+			t.key[i] = t.key[j]
+			t.slot[i] = t.slot[j]
+			t.slot[j] = -1
+			i = j
+		}
+	}
+}
+
+// find probes for page and returns the table index holding it, or the
+// first empty index on its probe chain when absent.
+func (t *TLB) find(page uint64) uint64 {
+	i := t.home(page)
+	for t.slot[i] >= 0 {
+		if t.key[i] == page {
+			return i
+		}
+		i = (i + 1) & t.tmask
+	}
+	return i
 }
 
 // Access translates addr, allocating on miss; it reports whether the
 // translation hit.
 func (t *TLB) Access(addr uint64) bool {
 	page := addr >> t.pageShift
-	t.stamp++
-	// Fast path: repeated access to the most recent page. Its LRU stamp is
-	// refreshed lazily when a different page is next accessed; skipping
-	// intermediate updates cannot change LRU order because no other entry
-	// is touched in between.
+	// Fast path: repeated access to the most recent page, which is
+	// already the MRU list entry — no probe or list move needed.
 	if t.lastValid && page == t.lastPage {
 		t.hits++
 		return true
 	}
-	if t.lastValid {
-		t.lru[t.lastSlot] = t.stamp
-		t.stamp++
-	}
-	if i, ok := t.slot[page]; ok {
-		t.lru[i] = t.stamp
+	i := t.find(page)
+	if s := t.slot[i]; s >= 0 {
+		t.unlink(s)
+		t.pushFront(s)
 		t.lastPage = page
-		t.lastSlot = i
 		t.lastValid = true
 		t.hits++
 		return true
 	}
 	t.misses++
-	// Victim: an invalid slot if any, else the least recently used.
-	victim := -1
-	for i := range t.pages {
-		if !t.valid[i] {
-			victim = i
-			break
-		}
-		if victim < 0 || t.lru[i] < t.lru[victim] {
-			victim = i
-		}
+	var s int32
+	if t.filled < len(t.pages) {
+		// Empty slots are the suffix filled..Entries-1; taking them in
+		// order matches the old first-invalid-slot scan.
+		s = int32(t.filled)
+		t.filled++
+	} else {
+		s = t.prev[len(t.pages)] // LRU victim
+		t.unlink(s)
+		t.tableDel(t.find(t.pages[s]))
+		i = t.find(page) // deletion may have shifted the insert position
 	}
-	if t.valid[victim] {
-		delete(t.slot, t.pages[victim])
-	}
-	t.pages[victim] = page
-	t.valid[victim] = true
-	t.lru[victim] = t.stamp
-	t.slot[page] = victim
+	t.pages[s] = page
+	t.key[i] = page
+	t.slot[i] = s
+	t.pushFront(s)
 	t.lastPage = page
-	t.lastSlot = victim
 	t.lastValid = true
 	return false
 }
@@ -239,17 +333,10 @@ func (t *TLB) Access(addr uint64) bool {
 // Stats returns cumulative hits and misses.
 func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
 
-// Reset invalidates all entries and clears statistics.
+// Reset invalidates all entries and clears statistics, restoring state
+// bit-identical to a freshly built TLB.
 func (t *TLB) Reset() {
-	for i := range t.valid {
-		t.valid[i] = false
-		t.lru[i] = 0
-	}
-	clear(t.slot)
-	t.lastValid = false
-	t.stamp = 0
-	t.hits = 0
-	t.misses = 0
+	t.clearState()
 }
 
 // SideStats counts per-level misses for one side (instruction or data).

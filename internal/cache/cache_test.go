@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -322,5 +324,179 @@ func TestCacheInvariantProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// refTLB is the pre-rewrite map+linear-scan TLB, kept verbatim as the
+// behavioral reference for the O(1) open-addressed implementation: the
+// two must agree hit-for-hit on any access stream.
+type refTLB struct {
+	pages     []uint64
+	valid     []bool
+	lru       []uint64
+	slot      map[uint64]int
+	lastPage  uint64
+	lastSlot  int
+	lastValid bool
+	stamp     uint64
+	pageShift uint
+
+	hits, misses uint64
+}
+
+func newRefTLB(cfg uarch.TLBConfig) *refTLB {
+	t := &refTLB{
+		pages: make([]uint64, cfg.Entries),
+		valid: make([]bool, cfg.Entries),
+		lru:   make([]uint64, cfg.Entries),
+		slot:  make(map[uint64]int, cfg.Entries),
+	}
+	for cfg.PageBytes>>t.pageShift > 1 {
+		t.pageShift++
+	}
+	return t
+}
+
+func (t *refTLB) access(addr uint64) bool {
+	page := addr >> t.pageShift
+	t.stamp++
+	if t.lastValid && page == t.lastPage {
+		t.hits++
+		return true
+	}
+	if t.lastValid {
+		t.lru[t.lastSlot] = t.stamp
+		t.stamp++
+	}
+	if i, ok := t.slot[page]; ok {
+		t.lru[i] = t.stamp
+		t.lastPage = page
+		t.lastSlot = i
+		t.lastValid = true
+		t.hits++
+		return true
+	}
+	t.misses++
+	victim := -1
+	for i := range t.pages {
+		if !t.valid[i] {
+			victim = i
+			break
+		}
+		if victim < 0 || t.lru[i] < t.lru[victim] {
+			victim = i
+		}
+	}
+	if t.valid[victim] {
+		delete(t.slot, t.pages[victim])
+	}
+	t.pages[victim] = page
+	t.valid[victim] = true
+	t.lru[victim] = t.stamp
+	t.slot[page] = victim
+	t.lastPage = page
+	t.lastSlot = victim
+	t.lastValid = true
+	return false
+}
+
+// TestTLBEquivalenceProperty drives the rewritten TLB and the reference
+// implementation over randomized configurations and address streams and
+// requires bit-identical hit/miss decisions and statistics. Streams mix
+// sequential, strided, and looping-working-set phases so the fast path,
+// the probe path, eviction, and re-reference after eviction are all
+// exercised.
+func TestTLBEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 200; trial++ {
+		entries := 1 + rng.Intn(96)
+		pageBytes := 1 << (6 + rng.Intn(9)) // 64B..16KB pages
+		cfg := uarch.TLBConfig{Entries: entries, PageBytes: pageBytes, MissLat: 30}
+		nt, err := NewTLB(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newRefTLB(cfg)
+		// Working set a bit larger than the TLB forces steady eviction.
+		span := uint64(entries+1+rng.Intn(entries+4)) * uint64(pageBytes)
+		addr := uint64(rng.Int63())
+		for op := 0; op < 4000; op++ {
+			switch rng.Intn(4) {
+			case 0: // repeat last address (fast path)
+			case 1: // small stride, same or next page
+				addr += uint64(rng.Intn(256))
+			case 2: // hop within the working set
+				addr = addr - addr%span + uint64(rng.Int63())%span
+			default: // far jump to a fresh region
+				addr = uint64(rng.Int63())
+			}
+			got, want := nt.Access(addr), ref.access(addr)
+			if got != want {
+				t.Fatalf("trial %d op %d entries=%d page=%d addr=%#x: new=%v ref=%v",
+					trial, op, entries, pageBytes, addr, got, want)
+			}
+		}
+		gh, gm := nt.Stats()
+		if gh != ref.hits || gm != ref.misses {
+			t.Fatalf("trial %d stats diverged: new %d/%d ref %d/%d",
+				trial, gh, gm, ref.hits, ref.misses)
+		}
+	}
+}
+
+// TestTLBResetMatchesFresh mirrors the branch predictor's reset test:
+// after heavy traffic, Reset must restore state bit-identical to a
+// freshly constructed TLB — same fields, and the same decisions on a
+// subsequent stream.
+func TestTLBResetMatchesFresh(t *testing.T) {
+	cfg := uarch.TLBConfig{Entries: 48, PageBytes: 4096, MissLat: 30}
+	used, err := NewTLB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		used.Access(uint64(rng.Int63()))
+	}
+	used.Reset()
+	fresh, err := NewTLB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(used, fresh) {
+		t.Error("Reset state differs from NewTLB state")
+	}
+	for i := 0; i < 20000; i++ {
+		addr := uint64(rng.Int63())
+		if used.Access(addr) != fresh.Access(addr) {
+			t.Fatalf("post-reset decision %d diverged", i)
+		}
+	}
+	uh, um := used.Stats()
+	fh, fm := fresh.Stats()
+	if uh != fh || um != fm {
+		t.Errorf("post-reset stats: used %d/%d fresh %d/%d", uh, um, fh, fm)
+	}
+}
+
+// TestTLBAccessNoAllocs pins the allocation-free contract of the hot
+// path.
+func TestTLBAccessNoAllocs(t *testing.T) {
+	tlb, err := NewTLB(uarch.TLBConfig{Entries: 16, PageBytes: 4096, MissLat: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	addrs := make([]uint64, 1024)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Int63())
+	}
+	var i int
+	allocs := testing.AllocsPerRun(200, func() {
+		tlb.Access(addrs[i%len(addrs)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("TLB.Access allocates %.1f times per call, want 0", allocs)
 	}
 }

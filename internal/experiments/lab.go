@@ -39,8 +39,17 @@ type Options struct {
 	// part of the trace spec, so run-store keys and fitted-model cache
 	// keys distinguish replications automatically.
 	SeedBase uint64
-	// Workers bounds simulation parallelism (default NumCPU).
+	// Workers bounds simulation parallelism (default GOMAXPROCS).
 	Workers int
+	// LiveBuffers bounds how many materialized shared µop streams may be
+	// live at once (default Workers+1: every worker replaying a distinct
+	// buffer while the materializer fills the next). Each live buffer
+	// holds one workload's stream — NumOps µops ≈ 56·NumOps bytes, so
+	// e.g. 300K ops ≈ 16 MB per buffer — which makes the pipeline's
+	// memory ceiling ≈ LiveBuffers·56·NumOps bytes. Raising it past the
+	// default only helps when materialization, not simulation, is the
+	// bottleneck; results are identical either way.
+	LiveBuffers int
 	// Store, when non-nil, is consulted before every simulation and
 	// updated as workers finish, making Simulate incremental across
 	// processes: a warm store satisfies the whole campaign without
@@ -72,7 +81,10 @@ func (o Options) withDefaults() Options {
 		o.Seed = 1
 	}
 	if o.Workers <= 0 {
-		o.Workers = runtime.NumCPU()
+		// GOMAXPROCS, not NumCPU: the pool can't use more parallelism
+		// than the runtime will schedule, and tests that pin GOMAXPROCS
+		// expect the derived worker count to follow.
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -194,6 +206,18 @@ func (l *Lab) Simulate() error {
 // completed before the cancellation, so a later Simulate call resumes
 // incrementally.
 func (l *Lab) SimulateContext(ctx context.Context) error {
+	st, err := runSimJobs(ctx, l.pendingJobs(), l.opts, nil)
+	l.stats.Hits += st.Hits
+	l.stats.Simulated += st.Simulated
+	l.stats.TraceGens += st.TraceGens
+	return err
+}
+
+// pendingJobs returns one simJob per not-yet-computed campaign run,
+// each recording its result into this lab. Seed sweeps combine the
+// pending jobs of several per-seed labs into a single runSimJobs batch;
+// the per-job record keeps every result routed to its own lab.
+func (l *Lab) pendingJobs() []simJob {
 	var jobs []simJob
 	for _, m := range l.machines {
 		for _, s := range l.suites {
@@ -202,18 +226,14 @@ func (l *Lab) SimulateContext(ctx context.Context) error {
 				if _, done := l.runs[rk]; done {
 					continue
 				}
-				jobs = append(jobs, simJob{machine: m, spec: w, run: rk})
+				jobs = append(jobs, simJob{machine: m, spec: w, run: rk, record: l.recordRun})
 			}
 		}
 	}
-	st, err := runSimJobs(ctx, jobs, l.opts, func(rk RunKey, r *sim.Result) {
-		l.runs[rk] = r
-	})
-	l.stats.Hits += st.Hits
-	l.stats.Simulated += st.Simulated
-	l.stats.TraceGens += st.TraceGens
-	return err
+	return jobs
 }
+
+func (l *Lab) recordRun(rk RunKey, r *sim.Result) { l.runs[rk] = r }
 
 // SimStats returns cumulative run-sourcing counts over all Simulate
 // calls: store hits vs actually-dispatched simulations.

@@ -386,6 +386,10 @@ func TestRunPlanDeterministicAcrossWorkers(t *testing.T) {
 	}{
 		{"oversubscribed pool", 8, prev},
 		{"pool on a single P", 8, 1},
+		// Past-4-cores check: more Ps than the host's cores, with a
+		// worker pool sized to saturate them — scheduling at high
+		// GOMAXPROCS must leak into results no more than at 1.
+		{"high GOMAXPROCS", 16, 4 * prev},
 	} {
 		runtime.GOMAXPROCS(tc.maxProcs)
 		got := run(tc.workers)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,11 @@ type simJob struct {
 	machine *uarch.Machine
 	spec    trace.Spec
 	run     RunKey
+	// record, when non-nil, overrides the batch-level record callback
+	// for this job. Combined batches (a seed sweep's per-seed labs)
+	// use it to route each result to its own accumulator while sharing
+	// one worker pool; the serialization guarantee is unchanged.
+	record func(RunKey, *sim.Result)
 }
 
 // sharedTrace is one workload's materialized µop stream, shared across
@@ -55,8 +61,9 @@ type sharedTrace struct {
 // of the order jobs were enqueued in, and a dedicated materializer
 // goroutine produces the buffers in that same order, ahead of the
 // workers — cells simulate while the next workload's stream generates
-// instead of stalling on it. At most workers+1 streams are live at
-// once: the materializer blocks until a slot frees, and the last user
+// instead of stalling on it. At most opts.LiveBuffers streams (default
+// workers+1, ≈56·NumOps bytes each) are live at once: the materializer
+// blocks until a slot frees, and the last user
 // of each buffer returns its backing store for the next workload to
 // refill in place, so a long plan touches a bounded set of stores
 // instead of allocating one per workload. Results are deterministic
@@ -74,10 +81,24 @@ type sharedTrace struct {
 func runSimJobs(ctx context.Context, jobs []simJob, opts Options, record func(RunKey, *sim.Result)) (SimStats, error) {
 	var st SimStats
 	store := opts.Store
+	// Workers can reach here unclamped (callers that build Options by
+	// hand skip withDefaults); a non-positive count would spawn no
+	// workers and deadlock the feed loop, so derive it the same way
+	// withDefaults does.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	progress := func(run RunKey, hit bool) {
 		if opts.Progress != nil {
 			opts.Progress(run, hit)
 		}
+	}
+	recordFor := func(override func(RunKey, *sim.Result)) func(RunKey, *sim.Result) {
+		if override != nil {
+			return override
+		}
+		return record
 	}
 	type missJob struct {
 		simJob
@@ -98,7 +119,7 @@ func runSimJobs(ctx context.Context, jobs []simJob, opts Options, record func(Ru
 				return st, fmt.Errorf("experiments: %s on %s: %w", j.spec.Name, j.machine.Name, err)
 			}
 			if ok {
-				record(j.run, res)
+				recordFor(j.record)(j.run, res)
 				st.Hits++
 				progress(j.run, true)
 				continue
@@ -170,7 +191,10 @@ func runSimJobs(ctx context.Context, jobs []simJob, opts Options, record func(Ru
 	// worker blocks forever, even when aborting.
 	var freeSlots chan []trace.MicroOp
 	if len(groups) > 0 {
-		liveBufs := opts.Workers + 1
+		liveBufs := opts.LiveBuffers
+		if liveBufs <= 0 {
+			liveBufs = workers + 1
+		}
 		if liveBufs > len(groups) {
 			liveBufs = len(groups)
 		}
@@ -205,7 +229,7 @@ func runSimJobs(ctx context.Context, jobs []simJob, opts Options, record func(Ru
 	}
 
 	ch := make(chan missJob)
-	for i := 0; i < opts.Workers; i++ {
+	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -257,7 +281,7 @@ func runSimJobs(ctx context.Context, jobs []simJob, opts Options, record func(Ru
 					}
 				}
 				mu.Lock()
-				record(j.run, res)
+				recordFor(j.record)(j.run, res)
 				st.Simulated++
 				progress(j.run, false)
 				mu.Unlock()

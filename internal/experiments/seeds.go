@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/stats"
@@ -338,29 +339,39 @@ func (r *SeedsResult) Render() string {
 	return b.String()
 }
 
-// seedCellData accumulates one (machine, suite) cell across seeds.
+// seedCellData accumulates one (machine, suite) cell across seeds. All
+// per-seed slots are preallocated and written by seed index, so the
+// aggregation order is SeedList order no matter which seed's fit
+// finishes first — the concurrent and sequential execution paths fill
+// identical grids.
 type seedCellData struct {
 	cpis   []float64
 	mares  []float64
 	coeffs [][]float64 // per parameter, per seed
 }
 
-func newSeedCellGrid(machines, suiteNames, coeffNames int) [][]seedCellData {
+func newSeedCellGrid(machines, suiteNames, coeffNames, seeds int) [][]seedCellData {
 	grid := make([][]seedCellData, machines)
 	for mi := range grid {
 		grid[mi] = make([]seedCellData, suiteNames)
 		for si := range grid[mi] {
-			grid[mi][si].coeffs = make([][]float64, coeffNames)
+			d := &grid[mi][si]
+			d.cpis = make([]float64, seeds)
+			d.mares = make([]float64, seeds)
+			d.coeffs = make([][]float64, coeffNames)
+			for ci := range d.coeffs {
+				d.coeffs[ci] = make([]float64, seeds)
+			}
 		}
 	}
 	return grid
 }
 
-func (d *seedCellData) add(cpi, mare float64, coeffs []float64) {
-	d.cpis = append(d.cpis, cpi)
-	d.mares = append(d.mares, mare)
+func (d *seedCellData) set(seedIdx int, cpi, mare float64, coeffs []float64) {
+	d.cpis[seedIdx] = cpi
+	d.mares[seedIdx] = mare
 	for i, v := range coeffs {
-		d.coeffs[i] = append(d.coeffs[i], v)
+		d.coeffs[i][seedIdx] = v
 	}
 }
 
@@ -432,17 +443,32 @@ func RunSeeds(s *Seeds, opts Options) (*SeedsResult, error) {
 // cancelling ctx stops the dispatch of new simulations (in-flight ones
 // finish and land in the store, so a rerun resumes warm) and skips the
 // remaining fits, returning ctx.Err(). onSeed, when non-nil, is called
-// after each fully evaluated seed with the cumulative seed count (calls
-// are never concurrent). The async Jobs engine runs seeds jobs through
-// here.
+// each time another seed has been fully evaluated, with the cumulative
+// seed count (calls are never concurrent). The async Jobs engine runs
+// seeds jobs through here.
+//
+// Replications fan out across the worker pool rather than running one
+// lab per seed sequentially: every seed's pending runs join a single
+// runSimJobs batch (each job recording into its own seed's lab), and
+// the per-cell fits are then dispatched to the same worker bound. The
+// report is per-float identical to the sequential execution: run
+// results are keyed by (machine, spec, seed base) independent of
+// scheduling, each cell's fit consumes only its own seed's
+// observations, and the grid is written by seed index, so aggregation
+// order never depends on completion order.
 func RunSeedsContext(ctx context.Context, s *Seeds, opts Options, onSeed func(done int)) (*SeedsResult, error) {
 	opts = opts.withDefaults()
-	grid := newSeedCellGrid(len(s.Machines), len(s.Suites), len(core.ParamNames()))
-	var st SimStats
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	grid := newSeedCellGrid(len(s.Machines), len(s.Suites), len(core.ParamNames()), len(s.SeedList))
+
+	// One lab per seed — each carries its seed's fit options and
+	// accumulates its own runs — but one combined simulation batch, so
+	// seeds share the worker pool and the materializer pipeline.
+	labs := make([]*Lab, len(s.SeedList))
+	var jobs []simJob
 	for i, seed := range s.SeedList {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
 		sopts := seedOptions(opts, seed)
 		suiteList := make([]suites.Suite, 0, len(s.Suites))
 		for _, name := range s.Suites {
@@ -456,35 +482,104 @@ func RunSeedsContext(ctx context.Context, s *Seeds, opts Options, onSeed func(do
 		if err != nil {
 			return nil, err
 		}
-		err = lab.SimulateContext(ctx)
-		st.Hits += lab.SimStats().Hits
-		st.Simulated += lab.SimStats().Simulated
-		st.TraceGens += lab.SimStats().TraceGens
-		if err != nil {
-			return nil, err
-		}
-		for mi, m := range s.Machines {
-			for si, suiteName := range s.Suites {
-				// Fits are not individually cancellable, but a cancelled
-				// sweep stops between them.
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-				model, err := lab.Model(m.Name, suiteName)
-				if err != nil {
-					return nil, err
-				}
-				obs, err := lab.Observations(m.Name, suiteName)
-				if err != nil {
-					return nil, err
-				}
-				cpi, mare := evalSeedCell(model, obs)
-				grid[mi][si].add(cpi, mare, model.P.Slice())
+		labs[i] = lab
+		jobs = append(jobs, lab.pendingJobs()...)
+	}
+	st, err := runSimJobs(ctx, jobs, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fit phase: every (seed, machine, suite) cell is independent, so
+	// they run concurrently under the same worker bound. onSeed fires
+	// under the mutex whenever some seed's last cell completes, keeping
+	// the cumulative count monotone and the calls serialized.
+	type fitCell struct{ seedIdx, mi, si int }
+	cells := make([]fitCell, 0, len(s.SeedList)*len(s.Machines)*len(s.Suites))
+	for i := range s.SeedList {
+		for mi := range s.Machines {
+			for si := range s.Suites {
+				cells = append(cells, fitCell{seedIdx: i, mi: mi, si: si})
 			}
 		}
-		if onSeed != nil {
-			onSeed(i + 1)
+	}
+	var (
+		mu        sync.Mutex
+		firstErr  error
+		doneSeeds int
+		remaining = make([]int, len(s.SeedList))
+		wg        sync.WaitGroup
+	)
+	for i := range remaining {
+		remaining[i] = len(s.Machines) * len(s.Suites)
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
 		}
+		mu.Unlock()
+	}
+	stopped := func() bool {
+		if ctx.Err() != nil {
+			return true
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	workers := opts.Workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	cellCh := make(chan fitCell)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range cellCh {
+				// Fits are not individually cancellable, but a cancelled
+				// or failed sweep stops between them.
+				if stopped() {
+					continue
+				}
+				m := s.Machines[c.mi]
+				suiteName := s.Suites[c.si]
+				lab := labs[c.seedIdx]
+				obs, err := lab.Observations(m.Name, suiteName)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				model, err := fitModel(m, obs, seedOptions(opts, s.SeedList[c.seedIdx]))
+				if err != nil {
+					fail(err)
+					continue
+				}
+				cpi, mare := evalSeedCell(model, obs)
+				mu.Lock()
+				grid[c.mi][c.si].set(c.seedIdx, cpi, mare, model.P.Slice())
+				remaining[c.seedIdx]--
+				if remaining[c.seedIdx] == 0 {
+					doneSeeds++
+					if onSeed != nil {
+						onSeed(doneSeeds)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, c := range cells {
+		cellCh <- c
+	}
+	close(cellCh)
+	wg.Wait()
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return seedsResultFrom(s, opts, grid, st), nil
 }
@@ -500,7 +595,7 @@ func RunSeedsContext(ctx context.Context, s *Seeds, opts Options, onSeed func(do
 // (they complete for any concurrent joiner); ctx is observed between
 // cells.
 func (p *Provider) Seeds(ctx context.Context, s *Seeds, onSeed func(done int)) (*SeedsResult, error) {
-	grid := newSeedCellGrid(len(s.Machines), len(s.Suites), len(core.ParamNames()))
+	grid := newSeedCellGrid(len(s.Machines), len(s.Suites), len(core.ParamNames()), len(s.SeedList))
 	var st SimStats
 	for i, seed := range s.SeedList {
 		sopts := seedOptions(p.opts, seed)
@@ -517,7 +612,7 @@ func (p *Provider) Seeds(ctx context.Context, s *Seeds, onSeed func(done int)) (
 					return nil, err
 				}
 				cpi, mare := evalSeedCell(f.Model, f.Obs)
-				grid[mi][si].add(cpi, mare, f.Model.P.Slice())
+				grid[mi][si].set(i, cpi, mare, f.Model.P.Slice())
 			}
 		}
 		if onSeed != nil {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/runstore"
 	"repro/internal/stats"
 	"repro/internal/suites"
@@ -286,5 +287,146 @@ func TestProviderSeedsMatchesRunSeeds(t *testing.T) {
 	}
 	if _, err := RunSeedsContext(ctx, s, opts, nil); !errors.Is(err, context.Canceled) {
 		t.Errorf("blocking sweep on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// sequentialSeedsReference is the pre-fan-out RunSeeds algorithm — one
+// lab per seed, simulated and fitted in SeedList order — kept as the
+// behavioral reference for the concurrent execution path.
+func sequentialSeedsReference(t *testing.T, s *Seeds, opts Options) *SeedsResult {
+	t.Helper()
+	opts = opts.withDefaults()
+	grid := newSeedCellGrid(len(s.Machines), len(s.Suites), len(core.ParamNames()), len(s.SeedList))
+	var st SimStats
+	for i, seed := range s.SeedList {
+		sopts := seedOptions(opts, seed)
+		suiteList := make([]suites.Suite, 0, len(s.Suites))
+		for _, name := range s.Suites {
+			suite, err := suites.ByName(name, suites.Options{NumOps: sopts.NumOps, SeedBase: sopts.SeedBase})
+			if err != nil {
+				t.Fatal(err)
+			}
+			suiteList = append(suiteList, suite)
+		}
+		lab, err := NewCustomLab(s.Machines, suiteList, sopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lab.Simulate(); err != nil {
+			t.Fatal(err)
+		}
+		st.Hits += lab.SimStats().Hits
+		st.Simulated += lab.SimStats().Simulated
+		st.TraceGens += lab.SimStats().TraceGens
+		for mi, m := range s.Machines {
+			for si, suiteName := range s.Suites {
+				model, err := lab.Model(m.Name, suiteName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				obs, err := lab.Observations(m.Name, suiteName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cpi, mare := evalSeedCell(model, obs)
+				grid[mi][si].set(i, cpi, mare, model.P.Slice())
+			}
+		}
+	}
+	return seedsResultFrom(s, opts, grid, st)
+}
+
+// TestRunSeedsParallelMatchesSequential pins the fan-out contract: the
+// concurrent sweep — all seeds' runs in one worker-pool batch, fits
+// dispatched cell-parallel — must emit a report per-float identical to
+// the sequential lab-per-seed execution, with the same sourcing totals,
+// at any worker count.
+func TestRunSeedsParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end fit is slow")
+	}
+	sn := tinySuite(t)
+	opts := Options{NumOps: 2000, FitStarts: 2}
+	s, err := SeedsSpec{Base: &MachineSpec{Name: "core2"}, Suite: sn, Count: 3}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sequentialSeedsReference(t, s, opts)
+	for _, workers := range []int{1, 8} {
+		wopts := opts
+		wopts.Workers = workers
+		var done []int
+		got, err := RunSeedsContext(context.Background(), s, wopts, func(d int) { done = append(done, d) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Cells, want.Cells) {
+			t.Errorf("workers=%d: concurrent sweep diverged from the sequential reference", workers)
+		}
+		if !reflect.DeepEqual(done, []int{1, 2, 3}) {
+			t.Errorf("workers=%d: onSeed calls = %v, want cumulative [1 2 3]", workers, done)
+		}
+		if got.Stats != want.Stats {
+			t.Errorf("workers=%d: stats %+v, want %+v", workers, got.Stats, want.Stats)
+		}
+		if !reflect.DeepEqual(got.Report(), want.Report()) {
+			t.Errorf("workers=%d: wire report diverged", workers)
+		}
+	}
+}
+
+// TestRunSeedsCancelMidFlight mirrors the plan/optimize cancellation
+// contracts directly on the concurrent sweep (the jobs-engine flavour
+// lives in jobs_test.go): cancelling mid-simulation stops dispatch,
+// returns ctx.Err(), and leaves the store warm-consistent — a follow-up
+// sweep hits everything the cancelled one persisted and completes the
+// replications. CI runs this under -race, so it doubles as the race
+// check on the combined multi-seed batch.
+func TestRunSeedsCancelMidFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end sweep is slow")
+	}
+	sn := tinySuite(t)
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SeedsSpec{Base: &MachineSpec{Name: "core2"}, Suite: sn, Count: 3}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var simulated int
+	opts := Options{NumOps: 20000, FitStarts: 2, Workers: 2, Store: store,
+		Progress: func(run RunKey, hit bool) {
+			if !hit {
+				simulated++
+				if simulated == 3 {
+					cancel() // mid-flight: later runs are still pending
+				}
+			}
+		}}
+	_, err = RunSeedsContext(ctx, s, opts, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep error = %v, want context.Canceled", err)
+	}
+	persisted := simulated
+	total := s.TotalRuns()
+	if persisted >= total {
+		t.Fatalf("cancelled sweep completed all %d runs; cancellation did nothing", total)
+	}
+
+	opts.Progress = nil
+	res, err := RunSeeds(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Hits+res.Stats.Simulated != total {
+		t.Errorf("follow-up covered %d runs, want %d", res.Stats.Hits+res.Stats.Simulated, total)
+	}
+	if res.Stats.Hits < persisted {
+		t.Errorf("follow-up hit %d runs, want at least the %d the cancelled sweep simulated",
+			res.Stats.Hits, persisted)
 	}
 }

@@ -1,5 +1,7 @@
 package sim
 
+import "math/bits"
+
 // Ring geometry for the issue-bandwidth tracker. The horizon must exceed
 // the largest lead of any op's issue time over the dispatch cycle, which
 // is bounded by the window draining serially through worst-case latencies
@@ -136,6 +138,156 @@ func (h *mshrHeap) replaceMin(v uint64) {
 		i = small
 	}
 	a[i] = v
+}
+
+// Calendar-ring geometry for the issue-queue departure times. Departure
+// leads over the dispatch cycle are bounded by the latency LUT's
+// worst-case completion chains (far below 2^16 for every stock machine);
+// the rare op scheduled further out than the ring horizon — possible
+// only through the issueRing's beyond-horizon escape — spills into an
+// exact min-heap overflow, so the ring is an optimization, never an
+// approximation.
+const (
+	iqRingBits = 16
+	iqRingSize = 1 << iqRingBits
+	iqRingMask = iqRingSize - 1
+)
+
+// iqRing tracks issue-queue departure times as a calendar queue: a ring
+// of per-cycle departure counts indexed cycle&iqRingMask, with a
+// two-level occupancy bitmap so min() and popUpTo() find the next
+// occupied cycle in a handful of word scans instead of O(log n) heap
+// sifts per op.
+//
+// Correctness hinges on the window invariant: every value resident in
+// the ring lies in [low, low+iqRingSize), so a bucket index maps back to
+// a unique cycle. low is the last popUpTo cycle plus one; the simulator
+// always drains departures up to the current cycle before pushing (and
+// pushes are ≥ cycle+1), so pushes never land below low, and a push at
+// least iqRingSize ahead of low goes to the far heap instead of
+// aliasing. cursor is a scan cache — no resident ring value is below it
+// — advanced by scans and pulled back by pushes below it.
+type iqRing struct {
+	cnt    []uint32 // departures per cycle, indexed cycle&iqRingMask
+	bm     []uint64 // bit b of word w set ⇔ cnt[w*64+b] > 0
+	bm2    []uint64 // bit b of word w set ⇔ bm[w*64+b] != 0
+	total  int      // entries resident in the ring (excludes far)
+	low    uint64   // window base: resident values ∈ [low, low+iqRingSize)
+	cursor uint64   // scan lower bound: no resident value < cursor
+	far    minHeap  // exact overflow for values ≥ low+iqRingSize
+}
+
+func newIQRing() iqRing {
+	return iqRing{
+		cnt: make([]uint32, iqRingSize),
+		bm:  make([]uint64, iqRingSize/64),
+		bm2: make([]uint64, iqRingSize/64/64),
+		far: newMinHeap(16),
+	}
+}
+
+func (q *iqRing) len() int { return q.total + q.far.len() }
+
+// push inserts departure time v. The caller guarantees v ≥ low (the
+// simulator pushes only values above the cycle it last drained to).
+func (q *iqRing) push(v uint64) {
+	if v-q.low >= iqRingSize {
+		q.far.push(v)
+		return
+	}
+	i := v & iqRingMask
+	if q.cnt[i] == 0 {
+		q.bm[i>>6] |= 1 << (i & 63)
+		q.bm2[i>>12] |= 1 << ((i >> 6) & 63)
+	}
+	q.cnt[i]++
+	q.total++
+	if q.total == 1 || v < q.cursor {
+		q.cursor = v
+	}
+}
+
+// nextOccupied returns the smallest resident value ≥ from. It must only
+// be called with total > 0 and from ≤ the smallest resident value.
+func (q *iqRing) nextOccupied(from uint64) uint64 {
+	i := from & iqRingMask
+	if word := q.bm[i>>6] >> (i & 63); word != 0 {
+		return from + uint64(bits.TrailingZeros64(word))
+	}
+	// Jump to the next nonempty 64-bucket word — strictly after from's —
+	// via the summary bitmap, wrapping cyclically at most once.
+	wi := i >> 6
+	sw := wi >> 6
+	sword := q.bm2[sw] &^ (^uint64(0) >> (63 - wi&63))
+	for k := uint64(1); sword == 0; k++ {
+		sw = (wi>>6 + k) & uint64(len(q.bm2)-1)
+		sword = q.bm2[sw]
+	}
+	w2 := sw<<6 + uint64(bits.TrailingZeros64(sword))
+	b2 := w2<<6 + uint64(bits.TrailingZeros64(q.bm[w2]))
+	// The window invariant makes the cyclic bucket distance from `from`
+	// the true cycle distance.
+	return from + ((b2 - i) & iqRingMask)
+}
+
+// min returns the earliest departure time. Must only be called when
+// len() > 0.
+func (q *iqRing) min() uint64 {
+	m := ^uint64(0)
+	if q.total > 0 {
+		m = q.nextOccupied(q.cursor)
+		q.cursor = m
+	}
+	if q.far.len() > 0 && q.far.a[0] < m {
+		m = q.far.a[0]
+	}
+	return m
+}
+
+// popUpTo removes all entries with value ≤ cycle (ops that have issued)
+// and advances the window base to cycle+1.
+func (q *iqRing) popUpTo(cycle uint64) {
+	q.far.popUpTo(cycle)
+	for q.total > 0 {
+		v := q.nextOccupied(q.cursor)
+		q.cursor = v
+		if v > cycle {
+			break
+		}
+		i := v & iqRingMask
+		q.total -= int(q.cnt[i])
+		q.cnt[i] = 0
+		q.bm[i>>6] &^= 1 << (i & 63)
+		if q.bm[i>>6] == 0 {
+			q.bm2[i>>12] &^= 1 << ((i >> 6) & 63)
+		}
+		q.cursor = v + 1
+	}
+	if cycle+1 > q.low {
+		q.low = cycle + 1
+	}
+	if q.cursor < q.low {
+		q.cursor = q.low
+	}
+}
+
+// reset empties the ring. Only occupied buckets can hold nonzero
+// counts, so it walks the bitmaps instead of clearing the whole array.
+func (q *iqRing) reset() {
+	for sw, sword := range q.bm2 {
+		for ; sword != 0; sword &= sword - 1 {
+			w := sw<<6 + bits.TrailingZeros64(sword)
+			for word := q.bm[w]; word != 0; word &= word - 1 {
+				q.cnt[w<<6+bits.TrailingZeros64(word)] = 0
+			}
+			q.bm[w] = 0
+		}
+		q.bm2[sw] = 0
+	}
+	q.total = 0
+	q.low = 0
+	q.cursor = 0
+	q.far.a = q.far.a[:0]
 }
 
 // minHeap is a binary min-heap of uint64 (issue-queue departure times).

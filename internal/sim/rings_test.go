@@ -1,6 +1,10 @@
 package sim
 
-import "testing"
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
 
 // TestIssueRingBandwidth pins the core booking behavior: a cycle hands
 // out exactly width slots, then overflows into the next cycle.
@@ -116,5 +120,144 @@ func TestSeqRingZeroSequence(t *testing.T) {
 	r.reset()
 	if got := r.lookup(0); got != 0 {
 		t.Errorf("lookup(0) after reset = %d, want 0 (stale tag survived)", got)
+	}
+}
+
+// refIQ mirrors the iqRing against the plain min-heap it replaced,
+// driven with the simulator's discipline (drain to the current cycle
+// before pushing values above it).
+type refIQ struct {
+	q   iqRing
+	h   minHeap
+	rng *rand.Rand
+	t   *testing.T
+}
+
+func (r *refIQ) check(where string) {
+	r.t.Helper()
+	if r.q.len() != r.h.len() {
+		r.t.Fatalf("%s: len ring=%d heap=%d", where, r.q.len(), r.h.len())
+	}
+	if r.h.len() > 0 {
+		if qm, hm := r.q.min(), r.h.min(); qm != hm {
+			r.t.Fatalf("%s: min ring=%d heap=%d", where, qm, hm)
+		}
+	}
+}
+
+// TestIQRingMatchesMinHeap drives the calendar ring and the reference
+// heap through randomized push/popUpTo sequences — including leads past
+// the ring horizon (far overflow) and cycle ranges crossing the 2^16
+// wrap boundary — requiring identical len/min at every step.
+func TestIQRingMatchesMinHeap(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		r := &refIQ{q: newIQRing(), h: newMinHeap(8), rng: rand.New(rand.NewSource(int64(trial)))}
+		r.t = t
+		// Start some trials just below a wrap boundary so draining and
+		// pushing straddle multiples of iqRingSize.
+		cycle := uint64(r.rng.Intn(1000))
+		if trial%2 == 1 {
+			cycle = uint64(trial)*iqRingSize - 500
+		}
+		for op := 0; op < 5000; op++ {
+			cycle += uint64(r.rng.Intn(40))
+			r.q.popUpTo(cycle)
+			r.h.popUpTo(cycle)
+			r.check("drain")
+			for n := r.rng.Intn(4); n > 0; n-- {
+				lead := uint64(1 + r.rng.Intn(300))
+				switch r.rng.Intn(20) {
+				case 0: // near the horizon
+					lead = iqRingSize - uint64(r.rng.Intn(3))
+				case 1: // past the horizon: far-heap overflow
+					lead = iqRingSize + uint64(r.rng.Intn(1<<20))
+				}
+				v := cycle + lead
+				r.q.push(v)
+				r.h.push(v)
+				r.check("push")
+			}
+		}
+	}
+}
+
+// TestIQRingFarOverflow pins the overflow path directly: values at and
+// past the horizon live in the far heap, stay exact, and win min() only
+// when the ring side is empty or later.
+func TestIQRingFarOverflow(t *testing.T) {
+	q := newIQRing()
+	q.popUpTo(99)            // low = 100
+	q.push(100 + iqRingSize) // exactly at the horizon → far
+	q.push(100 + 2*iqRingSize)
+	if q.far.len() != 2 || q.total != 0 {
+		t.Fatalf("far=%d ring=%d, want 2/0", q.far.len(), q.total)
+	}
+	if q.len() != 2 || q.min() != 100+iqRingSize {
+		t.Fatalf("len=%d min=%d", q.len(), q.min())
+	}
+	q.push(100 + iqRingSize - 1) // just inside → ring
+	if q.total != 1 || q.min() != 100+iqRingSize-1 {
+		t.Fatalf("ring push landed wrong: total=%d min=%d", q.total, q.min())
+	}
+	// Draining past the ring entry exposes the far minimum again.
+	q.popUpTo(100 + iqRingSize - 1)
+	if q.len() != 2 || q.min() != 100+iqRingSize {
+		t.Fatalf("after drain: len=%d min=%d", q.len(), q.min())
+	}
+	// Far entries drain through popUpTo like ring entries.
+	q.popUpTo(100 + 2*iqRingSize)
+	if q.len() != 0 {
+		t.Fatalf("after full drain: len=%d", q.len())
+	}
+}
+
+// TestIQRingWrapAround exercises bucket reuse across the 2^16 horizon:
+// an entry popped at cycle c must not ghost-occupy the bucket when
+// cycle c+iqRingSize comes around.
+func TestIQRingWrapAround(t *testing.T) {
+	q := newIQRing()
+	for gen := uint64(0); gen < 5; gen++ {
+		base := gen * iqRingSize
+		q.popUpTo(base)
+		q.push(base + 7)
+		q.push(base + 7) // duplicate values share a bucket
+		q.push(base + 9)
+		if q.len() != 3 || q.min() != base+7 {
+			t.Fatalf("gen %d: len=%d min=%d", gen, q.len(), q.min())
+		}
+		q.popUpTo(base + 7)
+		if q.len() != 1 || q.min() != base+9 {
+			t.Fatalf("gen %d after pop: len=%d min=%d", gen, q.len(), q.min())
+		}
+		q.popUpTo(base + 9)
+		if q.len() != 0 {
+			t.Fatalf("gen %d not drained", gen)
+		}
+	}
+}
+
+// TestIQRingReset requires reset to restore the freshly-built state —
+// counts, bitmaps, window, and overflow heap — so reused simulators
+// start bit-identical runs.
+func TestIQRingReset(t *testing.T) {
+	q := newIQRing()
+	q.popUpTo(12345)
+	for i := 0; i < 200; i++ {
+		q.push(12346 + uint64(i*37)%iqRingSize)
+	}
+	q.push(12346 + iqRingSize) // one far entry
+	q.reset()
+	fresh := newIQRing()
+	if !reflect.DeepEqual(q.cnt, fresh.cnt) || !reflect.DeepEqual(q.bm, fresh.bm) ||
+		!reflect.DeepEqual(q.bm2, fresh.bm2) {
+		t.Error("reset left counts or bitmaps dirty")
+	}
+	if q.total != 0 || q.low != 0 || q.cursor != 0 || q.far.len() != 0 {
+		t.Errorf("reset scalars: total=%d low=%d cursor=%d far=%d", q.total, q.low, q.cursor, q.far.len())
+	}
+	// Behaves like new after reset.
+	q.push(3)
+	if q.len() != 1 || q.min() != 3 {
+		t.Errorf("post-reset push: len=%d min=%d", q.len(), q.min())
 	}
 }

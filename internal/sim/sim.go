@@ -64,7 +64,7 @@ type Simulator struct {
 	issue issueRing // issue-bandwidth ring: issues per future cycle
 	seq   seqRing   // completion times by canonical sequence number
 	rob   []robMeta
-	iq    minHeap
+	iq    iqRing
 
 	// Per-machine constants hoisted out of the per-op path.
 	d           int
@@ -132,7 +132,7 @@ func New(m *uarch.Machine) (*Simulator, error) {
 		mshr:  mshrHeap{a: make([]uint64, m.MSHRs)},
 		issue: newIssueRing(),
 		rob:   make([]robMeta, m.ROBSize),
-		iq:    newMinHeap(m.IQSize + 1),
+		iq:    newIQRing(),
 
 		d:           m.DispatchWidth,
 		fD:          float64(m.DispatchWidth),
@@ -223,7 +223,7 @@ func (s *Simulator) RunInto(res *Result, g trace.Source) error {
 	s.issue.reset()
 	s.seq.reset()
 	s.mshr.reset()
-	s.iq.a = s.iq.a[:0]
+	s.iq.reset()
 	// Stale rob entries need no clearing: every slot consulted is first
 	// written by this run (reads are bounded by entryCount/headIdx).
 
